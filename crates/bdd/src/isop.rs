@@ -1,0 +1,216 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale ISOP).
+//!
+//! Turning a BDD back into a compact two-level formula is handy for
+//! reporting: the reproduction uses it to print the characteristic
+//! functions of places (Table 2 of the paper) in a human-readable form.
+
+use crate::manager::{BddManager, Ref, VarId, FALSE, TRUE};
+
+/// A product term: a conjunction of literals `(variable, polarity)`.
+/// The empty cube is the constant `true`.
+pub type Cube = Vec<(VarId, bool)>;
+
+impl BddManager {
+    /// Computes an irredundant sum-of-products cover of `f` using the
+    /// Minato–Morreale ISOP algorithm. The disjunction of the returned
+    /// cubes is logically equivalent to `f`; for the constant `false` the
+    /// cover is empty, and for `true` it is a single empty cube.
+    pub fn to_sop(&mut self, f: Ref) -> Vec<Cube> {
+        let (cover, _bdd) = self.isop(f.0, f.0);
+        cover
+    }
+
+    /// Renders `f` as a sum-of-products formula using `name` to print
+    /// variables. Complemented literals are suffixed with `'`
+    /// (e.g. `x1'·x2 + x0`), `0` is `false` and the empty cube prints as
+    /// `true`.
+    pub fn format_sop<N: Fn(VarId) -> String>(&mut self, f: Ref, name: N) -> String {
+        let cover = self.to_sop(f);
+        if cover.is_empty() {
+            return "false".to_string();
+        }
+        let terms: Vec<String> = cover
+            .iter()
+            .map(|cube| {
+                if cube.is_empty() {
+                    "true".to_string()
+                } else {
+                    cube.iter()
+                        .map(|&(v, positive)| {
+                            if positive {
+                                name(v)
+                            } else {
+                                format!("{}'", name(v))
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join("·")
+                }
+            })
+            .collect();
+        terms.join(" + ")
+    }
+
+    /// The ISOP recursion on an interval `[lower, upper]`: returns a cover
+    /// whose function `g` satisfies `lower ⊆ g ⊆ upper`, together with the
+    /// BDD of `g`.
+    fn isop(&mut self, lower: u32, upper: u32) -> (Vec<Cube>, u32) {
+        if lower == FALSE {
+            return (Vec::new(), FALSE);
+        }
+        if upper == TRUE {
+            return (vec![Vec::new()], TRUE);
+        }
+        debug_assert_ne!(upper, FALSE, "interval must be non-empty");
+        // Branch on the topmost variable of either bound.
+        let level = self.level(lower).min(self.level(upper));
+        let var = self.var_at(level);
+        let (l0, l1) = self.cofactors_at(lower, level);
+        let (u0, u1) = self.cofactors_at(upper, level);
+
+        // Minterms that can only be covered by cubes containing ¬v / v.
+        let not_u1 = self.not_idx(u1);
+        let not_u0 = self.not_idx(u0);
+        let lx0 = self.and_idx(l0, not_u1);
+        let lx1 = self.and_idx(l1, not_u0);
+        let (mut cover0, g0) = self.isop(lx0, u0);
+        let (mut cover1, g1) = self.isop(lx1, u1);
+
+        // What is still uncovered can use cubes independent of v.
+        let not_g0 = self.not_idx(g0);
+        let not_g1 = self.not_idx(g1);
+        let rem0 = self.and_idx(l0, not_g0);
+        let rem1 = self.and_idx(l1, not_g1);
+        let remainder = self.or_idx_pub(rem0, rem1);
+        let common_upper = self.and_idx(u0, u1);
+        let (cover_d, gd) = self.isop(remainder, common_upper);
+
+        // Assemble the result cover and its BDD.
+        for cube in &mut cover0 {
+            cube.push((var, false));
+        }
+        for cube in &mut cover1 {
+            cube.push((var, true));
+        }
+        let mut cover = cover0;
+        cover.extend(cover1);
+        cover.extend(cover_d);
+
+        let with_v = self.mk(level, FALSE, g1);
+        let without_v = self.mk(level, g0, FALSE);
+        let parts = self.or_idx_pub(with_v, without_v);
+        let g = self.or_idx_pub(parts, gd);
+        (cover, g)
+    }
+
+    fn not_idx(&mut self, f: u32) -> u32 {
+        let r = self.not(Ref(f));
+        r.0
+    }
+
+    fn and_idx(&mut self, f: u32, g: u32) -> u32 {
+        let r = self.and(Ref(f), Ref(g));
+        r.0
+    }
+
+    fn or_idx_pub(&mut self, f: u32, g: u32) -> u32 {
+        let r = self.or(Ref(f), Ref(g));
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rebuilds the BDD of a cover and checks equivalence with `f`.
+    fn assert_cover_equivalent(m: &mut BddManager, f: Ref, cover: &[Cube]) {
+        let mut acc = m.zero();
+        for cube in cover {
+            let c = m.cube(cube);
+            acc = m.or(acc, c);
+        }
+        assert_eq!(acc, f, "cover is not equivalent to the function");
+    }
+
+    #[test]
+    fn constants() {
+        let mut m = BddManager::with_vars(2);
+        assert!(m.to_sop(m.zero()).is_empty());
+        let one_cover = m.to_sop(m.one());
+        assert_eq!(one_cover, vec![Vec::new()]);
+        assert_eq!(m.format_sop(m.zero(), |v| v.to_string()), "false");
+        assert_eq!(m.format_sop(m.one(), |v| v.to_string()), "true");
+    }
+
+    #[test]
+    fn simple_functions_round_trip() {
+        let mut m = BddManager::with_vars(4);
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let cover = m.to_sop(f);
+        assert_cover_equivalent(&mut m, f, &cover);
+        assert_eq!(cover.len(), 2, "a·b + c has two prime implicants");
+
+        let xor = m.xor(a, b);
+        let cover = m.to_sop(xor);
+        assert_cover_equivalent(&mut m, xor, &cover);
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn every_cube_implies_the_function() {
+        let mut m = BddManager::with_vars(5);
+        let v = m.variables();
+        // A slightly irregular function.
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let d = m.var(v[3]);
+        let ab = m.and(a, b);
+        let nc = m.not(c);
+        let ncd = m.and(nc, d);
+        let f0 = m.or(ab, ncd);
+        let bd = m.and(b, d);
+        let f = m.or(f0, bd);
+        let cover = m.to_sop(f);
+        assert_cover_equivalent(&mut m, f, &cover);
+        for cube in &cover {
+            let c = m.cube(cube);
+            let implies = m.implies(c, f);
+            assert_eq!(implies, m.one(), "cube {cube:?} not contained in f");
+        }
+    }
+
+    #[test]
+    fn format_uses_names_and_complements() {
+        let mut m = BddManager::with_vars(3);
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let nb = m.nvar(v[1]);
+        let f = m.and(a, nb);
+        let s = m.format_sop(f, |var| format!("x{}", var.index() + 1));
+        assert_eq!(s, "x2'·x1");
+    }
+
+    #[test]
+    fn paper_table2_shape() {
+        // [p3] = x5'·(x1 + x2) expands to the SOP x5'·x1 + x5'·x2.
+        let mut m = BddManager::with_vars(6);
+        let x1 = m.var(m.var_id(0));
+        let x2 = m.var(m.var_id(1));
+        let nx5 = m.nvar(m.var_id(4));
+        let or12 = m.or(x1, x2);
+        let f = m.and(nx5, or12);
+        let cover = m.to_sop(f);
+        assert_cover_equivalent(&mut m, f, &cover);
+        assert_eq!(cover.len(), 2);
+        for cube in &cover {
+            assert_eq!(cube.len(), 2);
+        }
+    }
+}

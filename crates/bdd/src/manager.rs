@@ -1,0 +1,642 @@
+//! The [`BddManager`]: node arena, unique tables, computed cache, garbage
+//! collection and variable bookkeeping.
+//!
+//! The manager stores every node of every BDD it ever created in a single
+//! arena. Nodes are identified by [`Ref`] handles (plain `u32` indices), so
+//! handles are `Copy` and comparing two handles for equality decides function
+//! equality in O(1) (the manager maintains strong canonicity).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// Two `Ref`s obtained from the *same* manager denote the same boolean
+/// function if and only if they are equal. A `Ref` is only meaningful
+/// together with the manager that produced it.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.add_var();
+/// let a = m.var(x);
+/// let b = m.var(x);
+/// assert_eq!(a, b); // canonicity: same function, same handle
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(pub(crate) u32);
+
+impl Ref {
+    /// The raw index of the node inside the manager's arena.
+    ///
+    /// Only useful for diagnostics (e.g. DOT export labels).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "FALSE"),
+            1 => write!(f, "TRUE"),
+            i => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// Identifier of a boolean variable managed by a [`BddManager`].
+///
+/// Variable identity is stable across dynamic reordering: reordering changes
+/// the *level* (position in the order) of a variable, never its `VarId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The numeric id of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Index of the constant `FALSE` node.
+pub(crate) const FALSE: u32 = 0;
+/// Index of the constant `TRUE` node.
+pub(crate) const TRUE: u32 = 1;
+/// Pseudo-level used for terminal nodes: below every variable level.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// An internal BDD node. `level` is the position of the node's variable in
+/// the current variable order (low levels are close to the root).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) low: u32,
+    pub(crate) high: u32,
+    /// Number of internal parent edges pointing at this node. External
+    /// references are tracked separately through [`BddManager::protect`].
+    pub(crate) refcount: u32,
+    /// Mark bit used by mark-and-sweep garbage collection.
+    pub(crate) marked: bool,
+    /// Whether the slot is free (on the free list).
+    pub(crate) free: bool,
+}
+
+/// Operation tags used as part of computed-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Op {
+    And,
+    Xor,
+    Not,
+    Ite,
+    Exists,
+    AndExists,
+    Constrain,
+}
+
+/// Statistics snapshot of a [`BddManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Number of live (allocated, non-free) nodes, including terminals.
+    pub live_nodes: usize,
+    /// Total arena capacity (live + freed slots).
+    pub arena_size: usize,
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Number of garbage collections performed so far.
+    pub gc_runs: usize,
+    /// Cumulative number of nodes reclaimed by garbage collection.
+    pub gc_reclaimed: usize,
+    /// Peak number of live nodes observed at garbage-collection points.
+    pub peak_live_nodes: usize,
+}
+
+/// A shared-storage manager for Reduced Ordered Binary Decision Diagrams.
+///
+/// The manager owns the node arena, the per-level unique tables enforcing
+/// canonicity, and the computed cache used to memoise boolean operations.
+/// All operations producing new BDDs take `&mut self`.
+///
+/// # Garbage collection and protection
+///
+/// BDD nodes are never freed implicitly. Call [`BddManager::protect`] on the
+/// roots that must survive, then [`BddManager::collect_garbage`] (or
+/// [`sift`](crate::reorder) which garbage-collects internally). Any
+/// unprotected `Ref` may dangle after a collection or a reordering.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_bdd::BddManager;
+/// let mut m = BddManager::with_vars(2);
+/// let (x0, x1) = (m.var_id(0), m.var_id(1));
+/// let a = m.var(x0);
+/// let b = m.var(x1);
+/// let f = m.and(a, b);
+/// assert!(m.eval(f, |v| v == x0 || v == x1));
+/// assert!(!m.eval(f, |v| v == x0));
+/// ```
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    /// Per-level unique tables: `(low, high) -> node index`.
+    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
+    /// Computed cache for memoised operations.
+    pub(crate) cache: HashMap<(Op, u32, u32, u32), u32>,
+    /// `var_at_level[level] = var`.
+    pub(crate) var_at_level: Vec<u32>,
+    /// `level_of_var[var] = level`.
+    pub(crate) level_of_var: Vec<u32>,
+    /// Free arena slots available for reuse.
+    pub(crate) free_list: Vec<u32>,
+    /// Externally protected roots with protection counts.
+    pub(crate) protected: HashMap<u32, usize>,
+    pub(crate) gc_runs: usize,
+    pub(crate) gc_reclaimed: usize,
+    pub(crate) peak_live: usize,
+    /// Threshold of live nodes above which callers are advised to collect.
+    pub(crate) gc_hint_threshold: usize,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars())
+            .field("live_nodes", &self.live_node_count())
+            .field("arena_size", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        let mut m = BddManager {
+            nodes: Vec::with_capacity(1024),
+            unique: Vec::new(),
+            cache: HashMap::new(),
+            var_at_level: Vec::new(),
+            level_of_var: Vec::new(),
+            free_list: Vec::new(),
+            protected: HashMap::new(),
+            gc_runs: 0,
+            gc_reclaimed: 0,
+            peak_live: 2,
+            gc_hint_threshold: 1 << 20,
+        };
+        // Terminal nodes FALSE (0) and TRUE (1).
+        m.nodes.push(Node {
+            level: TERMINAL_LEVEL,
+            low: FALSE,
+            high: FALSE,
+            refcount: 0,
+            marked: false,
+            free: false,
+        });
+        m.nodes.push(Node {
+            level: TERMINAL_LEVEL,
+            low: TRUE,
+            high: TRUE,
+            refcount: 0,
+            marked: false,
+            free: false,
+        });
+        m
+    }
+
+    /// Creates a manager with `n` variables already declared
+    /// (`VarId(0) .. VarId(n-1)`, initially ordered by id).
+    pub fn with_vars(n: usize) -> Self {
+        let mut m = Self::new();
+        for _ in 0..n {
+            m.add_var();
+        }
+        m
+    }
+
+    /// Declares a new variable, placed at the bottom of the current order.
+    pub fn add_var(&mut self) -> VarId {
+        let var = self.level_of_var.len() as u32;
+        let level = self.var_at_level.len() as u32;
+        self.var_at_level.push(var);
+        self.level_of_var.push(level);
+        self.unique.push(HashMap::new());
+        VarId(var)
+    }
+
+    /// Returns the `i`-th variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn var_id(&self, i: usize) -> VarId {
+        assert!(i < self.level_of_var.len(), "variable index out of range");
+        VarId(i as u32)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.level_of_var.len()
+    }
+
+    /// All declared variables in id order.
+    pub fn variables(&self) -> Vec<VarId> {
+        (0..self.level_of_var.len() as u32).map(VarId).collect()
+    }
+
+    /// The constant `FALSE` function.
+    pub fn zero(&self) -> Ref {
+        Ref(FALSE)
+    }
+
+    /// The constant `TRUE` function.
+    pub fn one(&self) -> Ref {
+        Ref(TRUE)
+    }
+
+    /// Returns `true` if `f` is one of the two constant functions.
+    pub fn is_constant(&self, f: Ref) -> bool {
+        f.0 == FALSE || f.0 == TRUE
+    }
+
+    /// The positive literal of variable `v` as a BDD.
+    pub fn var(&mut self, v: VarId) -> Ref {
+        let level = self.level_of(v);
+        let idx = self.mk(level, FALSE, TRUE);
+        Ref(idx)
+    }
+
+    /// The negative literal of variable `v` as a BDD.
+    pub fn nvar(&mut self, v: VarId) -> Ref {
+        let level = self.level_of(v);
+        let idx = self.mk(level, TRUE, FALSE);
+        Ref(idx)
+    }
+
+    /// Current level (position in the variable order) of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not declared by this manager.
+    pub fn level_of(&self, v: VarId) -> u32 {
+        self.level_of_var[v.0 as usize]
+    }
+
+    /// Variable sitting at level `level` of the current order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn var_at(&self, level: u32) -> VarId {
+        VarId(self.var_at_level[level as usize])
+    }
+
+    /// The current variable order, from the top level downwards.
+    pub fn current_order(&self) -> Vec<VarId> {
+        self.var_at_level.iter().map(|&v| VarId(v)).collect()
+    }
+
+    /// Variable labelling the root node of `f`, or `None` for constants.
+    pub fn root_var(&self, f: Ref) -> Option<VarId> {
+        let n = &self.nodes[f.0 as usize];
+        if n.level == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(self.var_at(n.level))
+        }
+    }
+
+    /// Low (else) child of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn low(&self, f: Ref) -> Ref {
+        assert!(!self.is_constant(f), "constants have no children");
+        Ref(self.nodes[f.0 as usize].low)
+    }
+
+    /// High (then) child of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a constant.
+    pub fn high(&self, f: Ref) -> Ref {
+        assert!(!self.is_constant(f), "constants have no children");
+        Ref(self.nodes[f.0 as usize].high)
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, idx: u32) -> u32 {
+        self.nodes[idx as usize].level
+    }
+
+    /// Find-or-create a node `(level, low, high)`, applying the reduction
+    /// rule (redundant test elimination).
+    pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        debug_assert!(level != TERMINAL_LEVEL);
+        debug_assert!(
+            self.level(low) > level && self.level(high) > level,
+            "children must sit strictly below the new node"
+        );
+        if low == high {
+            return low;
+        }
+        if let Some(&idx) = self.unique[level as usize].get(&(low, high)) {
+            return idx;
+        }
+        let idx = self.alloc(level, low, high);
+        self.unique[level as usize].insert((low, high), idx);
+        idx
+    }
+
+    fn alloc(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        self.nodes[low as usize].refcount = self.nodes[low as usize].refcount.saturating_add(1);
+        self.nodes[high as usize].refcount = self.nodes[high as usize].refcount.saturating_add(1);
+        if let Some(idx) = self.free_list.pop() {
+            self.nodes[idx as usize] = Node {
+                level,
+                low,
+                high,
+                refcount: 0,
+                marked: false,
+                free: false,
+            };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                level,
+                low,
+                high,
+                refcount: 0,
+                marked: false,
+                free: false,
+            });
+            idx
+        }
+    }
+
+    /// Protects `f` (and implicitly every node reachable from it) from
+    /// garbage collection and reordering invalidation. Protection is
+    /// counted: call [`BddManager::unprotect`] the same number of times.
+    pub fn protect(&mut self, f: Ref) {
+        *self.protected.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Releases one protection previously acquired with [`BddManager::protect`].
+    ///
+    /// Unprotecting a node that is not protected is a no-op.
+    pub fn unprotect(&mut self, f: Ref) {
+        if let Some(count) = self.protected.get_mut(&f.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.protected.remove(&f.0);
+            }
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn live_node_count(&self) -> usize {
+        self.nodes.len() - self.free_list.len()
+    }
+
+    /// Whether the number of live nodes has crossed the advisory GC threshold.
+    pub fn should_collect(&self) -> bool {
+        self.live_node_count() >= self.gc_hint_threshold
+    }
+
+    /// Sets the advisory GC threshold used by [`BddManager::should_collect`].
+    pub fn set_gc_threshold(&mut self, nodes: usize) {
+        self.gc_hint_threshold = nodes.max(16);
+    }
+
+    /// Returns a snapshot of manager statistics.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            live_nodes: self.live_node_count(),
+            arena_size: self.nodes.len(),
+            num_vars: self.num_vars(),
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
+            peak_live_nodes: self.peak_live.max(self.live_node_count()),
+        }
+    }
+
+    /// Mark-and-sweep garbage collection.
+    ///
+    /// Every node not reachable from a [protected](BddManager::protect) root
+    /// is reclaimed. The computed cache is cleared. Unprotected `Ref`s held by
+    /// the caller are invalidated.
+    pub fn collect_garbage(&mut self) {
+        self.peak_live = self.peak_live.max(self.live_node_count());
+        // Mark phase.
+        let roots: Vec<u32> = self.protected.keys().copied().collect();
+        for r in roots {
+            self.mark(r);
+        }
+        self.nodes[FALSE as usize].marked = true;
+        self.nodes[TRUE as usize].marked = true;
+        // Sweep phase.
+        let mut reclaimed = 0usize;
+        for level_table in &mut self.unique {
+            level_table.clear();
+        }
+        self.free_list.clear();
+        for idx in 0..self.nodes.len() as u32 {
+            let (marked, free) = {
+                let n = &self.nodes[idx as usize];
+                (n.marked, n.free)
+            };
+            if free {
+                self.free_list.push(idx);
+                continue;
+            }
+            if marked {
+                let n = &mut self.nodes[idx as usize];
+                n.marked = false;
+                n.refcount = 0;
+            } else if idx != FALSE && idx != TRUE {
+                let n = &mut self.nodes[idx as usize];
+                n.free = true;
+                n.refcount = 0;
+                self.free_list.push(idx);
+                reclaimed += 1;
+            }
+        }
+        // Rebuild unique tables and refcounts from surviving nodes.
+        for idx in 2..self.nodes.len() as u32 {
+            let n = self.nodes[idx as usize];
+            if n.free {
+                continue;
+            }
+            self.unique[n.level as usize].insert((n.low, n.high), idx);
+            self.nodes[n.low as usize].refcount += 1;
+            self.nodes[n.high as usize].refcount += 1;
+        }
+        self.cache.clear();
+        self.gc_runs += 1;
+        self.gc_reclaimed += reclaimed;
+    }
+
+    fn mark(&mut self, root: u32) {
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let n = &mut self.nodes[idx as usize];
+            if n.marked || n.free {
+                continue;
+            }
+            n.marked = true;
+            if n.level != TERMINAL_LEVEL {
+                stack.push(n.low);
+                stack.push(n.high);
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_get(&self, key: (Op, u32, u32, u32)) -> Option<u32> {
+        self.cache.get(&key).copied()
+    }
+
+    #[inline]
+    pub(crate) fn cache_put(&mut self, key: (Op, u32, u32, u32), value: u32) {
+        self.cache.insert(key, value);
+    }
+
+    /// Clears the computed cache (normally only needed by reordering).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Checks internal invariants: canonicity (no duplicate or redundant
+    /// nodes) and order consistency (children below parents). Intended for
+    /// tests; cost is linear in the arena size.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        for idx in 2..self.nodes.len() as u32 {
+            let n = &self.nodes[idx as usize];
+            if n.free {
+                continue;
+            }
+            if n.low == n.high {
+                return Err(format!("node {idx} is redundant (low == high)"));
+            }
+            if self.level(n.low) <= n.level || self.level(n.high) <= n.level {
+                return Err(format!("node {idx} violates the variable order"));
+            }
+            if self.nodes[n.low as usize].free || self.nodes[n.high as usize].free {
+                return Err(format!("node {idx} points at a freed node"));
+            }
+            if let Some(&other) = seen.get(&(n.level, n.low, n.high)) {
+                return Err(format!("nodes {other} and {idx} are duplicates"));
+            }
+            seen.insert((n.level, n.low, n.high), idx);
+            match self.unique[n.level as usize].get(&(n.low, n.high)) {
+                Some(&u) if u == idx => {}
+                _ => return Err(format!("node {idx} missing from its unique table")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_distinct() {
+        let m = BddManager::new();
+        assert_ne!(m.zero(), m.one());
+        assert!(m.is_constant(m.zero()));
+        assert!(m.is_constant(m.one()));
+    }
+
+    #[test]
+    fn var_nodes_are_canonical() {
+        let mut m = BddManager::with_vars(3);
+        let v1 = m.var_id(1);
+        let a = m.var(v1);
+        let b = m.var(v1);
+        assert_eq!(a, b);
+        assert_eq!(m.root_var(a), Some(v1));
+        assert_eq!(m.low(a), m.zero());
+        assert_eq!(m.high(a), m.one());
+    }
+
+    #[test]
+    fn mk_applies_reduction_rule() {
+        let mut m = BddManager::with_vars(1);
+        let idx = m.mk(0, TRUE, TRUE);
+        assert_eq!(idx, TRUE);
+    }
+
+    #[test]
+    fn gc_reclaims_unprotected_nodes() {
+        let mut m = BddManager::with_vars(4);
+        let vars: Vec<_> = m.variables();
+        let mut f = m.one();
+        for &v in &vars {
+            let lit = m.var(v);
+            f = m.and(f, lit);
+        }
+        let before = m.live_node_count();
+        assert!(before > 2);
+        m.protect(f);
+        m.collect_garbage();
+        assert!(m.live_node_count() <= before);
+        // f still evaluates correctly after GC.
+        assert!(m.eval(f, |_| true));
+        assert!(!m.eval(f, |v| v.0 != 0));
+        m.unprotect(f);
+        m.collect_garbage();
+        // Only terminals remain.
+        assert_eq!(m.live_node_count(), 2);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn stats_reports_progress() {
+        let mut m = BddManager::with_vars(2);
+        let x = m.var_id(0);
+        let y = m.var_id(1);
+        let a = m.var(x);
+        let b = m.var(y);
+        let f = m.or(a, b);
+        m.protect(f);
+        m.collect_garbage();
+        let s = m.stats();
+        assert_eq!(s.num_vars, 2);
+        assert!(s.live_nodes >= 4);
+        assert_eq!(s.gc_runs, 1);
+    }
+
+    #[test]
+    fn protection_is_counted() {
+        let mut m = BddManager::with_vars(2);
+        let x = m.var_id(0);
+        let f = m.var(x);
+        m.protect(f);
+        m.protect(f);
+        m.unprotect(f);
+        m.collect_garbage();
+        assert_eq!(m.root_var(f), Some(x));
+        m.unprotect(f);
+        m.collect_garbage();
+        assert_eq!(m.live_node_count(), 2);
+    }
+}

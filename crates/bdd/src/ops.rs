@@ -1,0 +1,674 @@
+//! Boolean operations on BDDs: the Shannon-expansion `apply` family,
+//! if-then-else, quantification, the relational product and variable
+//! renaming.
+
+use crate::manager::{BddManager, Op, Ref, VarId, FALSE, TERMINAL_LEVEL, TRUE};
+use std::collections::HashMap;
+
+impl BddManager {
+    /// Logical negation `¬f`.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        Ref(self.not_rec(f.0))
+    }
+
+    fn not_rec(&mut self, f: u32) -> u32 {
+        match f {
+            FALSE => TRUE,
+            TRUE => FALSE,
+            _ => {
+                let key = (Op::Not, f, 0, 0);
+                if let Some(r) = self.cache_get(key) {
+                    return r;
+                }
+                let n = self.nodes[f as usize];
+                let low = self.not_rec(n.low);
+                let high = self.not_rec(n.high);
+                let r = self.mk(n.level, low, high);
+                self.cache_put(key, r);
+                r
+            }
+        }
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        Ref(self.and_rec(f.0, g.0))
+    }
+
+    fn and_rec(&mut self, f: u32, g: u32) -> u32 {
+        // Terminal cases.
+        if f == g {
+            return f;
+        }
+        if f == FALSE || g == FALSE {
+            return FALSE;
+        }
+        if f == TRUE {
+            return g;
+        }
+        if g == TRUE {
+            return f;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        let key = (Op::And, a, b, 0);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
+        let low = self.and_rec(fl, gl);
+        let high = self.and_rec(fh, gh);
+        let r = self.mk(level, low, high);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        // De Morgan over the conjunction keeps a single binary cache hot.
+        let nf = self.not(f);
+        let ng = self.not(g);
+        let n = self.and(nf, ng);
+        self.not(n)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        Ref(self.xor_rec(f.0, g.0))
+    }
+
+    fn xor_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g {
+            return FALSE;
+        }
+        if f == FALSE {
+            return g;
+        }
+        if g == FALSE {
+            return f;
+        }
+        if f == TRUE {
+            return self.not_rec(g);
+        }
+        if g == TRUE {
+            return self.not_rec(f);
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        let key = (Op::Xor, a, b, 0);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
+        let low = self.xor_rec(fl, gl);
+        let high = self.xor_rec(fh, gh);
+        let r = self.mk(level, low, high);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Equivalence `f ≡ g` (XNOR).
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f ⇒ g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        Ref(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if g == FALSE && h == TRUE {
+            return self.not_rec(f);
+        }
+        let key = (Op::Ite, f, g, h);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let lh = self.level(h);
+        let level = lf.min(lg).min(lh);
+        let (fl, fh) = self.cofactors_at(f, level);
+        let (gl, gh) = self.cofactors_at(g, level);
+        let (hl, hh) = self.cofactors_at(h, level);
+        let low = self.ite_rec(fl, gl, hl);
+        let high = self.ite_rec(fh, gh, hh);
+        let r = self.mk(level, low, high);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Conjunction of many operands (`TRUE` for an empty slice).
+    pub fn and_many(&mut self, fs: &[Ref]) -> Ref {
+        let mut acc = self.one();
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc == self.zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many operands (`FALSE` for an empty slice).
+    pub fn or_many(&mut self, fs: &[Ref]) -> Ref {
+        let mut acc = self.zero();
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc == self.one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The conjunction of literals described by `lits`
+    /// (a *cube*; `TRUE` for an empty slice).
+    pub fn cube(&mut self, lits: &[(VarId, bool)]) -> Ref {
+        let mut acc = self.one();
+        // Build bottom-up for linear-size construction: sort by level, deepest first.
+        let mut sorted: Vec<(u32, bool)> = lits
+            .iter()
+            .map(|&(v, sign)| (self.level_of(v), sign))
+            .collect();
+        sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        for (level, sign) in sorted {
+            let idx = if sign {
+                self.mk(level, FALSE, acc.0)
+            } else {
+                self.mk(level, acc.0, FALSE)
+            };
+            acc = Ref(idx);
+        }
+        acc
+    }
+
+    /// Positive cube over a set of variables (used as a quantification set).
+    pub fn var_cube(&mut self, vars: &[VarId]) -> Ref {
+        let lits: Vec<(VarId, bool)> = vars.iter().map(|&v| (v, true)).collect();
+        self.cube(&lits)
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
+        if vars.is_empty() {
+            return f;
+        }
+        let cube = self.var_cube(vars);
+        self.exists_cube(f, cube)
+    }
+
+    /// Existential quantification where the variable set is given as a
+    /// positive cube (see [`BddManager::var_cube`]).
+    pub fn exists_cube(&mut self, f: Ref, cube: Ref) -> Ref {
+        Ref(self.exists_rec(f.0, cube.0))
+    }
+
+    fn exists_rec(&mut self, f: u32, cube: u32) -> u32 {
+        if f == FALSE || f == TRUE || cube == TRUE {
+            return f;
+        }
+        let key = (Op::Exists, f, cube, 0);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let fl = self.level(f);
+        // Skip cube variables above the root of f.
+        let mut c = cube;
+        while self.level(c) < fl {
+            c = self.nodes[c as usize].high;
+        }
+        if c == TRUE {
+            self.cache_put(key, f);
+            return f;
+        }
+        let cl = self.level(c);
+        let n = self.nodes[f as usize];
+        let r = if fl == cl {
+            let low = self.exists_rec(n.low, self.nodes[c as usize].high);
+            let high = self.exists_rec(n.high, self.nodes[c as usize].high);
+            self.or_idx(low, high)
+        } else {
+            // fl < cl: keep the variable.
+            let low = self.exists_rec(n.low, c);
+            let high = self.exists_rec(n.high, c);
+            self.mk(fl, low, high)
+        };
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Ref, vars: &[VarId]) -> Ref {
+        if vars.is_empty() {
+            return f;
+        }
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// The relational product `∃ vars. (f ∧ g)` computed in one pass, the
+    /// workhorse of symbolic image computation.
+    pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[VarId]) -> Ref {
+        let cube = self.var_cube(vars);
+        self.and_exists_cube(f, g, cube)
+    }
+
+    /// [`BddManager::and_exists`] with the quantification set given as a cube.
+    pub fn and_exists_cube(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
+        Ref(self.and_exists_rec(f.0, g.0, cube.0))
+    }
+
+    fn and_exists_rec(&mut self, f: u32, g: u32, cube: u32) -> u32 {
+        if f == FALSE || g == FALSE {
+            return FALSE;
+        }
+        if cube == TRUE {
+            return self.and_rec(f, g);
+        }
+        if f == TRUE && g == TRUE {
+            return TRUE;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        let key = (Op::AndExists, a, b, cube);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let level = lf.min(lg);
+        // Skip cube variables above the top of both operands.
+        let mut c = cube;
+        while self.level(c) < level {
+            c = self.nodes[c as usize].high;
+        }
+        if c == TRUE {
+            let r = self.and_rec(f, g);
+            self.cache_put(key, r);
+            return r;
+        }
+        let cl = self.level(c);
+        let (fl_, fh_) = self.cofactors_at(f, level);
+        let (gl_, gh_) = self.cofactors_at(g, level);
+        let r = if level == cl {
+            let next_cube = self.nodes[c as usize].high;
+            let low = self.and_exists_rec(fl_, gl_, next_cube);
+            if low == TRUE {
+                TRUE
+            } else {
+                let high = self.and_exists_rec(fh_, gh_, next_cube);
+                self.or_idx(low, high)
+            }
+        } else {
+            let low = self.and_exists_rec(fl_, gl_, c);
+            let high = self.and_exists_rec(fh_, gh_, c);
+            self.mk(level, low, high)
+        };
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Cofactor (restriction) of `f` with variable `v` fixed to `value`.
+    pub fn restrict(&mut self, f: Ref, v: VarId, value: bool) -> Ref {
+        let level = self.level_of(v);
+        let mut memo = HashMap::new();
+        Ref(self.restrict_rec(f.0, level, value, &mut memo))
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        level: u32,
+        value: bool,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        let fl = self.level(f);
+        if fl > level || fl == TERMINAL_LEVEL {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let r = if fl == level {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let low = self.restrict_rec(n.low, level, value, memo);
+            let high = self.restrict_rec(n.high, level, value, memo);
+            self.mk(fl, low, high)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Simultaneously fixes several variables to constants.
+    pub fn restrict_many(&mut self, f: Ref, assignment: &[(VarId, bool)]) -> Ref {
+        let mut acc = f;
+        for &(v, value) in assignment {
+            acc = self.restrict(acc, v, value);
+        }
+        acc
+    }
+
+    /// Renames variables of `f` according to `map` (pairs `(from, to)`).
+    ///
+    /// The mapping must be *order-compatible*: the relative order (by level)
+    /// of the `to` variables must match the relative order of the `from`
+    /// variables, and no `to` variable may cross an unmapped variable in the
+    /// support of `f`. This holds in particular for the interleaved
+    /// current/next-state orders used by symbolic reachability.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the produced diagram would violate the
+    /// variable order.
+    pub fn rename(&mut self, f: Ref, map: &[(VarId, VarId)]) -> Ref {
+        if map.is_empty() {
+            return f;
+        }
+        let mut level_map: HashMap<u32, u32> = HashMap::new();
+        for &(from, to) in map {
+            level_map.insert(self.level_of(from), self.level_of(to));
+        }
+        let mut memo = HashMap::new();
+        Ref(self.rename_rec(f.0, &level_map, &mut memo))
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: u32,
+        level_map: &HashMap<u32, u32>,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        if f == FALSE || f == TRUE {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let low = self.rename_rec(n.low, level_map, memo);
+        let high = self.rename_rec(n.high, level_map, memo);
+        let new_level = *level_map.get(&n.level).unwrap_or(&n.level);
+        let r = self.mk(new_level, low, high);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Composes `f` with `g` substituted for variable `v`: `f[v := g]`.
+    pub fn compose(&mut self, f: Ref, v: VarId, g: Ref) -> Ref {
+        let f1 = self.restrict(f, v, true);
+        let f0 = self.restrict(f, v, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Generalized cofactor (`constrain`): simplifies `f` assuming `c` holds.
+    ///
+    /// The result agrees with `f` on every assignment satisfying `c` and is
+    /// typically (not always) smaller than `f`.
+    pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
+        Ref(self.constrain_rec(f.0, c.0))
+    }
+
+    fn constrain_rec(&mut self, f: u32, c: u32) -> u32 {
+        if c == TRUE || f == FALSE || f == TRUE {
+            return f;
+        }
+        if c == FALSE {
+            return FALSE;
+        }
+        if f == c {
+            return TRUE;
+        }
+        let key = (Op::Constrain, f, c, 0);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lc = self.level(c);
+        let level = lf.min(lc);
+        let (cl, ch) = self.cofactors_at(c, level);
+        let r = if cl == FALSE {
+            let (_, fh) = self.cofactors_at(f, level);
+            self.constrain_rec(fh, ch)
+        } else if ch == FALSE {
+            let (fl_, _) = self.cofactors_at(f, level);
+            self.constrain_rec(fl_, cl)
+        } else {
+            let (fl_, fh) = self.cofactors_at(f, level);
+            let low = self.constrain_rec(fl_, cl);
+            let high = self.constrain_rec(fh, ch);
+            self.mk(level, low, high)
+        };
+        self.cache_put(key, r);
+        r
+    }
+
+    #[inline]
+    fn or_idx(&mut self, f: u32, g: u32) -> u32 {
+        let nf = self.not_rec(f);
+        let ng = self.not_rec(g);
+        let n = self.and_rec(nf, ng);
+        self.not_rec(n)
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level`
+    /// (identity if `f`'s root is below `level`).
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: u32, level: u32) -> (u32, u32) {
+        let n = &self.nodes[f as usize];
+        if n.level == level {
+            (n.low, n.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    #[inline]
+    fn cofactor_pair(&self, f: u32, g: u32) -> (u32, u32, u32, u32, u32) {
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let level = lf.min(lg);
+        let (fl, fh) = self.cofactors_at(f, level);
+        let (gl, gh) = self.cofactors_at(g, level);
+        (level, fl, fh, gl, gh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Vec<VarId>) {
+        let m = BddManager::with_vars(4);
+        let vars = m.variables();
+        (m, vars)
+    }
+
+    /// Exhaustively compares a BDD against a reference function over 4 vars.
+    fn assert_equals<F: Fn(&[bool]) -> bool>(m: &BddManager, f: Ref, reference: F) {
+        for bits in 0u32..16 {
+            let assignment: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let expected = reference(&assignment);
+            let got = m.eval(f, |v| assignment[v.index()]);
+            assert_eq!(got, expected, "mismatch on assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn basic_connectives() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let and = m.and(a, b);
+        assert_equals(&m, and, |x| x[0] && x[1]);
+        let or = m.or(a, c);
+        assert_equals(&m, or, |x| x[0] || x[2]);
+        let xor = m.xor(a, b);
+        assert_equals(&m, xor, |x| x[0] ^ x[1]);
+        let iff = m.iff(a, b);
+        assert_equals(&m, iff, |x| x[0] == x[1]);
+        let imp = m.implies(a, b);
+        assert_equals(&m, imp, |x| !x[0] || x[1]);
+        let diff = m.diff(a, b);
+        assert_equals(&m, diff, |x| x[0] && !x[1]);
+        let na = m.not(a);
+        assert_equals(&m, na, |x| !x[0]);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.ite(a, b, c);
+        assert_equals(&m, f, |x| if x[0] { x[1] } else { x[2] });
+    }
+
+    #[test]
+    fn cube_and_many() {
+        let (mut m, v) = setup();
+        let cube = m.cube(&[(v[0], true), (v[2], false), (v[3], true)]);
+        assert_equals(&m, cube, |x| x[0] && !x[2] && x[3]);
+        let lits: Vec<Ref> = vec![m.var(v[0]), m.var(v[1]), m.var(v[3])];
+        let conj = m.and_many(&lits);
+        assert_equals(&m, conj, |x| x[0] && x[1] && x[3]);
+        let disj = m.or_many(&lits);
+        assert_equals(&m, disj, |x| x[0] || x[1] || x[3]);
+        assert_eq!(m.and_many(&[]), m.one());
+        assert_eq!(m.or_many(&[]), m.zero());
+    }
+
+    #[test]
+    fn quantification() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b);
+        // ∃ b. a ∧ b  =  a
+        let e = m.exists(f, &[v[1]]);
+        assert_eq!(e, a);
+        // ∀ b. a ∧ b  =  false
+        let u = m.forall(f, &[v[1]]);
+        assert_eq!(u, m.zero());
+        // ∀ b. a ∨ b  =  a
+        let g = m.or(a, b);
+        let u2 = m.forall(g, &[v[1]]);
+        assert_eq!(u2, a);
+        // quantifying a variable not in the support is the identity
+        let e2 = m.exists(f, &[v[3]]);
+        assert_eq!(e2, f);
+    }
+
+    #[test]
+    fn and_exists_equals_two_steps() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.or(a, b);
+        let g = m.iff(b, c);
+        let conj = m.and(f, g);
+        let expect = m.exists(conj, &[v[1]]);
+        let got = m.and_exists(f, g, &[v[1]]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.ite(a, b, c);
+        let f1 = m.restrict(f, v[0], true);
+        assert_eq!(f1, b);
+        let f0 = m.restrict(f, v[0], false);
+        assert_eq!(f0, c);
+        // compose f[b := c] = ite(a, c, c) = c
+        let comp = m.compose(f, v[1], c);
+        assert_eq!(comp, c);
+        let fixed = m.restrict_many(f, &[(v[0], true), (v[1], false)]);
+        assert_eq!(fixed, m.zero());
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b);
+        // rename {v0 -> v2, v1 -> v3} keeps relative order.
+        let g = m.rename(f, &[(v[0], v[2]), (v[1], v[3])]);
+        assert_equals(&m, g, |x| x[2] && x[3]);
+        assert_eq!(m.rename(f, &[]), f);
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.xor(a, b);
+        let care = m.and(a, c);
+        let g = m.constrain(f, care);
+        // On assignments satisfying `care`, f and g agree.
+        for bits in 0u32..16 {
+            let assignment: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            if m.eval(care, |v| assignment[v.index()]) {
+                assert_eq!(
+                    m.eval(f, |v| assignment[v.index()]),
+                    m.eval(g, |v| assignment[v.index()])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_canonical() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.or(a, b);
+        let g = m.not(f);
+        let h = m.and(g, f);
+        assert_eq!(h, m.zero());
+        let na = m.not(a);
+        let nb = m.not(b);
+        let g2 = m.and(na, nb);
+        assert_eq!(g, g2);
+        assert!(m.check_invariants().is_ok());
+    }
+}

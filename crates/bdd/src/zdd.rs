@@ -1,0 +1,556 @@
+//! Zero-suppressed decision diagrams (ZDDs).
+//!
+//! ZDDs represent *families of sets* compactly when the sets are sparse, the
+//! typical situation for one-variable-per-place Petri-net markings (Yoneda et
+//! al., FMCAD 1996). The reproduction uses them as the baseline the dense
+//! BDD encoding is compared against in Table 4 of the paper.
+//!
+//! The reduction rule differs from BDDs: a node whose `high` (element
+//! present) child is the empty family is removed, while nodes with equal
+//! children are kept.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a ZDD node owned by a [`ZddManager`].
+///
+/// Two handles from the same manager are equal iff they denote the same
+/// family of sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZddRef(u32);
+
+impl ZddRef {
+    /// Raw arena index, for diagnostics.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ZddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "∅"),
+            1 => write!(f, "{{∅}}"),
+            i => write!(f, "z@{i}"),
+        }
+    }
+}
+
+const EMPTY: u32 = 0;
+const BASE: u32 = 1;
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct ZNode {
+    level: u32,
+    low: u32,
+    high: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ZOp {
+    Union,
+    Intersect,
+    Diff,
+    Subset0,
+    Subset1,
+    Change,
+}
+
+/// Manager of zero-suppressed decision diagrams over a fixed set of
+/// elements `0 .. num_elements`.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_bdd::ZddManager;
+/// let mut z = ZddManager::new(3);
+/// let a = z.family_from_sets(&[vec![0, 1]]);
+/// let b = z.family_from_sets(&[vec![2]]);
+/// let u = z.union(a, b);
+/// assert_eq!(z.count(u), 2.0);
+/// assert!(z.contains(u, &[0, 1]));
+/// assert!(z.contains(u, &[2]));
+/// assert!(!z.contains(u, &[0]));
+/// ```
+pub struct ZddManager {
+    nodes: Vec<ZNode>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    cache: HashMap<(ZOp, u32, u32), u32>,
+    num_elements: usize,
+}
+
+impl fmt::Debug for ZddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZddManager")
+            .field("num_elements", &self.num_elements)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl ZddManager {
+    /// Creates a manager for families over elements `0 .. num_elements`.
+    /// The element index doubles as the (fixed) level in the diagrams.
+    pub fn new(num_elements: usize) -> Self {
+        let mut nodes = Vec::with_capacity(1024);
+        nodes.push(ZNode {
+            level: TERMINAL_LEVEL,
+            low: EMPTY,
+            high: EMPTY,
+        });
+        nodes.push(ZNode {
+            level: TERMINAL_LEVEL,
+            low: BASE,
+            high: BASE,
+        });
+        ZddManager {
+            nodes,
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+            num_elements,
+        }
+    }
+
+    /// Number of elements the families range over.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// The empty family `∅` (no sets at all).
+    pub fn empty(&self) -> ZddRef {
+        ZddRef(EMPTY)
+    }
+
+    /// The unit family `{∅}` containing only the empty set.
+    pub fn base(&self) -> ZddRef {
+        ZddRef(BASE)
+    }
+
+    /// Total number of nodes currently allocated (terminals included).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        // Zero-suppression rule.
+        if high == EMPTY {
+            return low;
+        }
+        if let Some(&idx) = self.unique.get(&(level, low, high)) {
+            return idx;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(ZNode { level, low, high });
+        self.unique.insert((level, low, high), idx);
+        idx
+    }
+
+    #[inline]
+    fn level(&self, f: u32) -> u32 {
+        self.nodes[f as usize].level
+    }
+
+    /// The family containing exactly the given sets (each set is a list of
+    /// element indices; duplicates within a set are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element index is out of range.
+    pub fn family_from_sets(&mut self, sets: &[Vec<usize>]) -> ZddRef {
+        let mut acc = self.empty();
+        for set in sets {
+            let single = self.single_set(set);
+            acc = self.union(acc, single);
+        }
+        acc
+    }
+
+    /// The family containing exactly one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element index is out of range.
+    pub fn single_set(&mut self, set: &[usize]) -> ZddRef {
+        for &e in set {
+            assert!(e < self.num_elements, "element {e} out of range");
+        }
+        let mut elems: Vec<usize> = set.to_vec();
+        elems.sort_unstable();
+        elems.dedup();
+        // Build bottom-up (largest level nearest to the terminal).
+        let mut acc = BASE;
+        for &e in elems.iter().rev() {
+            acc = self.mk(e as u32, EMPTY, acc);
+        }
+        ZddRef(acc)
+    }
+
+    /// Union of two families.
+    pub fn union(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.union_rec(f.0, g.0))
+    }
+
+    fn union_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g || g == EMPTY {
+            return f;
+        }
+        if f == EMPTY {
+            return g;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache.get(&(ZOp::Union, a, b)) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let r = if lf < lg {
+            let n = self.nodes[f as usize];
+            let low = self.union_rec(n.low, g);
+            self.mk(lf, low, n.high)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            let low = self.union_rec(f, n.low);
+            self.mk(lg, low, n.high)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let low = self.union_rec(nf.low, ng.low);
+            let high = self.union_rec(nf.high, ng.high);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert((ZOp::Union, a, b), r);
+        r
+    }
+
+    /// Intersection of two families.
+    pub fn intersect(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.intersect_rec(f.0, g.0))
+    }
+
+    fn intersect_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == EMPTY || g == EMPTY {
+            return EMPTY;
+        }
+        if f == g {
+            return f;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache.get(&(ZOp::Intersect, a, b)) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let r = if lf < lg {
+            let n = self.nodes[f as usize];
+            self.intersect_rec(n.low, g)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            self.intersect_rec(f, n.low)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let low = self.intersect_rec(nf.low, ng.low);
+            let high = self.intersect_rec(nf.high, ng.high);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert((ZOp::Intersect, a, b), r);
+        r
+    }
+
+    /// Set difference `f \ g` of two families.
+    pub fn diff(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.diff_rec(f.0, g.0))
+    }
+
+    fn diff_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == EMPTY || f == g {
+            return EMPTY;
+        }
+        if g == EMPTY {
+            return f;
+        }
+        if let Some(&r) = self.cache.get(&(ZOp::Diff, f, g)) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let r = if lf < lg {
+            let n = self.nodes[f as usize];
+            let low = self.diff_rec(n.low, g);
+            self.mk(lf, low, n.high)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            self.diff_rec(f, n.low)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let low = self.diff_rec(nf.low, ng.low);
+            let high = self.diff_rec(nf.high, ng.high);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert((ZOp::Diff, f, g), r);
+        r
+    }
+
+    /// The sub-family of sets *not* containing `element`.
+    pub fn subset0(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        let e = element as u32;
+        ZddRef(self.subset0_rec(f.0, e))
+    }
+
+    fn subset0_rec(&mut self, f: u32, e: u32) -> u32 {
+        let lf = self.level(f);
+        if lf > e {
+            return f; // element cannot occur below this point
+        }
+        let key = (ZOp::Subset0, f, e);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let r = if lf == e {
+            n.low
+        } else {
+            let low = self.subset0_rec(n.low, e);
+            let high = self.subset0_rec(n.high, e);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// The sets containing `element`, with `element` removed from each.
+    pub fn subset1(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        let e = element as u32;
+        ZddRef(self.subset1_rec(f.0, e))
+    }
+
+    fn subset1_rec(&mut self, f: u32, e: u32) -> u32 {
+        let lf = self.level(f);
+        if lf > e {
+            return EMPTY;
+        }
+        let key = (ZOp::Subset1, f, e);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let r = if lf == e {
+            n.high
+        } else {
+            let low = self.subset1_rec(n.low, e);
+            let high = self.subset1_rec(n.high, e);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Toggles the membership of `element` in every set of the family.
+    pub fn change(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        let e = element as u32;
+        ZddRef(self.change_rec(f.0, e))
+    }
+
+    fn change_rec(&mut self, f: u32, e: u32) -> u32 {
+        let lf = self.level(f);
+        let key = (ZOp::Change, f, e);
+        if lf > e {
+            // The element does not occur: add it to every set.
+            return self.mk(e, EMPTY, f);
+        }
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let r = if lf == e {
+            self.mk(e, n.high, n.low)
+        } else {
+            let low = self.change_rec(n.low, e);
+            let high = self.change_rec(n.high, e);
+            self.mk(lf, low, high)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Number of sets in the family (exact for counts below 2^53).
+    pub fn count(&self, f: ZddRef) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.count_rec(f.0, &mut memo)
+    }
+
+    fn count_rec(&self, f: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        match f {
+            EMPTY => 0.0,
+            BASE => 1.0,
+            _ => {
+                if let Some(&c) = memo.get(&f) {
+                    return c;
+                }
+                let n = self.nodes[f as usize];
+                let c = self.count_rec(n.low, memo) + self.count_rec(n.high, memo);
+                memo.insert(f, c);
+                c
+            }
+        }
+    }
+
+    /// Whether the family contains exactly the given set.
+    pub fn contains(&self, f: ZddRef, set: &[usize]) -> bool {
+        let mut elems: Vec<u32> = set.iter().map(|&e| e as u32).collect();
+        elems.sort_unstable();
+        elems.dedup();
+        let mut cur = f.0;
+        let mut i = 0;
+        loop {
+            if cur == EMPTY {
+                return false;
+            }
+            if cur == BASE {
+                return i == elems.len();
+            }
+            let n = self.nodes[cur as usize];
+            if i < elems.len() && elems[i] == n.level {
+                cur = n.high;
+                i += 1;
+            } else if i < elems.len() && elems[i] < n.level {
+                // A required element can no longer occur.
+                return false;
+            } else {
+                cur = n.low;
+            }
+        }
+    }
+
+    /// Number of nodes in the diagram rooted at `f` (terminals included).
+    pub fn node_count(&self, f: ZddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(idx) = stack.pop() {
+            if !seen.insert(idx) {
+                continue;
+            }
+            let n = self.nodes[idx as usize];
+            if n.level != TERMINAL_LEVEL {
+                stack.push(n.low);
+                stack.push(n.high);
+            }
+        }
+        seen.len()
+    }
+
+    /// Enumerates every set of the family (each as a sorted vector of
+    /// element indices). Intended for tests and small families.
+    pub fn sets(&self, f: ZddRef) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.sets_rec(f.0, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn sets_rec(&self, f: u32, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        match f {
+            EMPTY => {}
+            BASE => out.push(prefix.clone()),
+            _ => {
+                let n = self.nodes[f as usize];
+                self.sets_rec(n.low, prefix, out);
+                prefix.push(n.level as usize);
+                self.sets_rec(n.high, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_base() {
+        let z = ZddManager::new(4);
+        assert_eq!(z.count(z.empty()), 0.0);
+        assert_eq!(z.count(z.base()), 1.0);
+        assert!(z.contains(z.base(), &[]));
+        assert!(!z.contains(z.empty(), &[]));
+    }
+
+    #[test]
+    fn families_and_set_operations() {
+        let mut z = ZddManager::new(5);
+        let f = z.family_from_sets(&[vec![0, 2], vec![1], vec![0, 1, 3]]);
+        assert_eq!(z.count(f), 3.0);
+        assert!(z.contains(f, &[0, 2]));
+        assert!(z.contains(f, &[1]));
+        assert!(!z.contains(f, &[0]));
+
+        let g = z.family_from_sets(&[vec![1], vec![4]]);
+        let u = z.union(f, g);
+        assert_eq!(z.count(u), 4.0);
+        let i = z.intersect(f, g);
+        assert_eq!(z.sets(i), vec![vec![1]]);
+        let d = z.diff(f, g);
+        assert_eq!(z.count(d), 2.0);
+        assert!(!z.contains(d, &[1]));
+    }
+
+    #[test]
+    fn union_is_idempotent_and_commutative() {
+        let mut z = ZddManager::new(4);
+        let f = z.family_from_sets(&[vec![0], vec![1, 2]]);
+        let g = z.family_from_sets(&[vec![3], vec![0]]);
+        assert_eq!(z.union(f, f), f);
+        let fg = z.union(f, g);
+        let gf = z.union(g, f);
+        assert_eq!(fg, gf);
+    }
+
+    #[test]
+    fn subsets_partition_the_family() {
+        let mut z = ZddManager::new(4);
+        let f = z.family_from_sets(&[vec![0, 1], vec![1, 2], vec![3], vec![]]);
+        let with1 = z.subset1(f, 1);
+        let without1 = z.subset0(f, 1);
+        assert_eq!(z.sets(with1), vec![vec![0], vec![2]]);
+        assert_eq!(z.sets(without1), vec![vec![], vec![3]]);
+        assert_eq!(z.count(with1) + z.count(without1), z.count(f));
+    }
+
+    #[test]
+    fn change_toggles_membership() {
+        let mut z = ZddManager::new(4);
+        let f = z.family_from_sets(&[vec![0], vec![1]]);
+        let g = z.change(f, 0);
+        assert_eq!(z.sets(g), vec![vec![], vec![0, 1]]);
+        // Toggling twice is the identity.
+        let h = z.change(g, 0);
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn single_set_ignores_duplicates() {
+        let mut z = ZddManager::new(4);
+        let f = z.single_set(&[2, 0, 2]);
+        assert_eq!(z.sets(f), vec![vec![0, 2]]);
+        assert_eq!(z.node_count(f) > 2, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_element_panics() {
+        let mut z = ZddManager::new(2);
+        let _ = z.single_set(&[5]);
+    }
+
+    #[test]
+    fn canonical_handles() {
+        let mut z = ZddManager::new(4);
+        let f = z.family_from_sets(&[vec![0, 1], vec![2]]);
+        let g1 = z.family_from_sets(&[vec![2], vec![0, 1]]);
+        assert_eq!(f, g1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests of the BDD package.
+//!
+//! Random boolean expressions are generated, built both as BDDs and as naive
+//! truth tables, and compared exhaustively; structural invariants and
+//! reordering invariance are checked along the way.
+
+use pnsym_bdd::{BddManager, Ref, SiftConfig, VarId};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+/// A tiny boolean expression AST used as the reference semantics.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+impl Expr {
+    fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => assignment[*i],
+            Expr::Not(a) => !a.eval(assignment),
+            Expr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Expr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+            Expr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+            Expr::Ite(c, t, e) => {
+                if c.eval(assignment) {
+                    t.eval(assignment)
+                } else {
+                    e.eval(assignment)
+                }
+            }
+            Expr::Const(b) => *b,
+        }
+    }
+
+    fn build(&self, m: &mut BddManager) -> Ref {
+        match self {
+            Expr::Var(i) => m.var(VarId(*i as u32)),
+            Expr::Not(a) => {
+                let x = a.build(m);
+                m.not(x)
+            }
+            Expr::And(a, b) => {
+                let (x, y) = (a.build(m), b.build(m));
+                m.and(x, y)
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.build(m), b.build(m));
+                m.or(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let (x, y) = (a.build(m), b.build(m));
+                m.xor(x, y)
+            }
+            Expr::Ite(c, t, e) => {
+                let (x, y, z) = (c.build(m), t.build(m), e.build(m));
+                m.ite(x, y, z)
+            }
+            Expr::Const(true) => m.one(),
+            Expr::Const(false) => m.zero(),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn all_assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << NVARS)).map(|bits| (0..NVARS).map(|i| bits & (1 << i) != 0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_reference_semantics(expr in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        for a in all_assignments() {
+            prop_assert_eq!(m.eval(f, |v| a[v.index()]), expr.eval(&a));
+        }
+        prop_assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(expr in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        let expected = all_assignments().filter(|a| expr.eval(a)).count();
+        prop_assert_eq!(m.sat_count(f, NVARS), expected as f64);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complement(expr in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        prop_assert_eq!(nnf, f);
+        prop_assert_eq!(m.and(f, nf), m.zero());
+        prop_assert_eq!(m.or(f, nf), m.one());
+    }
+
+    #[test]
+    fn exists_equals_disjunction_of_cofactors(expr in arb_expr(), var in 0..NVARS) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        let v = m.var_id(var);
+        let f0 = m.restrict(f, v, false);
+        let f1 = m.restrict(f, v, true);
+        let expected = m.or(f0, f1);
+        let got = m.exists(f, &[v]);
+        prop_assert_eq!(got, expected);
+        let expected_all = m.and(f0, f1);
+        let got_all = m.forall(f, &[v]);
+        prop_assert_eq!(got_all, expected_all);
+    }
+
+    #[test]
+    fn and_exists_equals_conjoin_then_quantify(a in arb_expr(), b in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let fa = a.build(&mut m);
+        let fb = b.build(&mut m);
+        let vars = [m.var_id(0), m.var_id(2)];
+        let conj = m.and(fa, fb);
+        let expected = m.exists(conj, &vars);
+        let got = m.and_exists(fa, fb, &vars);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reordering_preserves_semantics(expr in arb_expr(), seed in any::<u64>()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        m.protect(f);
+        // Apply a pseudo-random permutation derived from the seed.
+        let mut order: Vec<VarId> = m.variables();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        m.reorder_to(&order);
+        prop_assert!(m.check_invariants().is_ok());
+        for a in all_assignments() {
+            prop_assert_eq!(m.eval(f, |v| a[v.index()]), expr.eval(&a));
+        }
+    }
+
+    #[test]
+    fn sifting_preserves_semantics_and_never_grows(expr in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        m.protect(f);
+        m.collect_garbage();
+        let before = m.node_count(f);
+        m.sift_with(SiftConfig { max_growth: 2.0, max_vars: None });
+        prop_assert!(m.check_invariants().is_ok());
+        prop_assert!(m.node_count(f) <= before);
+        for a in all_assignments() {
+            prop_assert_eq!(m.eval(f, |v| a[v.index()]), expr.eval(&a));
+        }
+    }
+
+    #[test]
+    fn sat_assignments_agree_with_truth_table(expr in arb_expr()) {
+        let mut m = BddManager::with_vars(NVARS);
+        let f = expr.build(&mut m);
+        let vars = m.variables();
+        let mut got: Vec<Vec<bool>> = m.sat_assignments(f, &vars).collect();
+        got.sort();
+        let mut expected: Vec<Vec<bool>> =
+            all_assignments().filter(|a| expr.eval(a)).collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rename_forward_matches_reference(expr in arb_expr()) {
+        // Rename every variable i -> i + NVARS in a 2*NVARS manager.
+        let mut m = BddManager::with_vars(2 * NVARS);
+        let f = expr.build(&mut m);
+        let map: Vec<(VarId, VarId)> = (0..NVARS)
+            .map(|i| (m.var_id(i), m.var_id(i + NVARS)))
+            .collect();
+        let g = m.rename(f, &map);
+        for a in all_assignments() {
+            // Assignment applied to the shifted variables.
+            let got = m.eval(g, |v| {
+                let i = v.index();
+                if i >= NVARS { a[i - NVARS] } else { false }
+            });
+            prop_assert_eq!(got, expr.eval(&a));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the decision-diagram substrate: the apply family,
+//! the relational product used in image computation, satisfying-assignment
+//! counting, and sifting. These back the CPU-time columns of the paper's
+//! tables by characterising the engine the encodings run on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnsym_bdd::{BddManager, Ref, SiftConfig, VarId, ZddManager};
+
+/// Builds the classic order-sensitive function
+/// `(x0 ∧ x_n) ∨ (x1 ∧ x_{n+1}) ∨ …` over `2n` variables.
+fn alternating_and_or(m: &mut BddManager, n: usize) -> Ref {
+    let mut acc = m.zero();
+    for i in 0..n {
+        let a = m.var(VarId(i as u32));
+        let b = m.var(VarId((i + n) as u32));
+        let t = m.and(a, b);
+        acc = m.or(acc, t);
+    }
+    acc
+}
+
+fn bench_apply(c: &mut Criterion) {
+    c.bench_function("bdd/apply/and_or_chain_24vars", |b| {
+        b.iter(|| {
+            let mut m = BddManager::with_vars(24);
+            alternating_and_or(&mut m, 12)
+        })
+    });
+    c.bench_function("bdd/apply/xor_chain_64vars", |b| {
+        b.iter(|| {
+            let mut m = BddManager::with_vars(64);
+            let mut acc = m.zero();
+            for i in 0..64 {
+                let v = m.var(VarId(i));
+                acc = m.xor(acc, v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_relational_product(c: &mut Criterion) {
+    c.bench_function("bdd/and_exists/32vars", |b| {
+        b.iter(|| {
+            let mut m = BddManager::with_vars(32);
+            let f = alternating_and_or(&mut m, 8);
+            let mut g = m.one();
+            for i in 0..16 {
+                let x = m.var(VarId(i));
+                let y = m.var(VarId(i + 16));
+                let eq = m.iff(x, y);
+                g = m.and(g, eq);
+            }
+            let vars: Vec<VarId> = (0..16).map(VarId).collect();
+            m.and_exists(f, g, &vars)
+        })
+    });
+}
+
+fn bench_sat_count(c: &mut Criterion) {
+    let mut m = BddManager::with_vars(40);
+    let f = alternating_and_or(&mut m, 20);
+    c.bench_function("bdd/sat_count/40vars", |b| b.iter(|| m.sat_count(f, 40)));
+}
+
+fn bench_sifting(c: &mut Criterion) {
+    c.bench_function("bdd/sift/20vars_bad_order", |b| {
+        b.iter(|| {
+            let mut m = BddManager::with_vars(20);
+            let f = alternating_and_or(&mut m, 10);
+            m.protect(f);
+            m.sift_with(SiftConfig::default())
+        })
+    });
+}
+
+fn bench_zdd(c: &mut Criterion) {
+    c.bench_function("zdd/union_family_256_sets", |b| {
+        b.iter(|| {
+            let mut z = ZddManager::new(64);
+            let mut acc = z.empty();
+            for i in 0..256usize {
+                let set: Vec<usize> = (0..8).map(|b| (i * 7 + b * 5) % 64).collect();
+                let s = z.single_set(&set);
+                acc = z.union(acc, s);
+            }
+            z.count(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_apply,
+    bench_relational_product,
+    bench_sat_count,
+    bench_sifting,
+    bench_zdd
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for the Figure 2 / Section 3 experiment: the cost of the
+//! encoding pipeline itself (invariants, SMC extraction, covering, code
+//! assignment) and of the toggling-activity evaluation used to compare code
+//! assignments.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnsym_core::{toggling_activity, AssignmentStrategy, Encoding};
+use pnsym_net::nets::{figure1, philosophers, slotted_ring};
+use pnsym_net::PetriNet;
+use pnsym_structural::{find_smcs, CoverStrategy};
+
+fn nets() -> Vec<(&'static str, PetriNet)> {
+    vec![
+        ("figure1", figure1()),
+        ("phil-3", philosophers(3)),
+        ("slot-3", slotted_ring(3)),
+    ]
+}
+
+fn bench_encoding_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/encoding_pipeline");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, net) in nets() {
+        group.bench_with_input(BenchmarkId::new("improved_gray", name), &net, |b, net| {
+            b.iter(|| {
+                let smcs = find_smcs(net).expect("small nets");
+                Encoding::improved(net, &smcs, AssignmentStrategy::Gray)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("basic_cover", name), &net, |b, net| {
+            b.iter(|| {
+                let smcs = find_smcs(net).expect("small nets");
+                Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_toggling_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/toggling");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, net) in nets() {
+        let rg = net.explore().expect("small nets");
+        let smcs = find_smcs(&net).expect("small nets");
+        let gray = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let seq = Encoding::improved(&net, &smcs, AssignmentStrategy::Sequential);
+        group.bench_function(BenchmarkId::new("gray", name), |b| {
+            b.iter(|| toggling_activity(&net, &gray, &rg))
+        });
+        group.bench_function(BenchmarkId::new("binary", name), |b| {
+            b.iter(|| toggling_activity(&net, &seq, &rg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding_pipeline, bench_toggling_metric);
+criterion_main!(benches);

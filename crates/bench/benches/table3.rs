@@ -1,0 +1,37 @@
+//! Criterion bench for Table 3: full symbolic reachability under the sparse
+//! and the dense encoding on each scalable family (CI-sized instances; run
+//! the `experiments` binary with `--paper-scale` for the original sizes).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnsym_bench::{table3_workloads, Scale};
+use pnsym_core::{analyze, AnalysisOptions};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for workload in table3_workloads(Scale::Default) {
+        // Skip the largest instances so the whole suite stays within a few
+        // minutes; the experiments binary covers the full sweep.
+        if workload.net.num_places() > 40 {
+            continue;
+        }
+        let net = workload.net;
+        group.bench_with_input(
+            BenchmarkId::new("sparse", &workload.name),
+            &net,
+            |b, net| b.iter(|| analyze(net, &AnalysisOptions::sparse()).expect("sparse analysis")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense", &workload.name),
+            &net,
+            |b, net| b.iter(|| analyze(net, &AnalysisOptions::dense()).expect("dense analysis")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

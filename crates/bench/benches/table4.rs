@@ -1,0 +1,37 @@
+//! Criterion bench for Table 4: the ZDD-based sparse representation
+//! (Yoneda et al.) against the dense BDD encoding on the DME / JJreg-style
+//! workloads.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnsym_bench::{table4_workloads, Scale};
+use pnsym_core::{analyze, analyze_zdd, AnalysisOptions};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for workload in table4_workloads(Scale::Default) {
+        // Skip the largest instances so the whole suite stays within a few
+        // minutes; the experiments binary covers the full sweep.
+        if workload.net.num_places() > 46 {
+            continue;
+        }
+        let net = workload.net;
+        group.bench_with_input(
+            BenchmarkId::new("zdd_sparse", &workload.name),
+            &net,
+            |b, net| b.iter(|| analyze_zdd(net)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_bdd", &workload.name),
+            &net,
+            |b, net| b.iter(|| analyze(net, &AnalysisOptions::dense()).expect("dense analysis")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,276 @@
+//! High-level analysis API: build an encoding, run the symbolic traversal
+//! and collect the statistics reported in the paper's tables.
+
+use crate::context::SymbolicContext;
+use crate::encoding::{AssignmentStrategy, Encoding, SchemeKind};
+use crate::traverse::TraversalOptions;
+use crate::zdd_reach::ZddContext;
+use pnsym_net::PetriNet;
+use pnsym_structural::{find_smcs_with, CoverStrategy, InvariantError, InvariantOptions};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options for a full symbolic analysis of one net under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOptions {
+    /// The encoding scheme to use.
+    pub scheme: SchemeKind,
+    /// Code-assignment strategy within SMC blocks.
+    pub assignment: AssignmentStrategy,
+    /// Covering solver used by the basic dense scheme.
+    pub cover_strategy: CoverStrategy,
+    /// Limits for the P-invariant computation.
+    pub invariants: InvariantOptions,
+    /// Traversal options.
+    pub traversal: TraversalOptions,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            scheme: SchemeKind::ImprovedDense,
+            assignment: AssignmentStrategy::Gray,
+            cover_strategy: CoverStrategy::Greedy,
+            invariants: InvariantOptions::default(),
+            traversal: TraversalOptions::default(),
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Options for the conventional sparse encoding.
+    pub fn sparse() -> Self {
+        AnalysisOptions {
+            scheme: SchemeKind::Sparse,
+            ..AnalysisOptions::default()
+        }
+    }
+
+    /// Options for the paper's dense (improved SMC-based) encoding.
+    pub fn dense() -> Self {
+        AnalysisOptions::default()
+    }
+}
+
+/// The statistics of one analysis run — one row of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The analysed net's name.
+    pub net_name: String,
+    /// The encoding scheme used.
+    pub scheme: SchemeKind,
+    /// Number of places of the net.
+    pub num_places: usize,
+    /// Number of transitions of the net.
+    pub num_transitions: usize,
+    /// Number of boolean state variables (column `V`).
+    pub num_variables: usize,
+    /// Number of reachable markings.
+    pub num_markings: f64,
+    /// BDD node count of the reached set (column `BDD`).
+    pub bdd_nodes: usize,
+    /// Peak live BDD nodes during the traversal.
+    pub peak_live_nodes: usize,
+    /// Breadth-first iterations to the fixpoint.
+    pub iterations: usize,
+    /// Number of reachable deadlocked markings.
+    pub num_deadlocks: f64,
+    /// Time spent computing invariants, SMCs and the encoding.
+    pub encoding_time: Duration,
+    /// Time spent in the symbolic traversal.
+    pub traversal_time: Duration,
+    /// Total wall-clock time (column `CPU`).
+    pub total_time: Duration,
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<14} markings={:<12e} V={:<4} BDD={:<8} CPU={:.3}s",
+            self.net_name,
+            self.scheme.to_string(),
+            self.num_markings,
+            self.num_variables,
+            self.bdd_nodes,
+            self.total_time.as_secs_f64()
+        )
+    }
+}
+
+/// Errors reported by [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The structural phase (P-invariants) exceeded its limits.
+    Structural(InvariantError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Structural(e) => write!(f, "structural analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<InvariantError> for AnalysisError {
+    fn from(e: InvariantError) -> Self {
+        AnalysisError::Structural(e)
+    }
+}
+
+/// Builds the requested encoding for `net`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Structural`] if the P-invariant computation
+/// exceeds its row limit (only possible for the dense schemes).
+pub fn build_encoding(net: &PetriNet, options: &AnalysisOptions) -> Result<Encoding, AnalysisError> {
+    Ok(match options.scheme {
+        SchemeKind::Sparse => Encoding::sparse(net),
+        SchemeKind::Dense => {
+            let smcs = find_smcs_with(net, options.invariants)?;
+            Encoding::dense(net, &smcs, options.cover_strategy, options.assignment)
+        }
+        SchemeKind::ImprovedDense => {
+            let smcs = find_smcs_with(net, options.invariants)?;
+            Encoding::improved(net, &smcs, options.assignment)
+        }
+    })
+}
+
+/// Runs a full analysis of `net`: encoding construction, symbolic
+/// reachability and deadlock detection.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Structural`] if the structural phase fails.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_core::{analyze, AnalysisOptions};
+/// use pnsym_net::nets::philosophers;
+///
+/// # fn main() -> Result<(), pnsym_core::AnalysisError> {
+/// let net = philosophers(2);
+/// let report = analyze(&net, &AnalysisOptions::dense())?;
+/// assert_eq!(report.num_markings, 22.0);
+/// assert_eq!(report.num_variables, 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisReport, AnalysisError> {
+    let start = Instant::now();
+    let encoding = build_encoding(net, options)?;
+    let num_variables = encoding.num_vars();
+    let encoding_time = start.elapsed();
+
+    let mut ctx = SymbolicContext::new(net, encoding);
+    let result = ctx.reachable_markings_with(options.traversal);
+    let dead = ctx.deadlocks_in(result.reached);
+    let num_deadlocks = ctx.count_markings(dead);
+
+    Ok(AnalysisReport {
+        net_name: net.name().to_string(),
+        scheme: options.scheme,
+        num_places: net.num_places(),
+        num_transitions: net.num_transitions(),
+        num_variables,
+        num_markings: result.num_markings,
+        bdd_nodes: result.bdd_nodes,
+        peak_live_nodes: result.peak_live_nodes,
+        iterations: result.iterations,
+        num_deadlocks,
+        encoding_time,
+        traversal_time: result.duration,
+        total_time: start.elapsed(),
+    })
+}
+
+/// The statistics of one ZDD-based (sparse) analysis run — the left-hand
+/// side of Table 4.
+#[derive(Debug, Clone)]
+pub struct ZddAnalysisReport {
+    /// The analysed net's name.
+    pub net_name: String,
+    /// Number of ZDD elements (= places) used to represent markings.
+    pub num_variables: usize,
+    /// Number of reachable markings.
+    pub num_markings: f64,
+    /// ZDD node count of the reached family.
+    pub zdd_nodes: usize,
+    /// Breadth-first iterations to the fixpoint.
+    pub iterations: usize,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+/// Runs the ZDD-based sparse analysis of `net` (Yoneda et al.'s
+/// representation).
+pub fn analyze_zdd(net: &PetriNet) -> ZddAnalysisReport {
+    let start = Instant::now();
+    let mut ctx = ZddContext::new(net);
+    let result = ctx.reachable_markings();
+    ZddAnalysisReport {
+        net_name: net.name().to_string(),
+        num_variables: net.num_places(),
+        num_markings: result.num_markings,
+        zdd_nodes: result.zdd_nodes,
+        iterations: result.iterations,
+        total_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnsym_net::nets::{figure1, muller, philosophers};
+
+    #[test]
+    fn sparse_and_dense_reports_agree_on_markings() {
+        let net = muller(4);
+        let sparse = analyze(&net, &AnalysisOptions::sparse()).unwrap();
+        let dense = analyze(&net, &AnalysisOptions::dense()).unwrap();
+        assert_eq!(sparse.num_markings, dense.num_markings);
+        assert!(dense.num_variables < sparse.num_variables);
+        assert!(dense.num_variables * 2 == sparse.num_variables);
+    }
+
+    #[test]
+    fn report_fields_are_populated() {
+        let net = figure1();
+        let report = analyze(&net, &AnalysisOptions::dense()).unwrap();
+        assert_eq!(report.net_name, "figure1");
+        assert_eq!(report.num_places, 7);
+        assert_eq!(report.num_transitions, 7);
+        assert_eq!(report.num_markings, 8.0);
+        assert_eq!(report.num_variables, 4);
+        assert_eq!(report.num_deadlocks, 0.0);
+        assert!(report.bdd_nodes > 0);
+        assert!(report.total_time >= report.traversal_time);
+        assert!(report.to_string().contains("figure1"));
+    }
+
+    #[test]
+    fn zdd_report_matches_bdd_marking_count() {
+        let net = philosophers(2);
+        let zdd = analyze_zdd(&net);
+        let bdd = analyze(&net, &AnalysisOptions::sparse()).unwrap();
+        assert_eq!(zdd.num_markings, bdd.num_markings);
+        assert_eq!(zdd.num_variables, 14);
+    }
+
+    #[test]
+    fn structural_failure_is_reported() {
+        let net = philosophers(3);
+        let mut options = AnalysisOptions::dense();
+        options.invariants = InvariantOptions { max_rows: 1 };
+        assert!(matches!(
+            analyze(&net, &options),
+            Err(AnalysisError::Structural(_))
+        ));
+    }
+}

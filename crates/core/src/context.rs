@@ -1,0 +1,376 @@
+//! The [`SymbolicContext`]: a Petri net, an [`Encoding`] and a BDD manager
+//! wired together — characteristic functions of places (Section 5.1),
+//! enabling functions (Section 5.3) and the encoded initial marking.
+
+use crate::encoding::{Block, Encoding};
+use pnsym_bdd::{BddManager, Ref, VarId};
+use pnsym_net::{Marking, PetriNet, PlaceId, TransitionId};
+
+/// A symbolic analysis context for one net and one encoding.
+///
+/// The context owns the [`BddManager`]; every BDD it hands out lives in that
+/// manager. The characteristic functions, enabling functions and the initial
+/// set are protected from garbage collection for the lifetime of the
+/// context.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_core::{Encoding, SymbolicContext};
+/// use pnsym_net::nets::figure1;
+///
+/// let net = figure1();
+/// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+/// let init = ctx.initial_set();
+/// assert_eq!(ctx.count_markings(init), 1.0);
+/// ```
+pub struct SymbolicContext {
+    net: PetriNet,
+    encoding: Encoding,
+    manager: BddManager,
+    current_vars: Vec<VarId>,
+    next_vars: Vec<VarId>,
+    chi: Vec<Ref>,
+    enabling: Vec<Ref>,
+    initial: Ref,
+}
+
+impl std::fmt::Debug for SymbolicContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicContext")
+            .field("net", &self.net.name())
+            .field("scheme", &self.encoding.scheme())
+            .field("state_vars", &self.encoding.num_vars())
+            .finish()
+    }
+}
+
+impl SymbolicContext {
+    /// Builds the context: allocates interleaved current/next BDD variables,
+    /// the characteristic function of every place, the enabling function of
+    /// every transition, and the encoded initial marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` was built for a different net (mismatched place
+    /// or transition counts).
+    pub fn new(net: &PetriNet, encoding: Encoding) -> Self {
+        let n = encoding.num_vars();
+        let mut manager = BddManager::new();
+        // Interleave current (even levels) and next (odd levels) variables.
+        let mut current_vars = Vec::with_capacity(n);
+        let mut next_vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            current_vars.push(manager.add_var());
+            next_vars.push(manager.add_var());
+        }
+
+        // Characteristic functions, built owner-first so that the recursive
+        // exclusions of eq. (4) only reference already-built functions.
+        let mut chi: Vec<Option<Ref>> = vec![None; net.num_places()];
+        for p in net.places() {
+            build_chi(&mut manager, &encoding, &current_vars, p, &mut chi);
+        }
+        let chi: Vec<Ref> = chi.into_iter().map(|c| c.expect("chi built")).collect();
+        for &c in &chi {
+            manager.protect(c);
+        }
+
+        // Enabling functions E_t = AND of [p] over the pre-set (eq. 5).
+        let mut enabling = Vec::with_capacity(net.num_transitions());
+        for t in net.transitions() {
+            let lits: Vec<Ref> = net.pre_set(t).iter().map(|&p| chi[p.index()]).collect();
+            let e = manager.and_many(&lits);
+            manager.protect(e);
+            enabling.push(e);
+        }
+
+        // Encoded initial marking.
+        let bits = encoding.encode_marking(net.initial_marking());
+        let lits: Vec<(VarId, bool)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (current_vars[i], b))
+            .collect();
+        let initial = manager.cube(&lits);
+        manager.protect(initial);
+
+        SymbolicContext {
+            net: net.clone(),
+            encoding,
+            manager,
+            current_vars,
+            next_vars,
+            chi,
+            enabling,
+            initial,
+        }
+    }
+
+    /// The analysed net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// The encoding in use.
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+
+    /// Shared access to the underlying BDD manager.
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// Mutable access to the underlying BDD manager (for counting, DOT
+    /// export or custom operations on the sets produced by this context).
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.manager
+    }
+
+    /// The BDD variables encoding the *current* state, indexed by state
+    /// variable.
+    pub fn current_vars(&self) -> &[VarId] {
+        &self.current_vars
+    }
+
+    /// The BDD variables encoding the *next* state (used by the explicit
+    /// transition relations).
+    pub fn next_vars(&self) -> &[VarId] {
+        &self.next_vars
+    }
+
+    /// The characteristic function `[p]` of place `p`: the set of encoded
+    /// markings in which `p` holds a token (Section 5.1, eq. 4).
+    pub fn place_fn(&self, p: PlaceId) -> Ref {
+        self.chi[p.index()]
+    }
+
+    /// The enabling function `E_t` of transition `t` (eq. 5).
+    pub fn enabling_fn(&self, t: TransitionId) -> Ref {
+        self.enabling[t.index()]
+    }
+
+    /// The encoded initial marking as a singleton set.
+    pub fn initial_set(&self) -> Ref {
+        self.initial
+    }
+
+    /// Encodes a single marking as a one-element set over the current
+    /// variables.
+    pub fn marking_to_bdd(&mut self, m: &Marking) -> Ref {
+        let bits = self.encoding.encode_marking(m);
+        let lits: Vec<(VarId, bool)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (self.current_vars[i], b))
+            .collect();
+        self.manager.cube(&lits)
+    }
+
+    /// Whether the encoded marking `m` belongs to the set `set`.
+    pub fn set_contains(&self, set: Ref, m: &Marking) -> bool {
+        let bits = self.encoding.encode_marking(m);
+        let vars = self.current_vars.clone();
+        self.manager.eval(set, |v| {
+            vars.iter()
+                .position(|&cv| cv == v)
+                .map(|i| bits[i])
+                .unwrap_or(false)
+        })
+    }
+
+    /// Number of markings in a set of encoded markings (exact for counts
+    /// below 2^53). Because the encoding is injective this equals the BDD
+    /// satisfying-assignment count over the current state variables.
+    pub fn count_markings(&self, set: Ref) -> f64 {
+        self.manager.sat_count(set, self.encoding.num_vars())
+    }
+
+    /// Number of BDD nodes of `set`.
+    pub fn bdd_size(&self, set: Ref) -> usize {
+        self.manager.node_count(set)
+    }
+
+    /// The set of encoded markings in which at least one transition is
+    /// enabled; its complement within the reached set are the deadlocks.
+    pub fn any_enabled(&mut self) -> Ref {
+        let enab = self.enabling.clone();
+        self.manager.or_many(&enab)
+    }
+
+    /// The deadlocked markings within `set`.
+    pub fn deadlocks_in(&mut self, set: Ref) -> Ref {
+        let any = self.any_enabled();
+        self.manager.diff(set, any)
+    }
+}
+
+/// Builds `[p]` recursively, memoising into `out`.
+fn build_chi(
+    manager: &mut BddManager,
+    encoding: &Encoding,
+    current_vars: &[VarId],
+    p: PlaceId,
+    out: &mut Vec<Option<Ref>>,
+) -> Ref {
+    if let Some(r) = out[p.index()] {
+        return r;
+    }
+    let owner = encoding.owner_of_place(p);
+    let result = match &encoding.blocks()[owner] {
+        Block::Place { var, .. } => manager.var(current_vars[*var]),
+        Block::Smc {
+            places,
+            codes,
+            vars,
+            ..
+        } => {
+            let j = places.iter().position(|&q| q == p).expect("owner lists p");
+            let code = codes[j];
+            // First factor: the block's variables spell p's code.
+            let lits: Vec<(VarId, bool)> = vars
+                .iter()
+                .enumerate()
+                .map(|(b, &v)| (current_vars[v], code & (1 << b) != 0))
+                .collect();
+            let mut acc = manager.cube(&lits);
+            // Second factor: no place sharing the code is marked according
+            // to its own (earlier) owner block.
+            let sharing: Vec<PlaceId> = places
+                .iter()
+                .enumerate()
+                .filter(|&(k, &q)| q != p && codes[k] == code && encoding.owner_of_place(q) != owner)
+                .map(|(_, &q)| q)
+                .collect();
+            for q in sharing {
+                let chi_q = build_chi(manager, encoding, current_vars, q, out);
+                let not_q = manager.not(chi_q);
+                acc = manager.and(acc, not_q);
+            }
+            acc
+        }
+    };
+    out[p.index()] = Some(result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::AssignmentStrategy;
+    use pnsym_net::nets::{figure1, philosophers};
+    use pnsym_structural::{find_smcs, CoverStrategy};
+
+    fn contexts(net: &PetriNet) -> Vec<SymbolicContext> {
+        let smcs = find_smcs(net).unwrap();
+        vec![
+            SymbolicContext::new(net, Encoding::sparse(net)),
+            SymbolicContext::new(
+                net,
+                Encoding::dense(net, &smcs, CoverStrategy::Exact, AssignmentStrategy::Gray),
+            ),
+            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+        ]
+    }
+
+    #[test]
+    fn characteristic_functions_agree_with_markings() {
+        for net in [figure1(), philosophers(2)] {
+            let rg = net.explore().unwrap();
+            for mut ctx in contexts(&net) {
+                for m in rg.markings() {
+                    let cube = ctx.marking_to_bdd(m);
+                    for p in net.places() {
+                        let chi = ctx.place_fn(p);
+                        let inter = ctx.manager_mut().and(cube, chi);
+                        let marked = inter != ctx.manager().zero();
+                        assert_eq!(
+                            marked,
+                            m.is_marked(p),
+                            "[{}] on {} under {:?}",
+                            net.place_name(p),
+                            m,
+                            ctx.encoding().scheme()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_characteristic_functions_shape() {
+        // For the improved encoding of the 2-philosopher net, places owned
+        // by overlap blocks must exclude their code-sharing partners
+        // (cf. Table 2: [p3] = x5'·(x1 + x2)).
+        let net = philosophers(2);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let ctx = SymbolicContext::new(&net, enc);
+        for p in net.places() {
+            let chi = ctx.place_fn(p);
+            let support = ctx.manager().support(chi);
+            assert!(!support.is_empty(), "[{}] is constant", net.place_name(p));
+        }
+    }
+
+    #[test]
+    fn enabling_functions_match_explicit_enabledness() {
+        let net = figure1();
+        let rg = net.explore().unwrap();
+        for mut ctx in contexts(&net) {
+            for m in rg.markings() {
+                let cube = ctx.marking_to_bdd(m);
+                for t in net.transitions() {
+                    let e = ctx.enabling_fn(t);
+                    let inter = ctx.manager_mut().and(cube, e);
+                    assert_eq!(
+                        inter != ctx.manager().zero(),
+                        net.is_enabled(m, t),
+                        "E_{} on {}",
+                        net.transition_name(t),
+                        m
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_set_is_the_initial_marking() {
+        let net = figure1();
+        for ctx in contexts(&net) {
+            let init = ctx.initial_set();
+            assert_eq!(ctx.count_markings(init), 1.0);
+            let m0 = ctx.net().initial_marking().clone();
+            assert!(ctx.set_contains(init, &m0));
+        }
+    }
+
+    #[test]
+    fn deadlock_free_net_has_empty_deadlock_set() {
+        let net = figure1();
+        for mut ctx in contexts(&net) {
+            // The full potential space may contain deadlock codes, but the
+            // initial marking itself always enables something here.
+            let init = ctx.initial_set();
+            let dead = ctx.deadlocks_in(init);
+            assert_eq!(dead, ctx.manager().zero());
+        }
+    }
+
+    #[test]
+    fn variable_count_matches_encoding() {
+        let net = philosophers(2);
+        for ctx in &contexts(&net) {
+            assert_eq!(ctx.current_vars().len(), ctx.encoding().num_vars());
+            assert_eq!(ctx.next_vars().len(), ctx.encoding().num_vars());
+            assert_eq!(
+                ctx.manager().num_vars(),
+                2 * ctx.encoding().num_vars(),
+                "current and next variables are interleaved"
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The improved, overlap-aware SMC encoding (Section 4.4 of the paper).
+//!
+//! SMCs are added one at a time. A new component `S_i` whose places split
+//! into `P_cov` (already covered) and `P_new` only needs
+//! `⌈log2 |P_new|⌉` fresh variables: the new places receive distinct codes,
+//! while the already-covered places are assigned (possibly shared) codes
+//! whose ambiguity is resolved by the components that own them
+//! (characteristic functions of Section 5.1).
+
+use super::assign::{assign_codes, AssignmentStrategy};
+use super::{Block, Encoding, SchemeKind};
+use pnsym_net::{PetriNet, PlaceId};
+use pnsym_structural::Smc;
+use std::collections::BTreeSet;
+
+pub(super) fn build(net: &PetriNet, smcs: &[Smc], assignment: AssignmentStrategy) -> Encoding {
+    build_with(net, smcs, assignment, false)
+}
+
+pub(super) fn build_with(
+    net: &PetriNet,
+    smcs: &[Smc],
+    assignment: AssignmentStrategy,
+    allow_zero_width: bool,
+) -> Encoding {
+    // Usable components hold exactly one token.
+    let usable: Vec<&Smc> = smcs.iter().filter(|s| s.initial_tokens() == 1).collect();
+    let mut covered: BTreeSet<PlaceId> = BTreeSet::new();
+    let mut chosen: Vec<(&Smc, Vec<bool>, u32)> = Vec::new(); // (smc, owns, width)
+    let mut used: Vec<bool> = vec![false; usable.len()];
+
+    // Greedy selection: repeatedly add the component with the lowest cost
+    // per newly covered place, as long as it beats encoding the new places
+    // one variable each. Following the paper, a component adding fewer than
+    // two new places is never selected (its places are left to singleton
+    // variables), which reproduces the 8-variable encoding of Table 1.
+    // With `allow_zero_width` (an extension beyond the paper) a component
+    // whose single new place is otherwise fully covered costs zero fresh
+    // variables: the place's marking is implied by the rest of its SMC.
+    let min_new = if allow_zero_width { 1 } else { 2 };
+    loop {
+        let mut best: Option<(usize, usize, u32)> = None; // (candidate, new, width)
+        for (i, smc) in usable.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let new: Vec<PlaceId> = smc
+                .places()
+                .iter()
+                .copied()
+                .filter(|p| !covered.contains(p))
+                .collect();
+            if new.len() < min_new {
+                continue;
+            }
+            let width = (new.len() as u32).next_power_of_two().trailing_zeros();
+            // Only worthwhile if it uses fewer variables than singletons.
+            if width as usize >= new.len() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bnew, bwidth)) => {
+                    (width as u64) * (bnew as u64) < (bwidth as u64) * (new.len() as u64)
+                        || ((width as u64) * (bnew as u64) == (bwidth as u64) * (new.len() as u64)
+                            && new.len() > bnew)
+                }
+            };
+            if better {
+                best = Some((i, new.len(), width));
+            }
+        }
+        let Some((i, _, width)) = best else { break };
+        used[i] = true;
+        let smc = usable[i];
+        let owns: Vec<bool> = smc
+            .places()
+            .iter()
+            .map(|p| !covered.contains(p))
+            .collect();
+        covered.extend(smc.places().iter().copied());
+        chosen.push((smc, owns, width));
+    }
+
+    // Materialise the blocks. Blocks (components and left-over singleton
+    // places alike) are laid out in the order of their lowest owned place
+    // index: the generators declare places unit by unit (stage, philosopher,
+    // ring node, …), so this keeps the variables of strongly interacting
+    // components adjacent in the BDD order.
+    enum Pending<'a> {
+        Smc(&'a Smc, Vec<bool>, u32),
+        Single(PlaceId),
+    }
+    let mut pending: Vec<(PlaceId, Pending<'_>)> = Vec::new();
+    for (smc, owns, width) in chosen {
+        let anchor = smc
+            .places()
+            .iter()
+            .zip(&owns)
+            .filter(|&(_, &o)| o)
+            .map(|(&p, _)| p)
+            .min()
+            .expect("a block owns at least one place");
+        pending.push((anchor, Pending::Smc(smc, owns, width)));
+    }
+    for p in net.places() {
+        if !covered.contains(&p) {
+            pending.push((p, Pending::Single(p)));
+        }
+    }
+    pending.sort_by_key(|&(anchor, _)| anchor);
+
+    let mut blocks = Vec::new();
+    let mut next_var = 0usize;
+    for (_, item) in pending {
+        match item {
+            Pending::Smc(smc, owns, width) => {
+                let codes = assign_codes(net, smc, &owns, width, assignment);
+                let vars: Vec<usize> = (0..width as usize).map(|b| next_var + b).collect();
+                next_var += width as usize;
+                blocks.push(Block::Smc {
+                    places: smc.places().to_vec(),
+                    codes,
+                    owns,
+                    vars,
+                    transitions: smc.transitions().to_vec(),
+                });
+            }
+            Pending::Single(p) => {
+                blocks.push(Block::Place { place: p, var: next_var });
+                next_var += 1;
+            }
+        }
+    }
+    Encoding::from_blocks(net, SchemeKind::ImprovedDense, blocks, next_var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AssignmentStrategy, Block, Encoding};
+    use pnsym_net::nets::{dme, figure1, muller, philosophers, slotted_ring, DmeStyle};
+    use pnsym_structural::{find_smcs, CoverStrategy};
+
+    #[test]
+    fn never_uses_more_variables_than_the_basic_scheme() {
+        for net in [
+            figure1(),
+            philosophers(3),
+            muller(4),
+            slotted_ring(3),
+            dme(3, DmeStyle::Spec),
+        ] {
+            let smcs = find_smcs(&net).unwrap();
+            let dense =
+                Encoding::dense(&net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray);
+            let improved = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+            assert!(
+                improved.num_vars() <= dense.num_vars(),
+                "{}: improved {} > dense {}",
+                net.name(),
+                improved.num_vars(),
+                dense.num_vars()
+            );
+            assert!(improved.num_vars() <= net.num_places());
+        }
+    }
+
+    #[test]
+    fn zero_width_extension_shaves_more_variables() {
+        // Beyond the paper: allowing parameter-free places lets the fork
+        // places of the 2-philosopher net be implied by their SMCs, giving a
+        // 6-variable encoding instead of Table 1's 8.
+        let net = philosophers(2);
+        let smcs = find_smcs(&net).unwrap();
+        let paper = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let extended = Encoding::improved_with_zero_width(&net, &smcs, AssignmentStrategy::Gray);
+        assert_eq!(paper.num_vars(), 8);
+        assert!(extended.num_vars() <= 6, "got {}", extended.num_vars());
+        // The extended encoding still round-trips every reachable marking.
+        let rg = net.explore().unwrap();
+        for m in rg.markings() {
+            let bits = extended.encode_marking(m);
+            for p in net.places() {
+                assert_eq!(extended.place_is_marked_in(&bits, p), m.is_marked(p));
+            }
+        }
+        // And it is still injective.
+        let mut seen = std::collections::HashSet::new();
+        for m in rg.markings() {
+            assert!(seen.insert(extended.encode_marking(m)));
+        }
+    }
+
+    #[test]
+    fn philosophers_match_table_1() {
+        let net = philosophers(2);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        assert_eq!(enc.num_vars(), 8, "Table 1 uses 8 variables for 14 places");
+        // Two full-width blocks (2 vars), two overlap blocks (1 var),
+        // two singleton forks.
+        let widths: Vec<usize> = enc.blocks().iter().map(Block::width).collect();
+        let twos = widths.iter().filter(|&&w| w == 2).count();
+        let ones = widths.iter().filter(|&&w| w == 1).count();
+        assert_eq!(twos, 2);
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    fn every_place_has_exactly_one_owner() {
+        let net = dme(3, DmeStyle::Circuit);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        for p in net.places() {
+            let owner = enc.owner_of_place(p);
+            match &enc.blocks()[owner] {
+                Block::Place { place, .. } => assert_eq!(*place, p),
+                Block::Smc { places, owns, .. } => {
+                    let j = places.iter().position(|&q| q == p).unwrap();
+                    assert!(owns[j], "owner block must own the place");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_codes_are_distinct_within_each_block() {
+        let net = philosophers(3);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        for block in enc.blocks() {
+            if let Block::Smc { codes, owns, .. } = block {
+                let owned_codes: Vec<u32> = codes
+                    .iter()
+                    .zip(owns)
+                    .filter(|&(_, &o)| o)
+                    .map(|(&c, _)| c)
+                    .collect();
+                let mut sorted = owned_codes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), owned_codes.len());
+            }
+        }
+    }
+}

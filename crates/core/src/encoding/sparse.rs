@@ -1,0 +1,44 @@
+//! The conventional one-variable-per-place encoding (Section 2.3).
+
+use super::{Block, Encoding, SchemeKind};
+use pnsym_net::PetriNet;
+
+/// Builds the sparse encoding: state variable `i` holds the marking of
+/// place `i`.
+pub(super) fn build(net: &PetriNet) -> Encoding {
+    let blocks: Vec<Block> = net
+        .places()
+        .map(|p| Block::Place {
+            place: p,
+            var: p.index(),
+        })
+        .collect();
+    Encoding::from_blocks(net, SchemeKind::Sparse, blocks, net.num_places())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Encoding;
+    use pnsym_net::nets::{figure1, muller};
+
+    #[test]
+    fn one_variable_per_place() {
+        let net = muller(3);
+        let enc = Encoding::sparse(&net);
+        assert_eq!(enc.num_vars(), net.num_places());
+        assert_eq!(enc.blocks().len(), net.num_places());
+    }
+
+    #[test]
+    fn encoded_bits_equal_the_marking() {
+        let net = figure1();
+        let enc = Encoding::sparse(&net);
+        let rg = net.explore().unwrap();
+        for m in rg.markings() {
+            let bits = enc.encode_marking(m);
+            for p in net.places() {
+                assert_eq!(bits[p.index()], m.is_marked(p));
+            }
+        }
+    }
+}

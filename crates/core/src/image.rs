@@ -1,0 +1,287 @@
+//! Image computation and transition relations (Sections 5.2–5.3).
+//!
+//! Under every encoding of this crate, firing a transition `t` drives each
+//! affected variable to a *constant*: a place variable becomes 1 or 0, and
+//! the variables of an SMC covering `t` take the code of `t`'s output place
+//! inside the component (eq. 6). The efficient image computation therefore
+//! quantifies the changed variables out of `S ∧ E_t` and conjoins the target
+//! constants — the symbolic counterpart of the "toggle" updates the paper
+//! describes. The explicit two-vocabulary transition relations `R_t(P, Q)`
+//! (eq. 3) are also provided, mainly for cross-validation.
+
+use crate::context::SymbolicContext;
+use crate::encoding::Block;
+use pnsym_bdd::{Ref, VarId};
+use pnsym_net::TransitionId;
+
+/// The effect of one transition on the state variables: which variables
+/// change and the constant values they take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionEffect {
+    /// The transition this effect describes.
+    pub transition: TransitionId,
+    /// `(state variable index, new value)` for every variable `t` may change.
+    pub assignments: Vec<(usize, bool)>,
+}
+
+impl TransitionEffect {
+    /// Number of state variables the transition writes.
+    pub fn num_written(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+impl SymbolicContext {
+    /// Computes the constant effect of `t` on the state variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding's block index is inconsistent (a covered SMC
+    /// without an output place for `t`), which would indicate a bug in the
+    /// SMC extraction.
+    pub fn transition_effect(&self, t: TransitionId) -> TransitionEffect {
+        let net = self.net();
+        let encoding = self.encoding();
+        let mut assignments = Vec::new();
+        for &bi in encoding.blocks_of_transition(t) {
+            match &encoding.blocks()[bi] {
+                Block::Place { place, var } => {
+                    let produces = net.post_set(t).contains(place);
+                    let consumes = net.pre_set(t).contains(place);
+                    if produces {
+                        assignments.push((*var, true));
+                    } else if consumes {
+                        assignments.push((*var, false));
+                    }
+                }
+                Block::Smc {
+                    places,
+                    codes,
+                    vars,
+                    ..
+                } => {
+                    let out = net
+                        .post_set(t)
+                        .iter()
+                        .copied()
+                        .find(|p| places.contains(p))
+                        .expect("a covered SMC always has an output place for the transition");
+                    let j = places.iter().position(|&p| p == out).expect("out in places");
+                    let code = codes[j];
+                    for (b, &v) in vars.iter().enumerate() {
+                        assignments.push((v, code & (1 << b) != 0));
+                    }
+                }
+            }
+        }
+        assignments.sort_unstable();
+        assignments.dedup();
+        TransitionEffect {
+            transition: t,
+            assignments,
+        }
+    }
+
+    /// The set of markings reached by firing `t` once from some marking in
+    /// `from` (the image of `from` under `t`), over the current variables.
+    pub fn image(&mut self, from: Ref, t: TransitionId) -> Ref {
+        let effect = self.transition_effect(t);
+        let enabled = self.enabling_fn(t);
+        let current: Vec<VarId> = effect
+            .assignments
+            .iter()
+            .map(|&(i, _)| self.current_vars()[i])
+            .collect();
+        let lits: Vec<(VarId, bool)> = effect
+            .assignments
+            .iter()
+            .map(|&(i, value)| (self.current_vars()[i], value))
+            .collect();
+        let m = self.manager_mut();
+        let quantified = m.and_exists(from, enabled, &current);
+        if quantified == m.zero() {
+            return quantified;
+        }
+        let target = m.cube(&lits);
+        m.and(quantified, target)
+    }
+
+    /// The image of `from` under *all* transitions: one symbolic step of the
+    /// breadth-first traversal.
+    pub fn image_all(&mut self, from: Ref) -> Ref {
+        let mut acc = self.manager().zero();
+        for t in self.net().transitions().collect::<Vec<_>>() {
+            let img = self.image(from, t);
+            acc = self.manager_mut().or(acc, img);
+        }
+        acc
+    }
+
+    /// The partial transition relation `R_t(P, Q)` of eq. (3): the enabling
+    /// condition over current variables conjoined with `q_i ≡ δ_i` for every
+    /// variable the transition writes. Variables not written are not
+    /// constrained (they are handled as "unchanged" by
+    /// [`SymbolicContext::image_via_relation`]).
+    pub fn transition_relation(&mut self, t: TransitionId) -> Ref {
+        let effect = self.transition_effect(t);
+        let enabled = self.enabling_fn(t);
+        let lits: Vec<(VarId, bool)> = effect
+            .assignments
+            .iter()
+            .map(|&(i, value)| (self.next_vars()[i], value))
+            .collect();
+        let m = self.manager_mut();
+        let target = m.cube(&lits);
+        m.and(enabled, target)
+    }
+
+    /// The *monolithic* transition relation of `t`, which also asserts
+    /// `q_i ≡ p_i` for every unchanged variable. Exponentially more
+    /// expensive than the partial relation; intended for validation on small
+    /// nets.
+    pub fn monolithic_transition_relation(&mut self, t: TransitionId) -> Ref {
+        let mut rel = self.transition_relation(t);
+        let effect = self.transition_effect(t);
+        let written: Vec<usize> = effect.assignments.iter().map(|&(i, _)| i).collect();
+        for i in 0..self.encoding().num_vars() {
+            if written.contains(&i) {
+                continue;
+            }
+            let p = self.current_vars()[i];
+            let q = self.next_vars()[i];
+            let m = self.manager_mut();
+            let pv = m.var(p);
+            let qv = m.var(q);
+            let eq = m.iff(pv, qv);
+            rel = m.and(rel, eq);
+        }
+        rel
+    }
+
+    /// The disjunction of the monolithic relations of every transition: the
+    /// full `R(P, Q)` of eq. (3). Only suitable for small nets.
+    pub fn monolithic_relation(&mut self) -> Ref {
+        let mut acc = self.manager().zero();
+        for t in self.net().transitions().collect::<Vec<_>>() {
+            let r = self.monolithic_transition_relation(t);
+            acc = self.manager_mut().or(acc, r);
+        }
+        acc
+    }
+
+    /// Image computation through an explicit relation over `(P, Q)`:
+    /// `∃P (from ∧ rel)` renamed back to the current variables. Used to
+    /// cross-validate [`SymbolicContext::image`].
+    pub fn image_via_relation(&mut self, from: Ref, rel: Ref) -> Ref {
+        let current = self.current_vars().to_vec();
+        let next = self.next_vars().to_vec();
+        let m = self.manager_mut();
+        let product = m.and_exists(from, rel, &current);
+        let map: Vec<(VarId, VarId)> = next
+            .iter()
+            .zip(&current)
+            .map(|(&q, &p)| (q, p))
+            .collect();
+        m.rename(product, &map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{AssignmentStrategy, Encoding};
+    use pnsym_net::nets::{figure1, philosophers};
+    use pnsym_net::PetriNet;
+    use pnsym_structural::{find_smcs, CoverStrategy};
+
+    fn contexts(net: &PetriNet) -> Vec<SymbolicContext> {
+        let smcs = find_smcs(net).unwrap();
+        vec![
+            SymbolicContext::new(net, Encoding::sparse(net)),
+            SymbolicContext::new(
+                net,
+                Encoding::dense(net, &smcs, CoverStrategy::Exact, AssignmentStrategy::Gray),
+            ),
+            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+        ]
+    }
+
+    #[test]
+    fn single_step_images_match_explicit_firing() {
+        for net in [figure1(), philosophers(2)] {
+            let rg = net.explore().unwrap();
+            for mut ctx in contexts(&net) {
+                for m in rg.markings().iter().take(8) {
+                    let from = ctx.marking_to_bdd(m);
+                    for t in net.transitions() {
+                        let img = ctx.image(from, t);
+                        if net.is_enabled(m, t) {
+                            let next = net.fire(m, t).unwrap();
+                            assert_eq!(ctx.count_markings(img), 1.0);
+                            assert!(ctx.set_contains(img, &next));
+                        } else {
+                            assert_eq!(img, ctx.manager().zero());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn image_all_matches_explicit_successors() {
+        let net = figure1();
+        let rg = net.explore().unwrap();
+        for mut ctx in contexts(&net) {
+            let m = rg.marking(0).clone();
+            let from = ctx.marking_to_bdd(&m);
+            let img = ctx.image_all(from);
+            let successors: Vec<_> = net
+                .enabled_transitions(&m)
+                .into_iter()
+                .map(|t| net.fire(&m, t).unwrap())
+                .collect();
+            assert_eq!(ctx.count_markings(img), successors.len() as f64);
+            for s in &successors {
+                assert!(ctx.set_contains(img, s));
+            }
+        }
+    }
+
+    #[test]
+    fn relation_based_image_equals_direct_image() {
+        let net = figure1();
+        for mut ctx in contexts(&net) {
+            let init = ctx.initial_set();
+            let direct = ctx.image_all(init);
+            let rel = ctx.monolithic_relation();
+            let via_rel = ctx.image_via_relation(init, rel);
+            assert_eq!(direct, via_rel, "scheme {:?}", ctx.encoding().scheme());
+        }
+    }
+
+    #[test]
+    fn effects_write_fewer_variables_under_gray_codes() {
+        let net = figure1();
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let ctx = SymbolicContext::new(&net, enc);
+        for t in net.transitions() {
+            let effect = ctx.transition_effect(t);
+            assert!(effect.num_written() >= 1);
+            assert!(effect.num_written() <= ctx.encoding().num_vars());
+        }
+    }
+
+    #[test]
+    fn disabled_transition_has_empty_image_from_reachable_set() {
+        let net = philosophers(2);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let mut ctx = SymbolicContext::new(&net, enc);
+        // From the initial marking, "eat" transitions are disabled.
+        let init = ctx.initial_set();
+        let eat0 = net.transition_by_name("eat.0").unwrap();
+        assert_eq!(ctx.image(init, eat0), ctx.manager().zero());
+    }
+}

@@ -1,0 +1,298 @@
+//! Symbolic model checking on top of the encodings (Section 5 of the
+//! paper): pre-image computation and the standard CTL fixpoint operators,
+//! evaluated over the reachable state space.
+//!
+//! Properties are boolean combinations of place predicates
+//! ([`Property::place`]), so typical Petri-net questions — mutual exclusion,
+//! reachability of a partial marking, inevitability of progress — can be
+//! phrased directly against the paper's encodings.
+
+use crate::context::SymbolicContext;
+use pnsym_bdd::{Ref, VarId};
+use pnsym_net::{PlaceId, TransitionId};
+
+/// A state predicate built from place markings.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_core::{Encoding, Property, SymbolicContext};
+/// use pnsym_net::nets::figure1;
+///
+/// let net = figure1();
+/// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+/// let p2 = net.place_by_name("p2").unwrap();
+/// let p3 = net.place_by_name("p3").unwrap();
+/// // "p2 and p3 marked together" is reachable in Figure 1 (marking M1).
+/// let both = Property::place(p2).and(Property::place(p3));
+/// assert!(ctx.check_reachable(&both));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Property {
+    /// The given place is marked.
+    Place(PlaceId),
+    /// Boolean negation.
+    Not(Box<Property>),
+    /// Boolean conjunction.
+    And(Box<Property>, Box<Property>),
+    /// Boolean disjunction.
+    Or(Box<Property>, Box<Property>),
+    /// The constant true predicate.
+    True,
+}
+
+impl Property {
+    /// The predicate "place `p` is marked".
+    pub fn place(p: PlaceId) -> Property {
+        Property::Place(p)
+    }
+
+    /// Negation of the predicate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Property {
+        Property::Not(Box::new(self))
+    }
+
+    /// Conjunction with another predicate.
+    pub fn and(self, other: Property) -> Property {
+        Property::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with another predicate.
+    pub fn or(self, other: Property) -> Property {
+        Property::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of "marked" predicates over a set of places (a partial
+    /// marking).
+    pub fn all_marked(places: &[PlaceId]) -> Property {
+        places
+            .iter()
+            .fold(Property::True, |acc, &p| acc.and(Property::place(p)))
+    }
+}
+
+impl SymbolicContext {
+    /// Translates a [`Property`] into a BDD over the current state
+    /// variables.
+    pub fn property_set(&mut self, property: &Property) -> Ref {
+        match property {
+            Property::Place(p) => self.place_fn(*p),
+            Property::True => self.manager().one(),
+            Property::Not(a) => {
+                let fa = self.property_set(a);
+                self.manager_mut().not(fa)
+            }
+            Property::And(a, b) => {
+                let fa = self.property_set(a);
+                let fb = self.property_set(b);
+                self.manager_mut().and(fa, fb)
+            }
+            Property::Or(a, b) => {
+                let fa = self.property_set(a);
+                let fb = self.property_set(b);
+                self.manager_mut().or(fa, fb)
+            }
+        }
+    }
+
+    /// The pre-image of `target` under transition `t`: the markings that
+    /// enable `t` and reach a marking of `target` by firing it.
+    pub fn pre_image(&mut self, target: Ref, t: TransitionId) -> Ref {
+        let effect = self.transition_effect(t);
+        let enabled = self.enabling_fn(t);
+        let lits: Vec<(VarId, bool)> = effect
+            .assignments
+            .iter()
+            .map(|&(i, value)| (self.current_vars()[i], value))
+            .collect();
+        let changed: Vec<VarId> = lits.iter().map(|&(v, _)| v).collect();
+        let m = self.manager_mut();
+        let consts = m.cube(&lits);
+        // target[changed := consts] = ∃ changed. (target ∧ consts)
+        let substituted = m.and_exists(target, consts, &changed);
+        m.and(enabled, substituted)
+    }
+
+    /// The pre-image of `target` under all transitions (one backward step).
+    pub fn pre_image_all(&mut self, target: Ref) -> Ref {
+        let mut acc = self.manager().zero();
+        for t in self.net().transitions().collect::<Vec<_>>() {
+            let pre = self.pre_image(target, t);
+            acc = self.manager_mut().or(acc, pre);
+        }
+        acc
+    }
+
+    /// CTL `EX target` restricted to `within`: states of `within` with a
+    /// successor in `target`.
+    pub fn ex(&mut self, target: Ref, within: Ref) -> Ref {
+        let pre = self.pre_image_all(target);
+        self.manager_mut().and(pre, within)
+    }
+
+    /// CTL `EF target` restricted to `within` (least fixpoint of
+    /// `target ∨ EX Z`): states of `within` that can reach `target`.
+    pub fn ef(&mut self, target: Ref, within: Ref) -> Ref {
+        let mut z = self.manager_mut().and(target, within);
+        loop {
+            let pre = self.pre_image_all(z);
+            let step = self.manager_mut().and(pre, within);
+            let next = self.manager_mut().or(z, step);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    /// CTL `EG target` restricted to `within` (greatest fixpoint of
+    /// `target ∧ EX Z`): states from which some infinite (or
+    /// deadlock-free-prefix) path stays in `target`.
+    pub fn eg(&mut self, target: Ref, within: Ref) -> Ref {
+        let mut z = self.manager_mut().and(target, within);
+        loop {
+            let pre = self.pre_image_all(z);
+            let next = self.manager_mut().and(z, pre);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    /// CTL `AG target` restricted to `within`: `¬ EF ¬target`.
+    pub fn ag(&mut self, target: Ref, within: Ref) -> Ref {
+        let not_target = self.manager_mut().not(target);
+        let bad = self.ef(not_target, within);
+        self.manager_mut().diff(within, bad)
+    }
+
+    /// CTL `AF target` restricted to `within`: `¬ EG ¬target`.
+    pub fn af(&mut self, target: Ref, within: Ref) -> Ref {
+        let not_target = self.manager_mut().not(target);
+        let avoid = self.eg(not_target, within);
+        self.manager_mut().diff(within, avoid)
+    }
+
+    /// Whether some reachable marking satisfies `property`
+    /// (`EF property` from the initial marking).
+    pub fn check_reachable(&mut self, property: &Property) -> bool {
+        let reached = self.reachable_markings().reached;
+        let target = self.property_set(property);
+        let hit = self.manager_mut().and(reached, target);
+        hit != self.manager().zero()
+    }
+
+    /// Whether every reachable marking satisfies `property`
+    /// (`AG property` from the initial marking).
+    pub fn check_invariant(&mut self, property: &Property) -> bool {
+        let reached = self.reachable_markings().reached;
+        let target = self.property_set(property);
+        let bad = self.manager_mut().diff(reached, target);
+        bad == self.manager().zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{AssignmentStrategy, Encoding};
+    use pnsym_net::nets::{dme, figure1, philosophers, DmeStyle};
+    use pnsym_net::PetriNet;
+    use pnsym_structural::find_smcs;
+
+    fn dense_ctx(net: &PetriNet) -> SymbolicContext {
+        let smcs = find_smcs(net).unwrap();
+        SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray))
+    }
+
+    #[test]
+    fn pre_image_inverts_image_on_figure1() {
+        let net = figure1();
+        for mut ctx in [
+            SymbolicContext::new(&net, Encoding::sparse(&net)),
+            dense_ctx(&net),
+        ] {
+            let reached = ctx.reachable_markings().reached;
+            for t in net.transitions() {
+                let img = ctx.image(reached, t);
+                let back = ctx.pre_image(img, t);
+                // Every state that fired t is in the pre-image of its image.
+                let enabled = ctx.enabling_fn(t);
+                let firing_states = ctx.manager_mut().and(reached, enabled);
+                let missing = ctx.manager_mut().diff(firing_states, back);
+                assert_eq!(missing, ctx.manager().zero());
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_is_an_invariant_of_dme() {
+        let net = dme(3, DmeStyle::Spec);
+        let mut ctx = dense_ctx(&net);
+        let cs: Vec<PlaceId> = (0..3)
+            .map(|i| net.place_by_name(&format!("critical.{i}")).unwrap())
+            .collect();
+        // No two cells in the critical section at once.
+        for i in 0..3 {
+            for j in i + 1..3 {
+                let both = Property::place(cs[i]).and(Property::place(cs[j]));
+                assert!(!ctx.check_reachable(&both));
+                assert!(ctx.check_invariant(&both.not()));
+            }
+        }
+        // Each cell can reach its critical section.
+        for &c in &cs {
+            assert!(ctx.check_reachable(&Property::place(c)));
+        }
+    }
+
+    #[test]
+    fn ef_and_ag_fixpoints_on_philosophers() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let reached = ctx.reachable_markings().reached;
+        let eating0 = net.place_by_name("eating.0").unwrap();
+        let target = ctx.place_fn(eating0);
+        // From the initial marking philosopher 0 can eventually eat.
+        let ef = ctx.ef(target, reached);
+        let init = ctx.initial_set();
+        let init_in_ef = ctx.manager_mut().and(init, ef);
+        assert_ne!(init_in_ef, ctx.manager().zero());
+        // But it is not inevitable: the deadlock avoids it, so AF(eating.0)
+        // does not hold initially.
+        let af = ctx.af(target, reached);
+        let init_in_af = ctx.manager_mut().and(init, af);
+        assert_eq!(init_in_af, ctx.manager().zero());
+        // AG(true) is everything.
+        let ag_true = ctx.ag(ctx.manager().one(), reached);
+        assert_eq!(ag_true, reached);
+    }
+
+    #[test]
+    fn property_combinators_translate_correctly() {
+        let net = figure1();
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let p2 = net.place_by_name("p2").unwrap();
+        let p4 = net.place_by_name("p4").unwrap();
+        // p2 and p4 belong to the same SMC: never marked together.
+        let both = Property::all_marked(&[p2, p4]);
+        assert!(!ctx.check_reachable(&both));
+        let either = Property::place(p2).or(Property::place(p4));
+        assert!(ctx.check_reachable(&either));
+        assert!(!ctx.check_invariant(&either));
+        assert!(ctx.check_invariant(&Property::True));
+    }
+
+    #[test]
+    fn eg_finds_the_deadlock_self_loop_free_states() {
+        // In figure1 (deadlock-free, strongly connected behaviour),
+        // EG(true) over the reached set is the whole reached set.
+        let net = figure1();
+        let mut ctx = dense_ctx(&net);
+        let reached = ctx.reachable_markings().reached;
+        let eg = ctx.eg(ctx.manager().one(), reached);
+        assert_eq!(eg, reached);
+    }
+}

@@ -1,0 +1,295 @@
+//! Witness-trace extraction: a concrete firing sequence from the initial
+//! marking to a marking satisfying a target predicate.
+//!
+//! During the forward traversal the frontier "onion rings" are recorded;
+//! a witness is then rebuilt backwards, ring by ring, by asking which
+//! transition can step from the previous ring into the current prefix of
+//! the trace. The result is a list of `(transition, marking)` pairs that the
+//! token game of `pnsym-net` re-validates.
+
+use crate::context::SymbolicContext;
+use pnsym_bdd::Ref;
+use pnsym_net::{Marking, PlaceId, TransitionId};
+
+/// A firing sequence witnessing the reachability of some target marking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessTrace {
+    /// The markings along the trace, starting with the initial marking.
+    pub markings: Vec<Marking>,
+    /// The transitions fired between consecutive markings
+    /// (`transitions.len() == markings.len() - 1`).
+    pub transitions: Vec<TransitionId>,
+}
+
+impl WitnessTrace {
+    /// Number of firings in the trace.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the trace is empty (the initial marking already satisfies the
+    /// target).
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The final marking of the trace (the witness itself).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a trace always contains at least the initial marking.
+    pub fn witness(&self) -> &Marking {
+        self.markings.last().expect("trace contains the initial marking")
+    }
+
+    /// Validates the trace against the net's token game.
+    pub fn validate(&self, net: &pnsym_net::PetriNet) -> bool {
+        if self.markings.len() != self.transitions.len() + 1 {
+            return false;
+        }
+        for (i, &t) in self.transitions.iter().enumerate() {
+            match net.fire(&self.markings[i], t) {
+                Ok(next) if next == self.markings[i + 1] => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl SymbolicContext {
+    /// Finds a shortest (in breadth-first steps) firing sequence from the
+    /// initial marking to a marking in `target`, or `None` if `target` is
+    /// unreachable.
+    ///
+    /// `target` is a set of encoded markings over the current variables,
+    /// typically obtained from [`SymbolicContext::property_set`] or by
+    /// combining [`SymbolicContext::place_fn`]s.
+    pub fn witness_trace(&mut self, target: Ref) -> Option<WitnessTrace> {
+        // Forward pass: record the frontier rings until the target is hit.
+        let zero = self.manager().zero();
+        let mut rings: Vec<Ref> = vec![self.initial_set()];
+        let mut reached = self.initial_set();
+        self.manager_mut().protect(reached);
+        let mut hit = self.manager_mut().and(reached, target);
+
+        while hit == zero {
+            let frontier = *rings.last().expect("at least the initial ring");
+            let image = self.image_all(frontier);
+            let new = self.manager_mut().diff(image, reached);
+            if new == zero {
+                self.manager_mut().unprotect(reached);
+                return None;
+            }
+            let next_reached = self.manager_mut().or(reached, new);
+            self.manager_mut().protect(next_reached);
+            self.manager_mut().protect(new);
+            self.manager_mut().unprotect(reached);
+            reached = next_reached;
+            rings.push(new);
+            hit = self.manager_mut().and(new, target);
+        }
+
+        // Pick one concrete target marking in the last ring.
+        let mut current = self
+            .pick_marking(hit)
+            .expect("hit is non-empty, so a marking exists");
+        let mut markings = vec![current.clone()];
+        let mut transitions = Vec::new();
+
+        // Backward pass: for each ring boundary find a predecessor marking
+        // and the transition that was fired.
+        for ring_index in (1..rings.len()).rev() {
+            // `current` lives in rings[ring_index]; find (m, t) with
+            // m ∈ rings[ring_index - 1] and m [t> current.
+            let prev_ring = rings[ring_index - 1];
+            let current_cube = self.marking_to_bdd(&current);
+            let mut found = None;
+            for t in self.net().transitions().collect::<Vec<_>>() {
+                let pre = self.pre_image(current_cube, t);
+                let candidates = self.manager_mut().and(pre, prev_ring);
+                if candidates != zero {
+                    let m = self.pick_marking(candidates).expect("non-empty");
+                    found = Some((m, t));
+                    break;
+                }
+            }
+            let (m, t) = found.expect("every ring element has a predecessor in the previous ring");
+            transitions.push(t);
+            markings.push(m.clone());
+            current = m;
+        }
+
+        // Clean up protections added during the forward pass.
+        self.manager_mut().unprotect(reached);
+        for &ring in rings.iter().skip(1) {
+            self.manager_mut().unprotect(ring);
+        }
+
+        markings.reverse();
+        transitions.reverse();
+        Some(WitnessTrace {
+            markings,
+            transitions,
+        })
+    }
+
+    /// Extracts one concrete marking from a non-empty set of encoded
+    /// markings, or `None` if the set is empty.
+    pub fn pick_marking(&mut self, set: Ref) -> Option<Marking> {
+        if set == self.manager().zero() {
+            return None;
+        }
+        // Pick a satisfying assignment and complete the unconstrained
+        // variables with the recursive place evaluation of the encoding.
+        let partial = self.manager().pick_one(set)?;
+        let current = self.current_vars().to_vec();
+        let mut bits = vec![false; current.len()];
+        for (var, value) in partial {
+            if let Some(i) = current.iter().position(|&v| v == var) {
+                bits[i] = value;
+            }
+        }
+        // A partial assignment may leave some variables free; the chosen
+        // completion (false) is only valid if it decodes to a marking whose
+        // re-encoding is in the set — fall back to enumerating assignments.
+        let decode = |ctx: &SymbolicContext, bits: &[bool]| -> Option<Marking> {
+            let places = ctx.encoding().decode_assignment(bits)?;
+            let mut m = Marking::empty(ctx.net().num_places());
+            for p in places {
+                m.set(p, true);
+            }
+            Some(m)
+        };
+        if let Some(m) = decode(self, &bits) {
+            if self.set_contains(set, &m) {
+                return Some(m);
+            }
+        }
+        let assignments: Vec<Vec<bool>> = self
+            .manager()
+            .sat_assignments(set, &current)
+            .take(64)
+            .collect();
+        for bits in assignments {
+            if let Some(m) = decode(self, &bits) {
+                if self.set_contains(set, &m) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Convenience: the marked places of one marking in `set`, or `None` if
+    /// the set is empty (useful for reporting counterexamples).
+    pub fn pick_marked_places(&mut self, set: Ref) -> Option<Vec<PlaceId>> {
+        self.pick_marking(set).map(|m| m.marked_places())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{AssignmentStrategy, Encoding};
+    use crate::mc::Property;
+    use pnsym_net::nets::{dme, figure1, philosophers, DmeStyle};
+    use pnsym_net::PetriNet;
+    use pnsym_structural::find_smcs;
+
+    fn contexts(net: &PetriNet) -> Vec<SymbolicContext> {
+        let smcs = find_smcs(net).unwrap();
+        vec![
+            SymbolicContext::new(net, Encoding::sparse(net)),
+            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+        ]
+    }
+
+    #[test]
+    fn witness_to_a_reachable_marking_is_valid() {
+        let net = figure1();
+        for mut ctx in contexts(&net) {
+            let p6 = net.place_by_name("p6").unwrap();
+            let p7 = net.place_by_name("p7").unwrap();
+            let target_prop = Property::all_marked(&[p6, p7]);
+            let target = ctx.property_set(&target_prop);
+            let trace = ctx.witness_trace(target).expect("M7 is reachable");
+            assert!(trace.validate(&net), "trace must replay on the token game");
+            assert!(trace.witness().is_marked(p6));
+            assert!(trace.witness().is_marked(p7));
+            // M7 = {p6, p7} is reached after 3 firings in Figure 1.b.
+            assert_eq!(trace.len(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_trace_when_initial_marking_satisfies_target() {
+        let net = figure1();
+        for mut ctx in contexts(&net) {
+            let p1 = net.place_by_name("p1").unwrap();
+            let target = ctx.place_fn(p1);
+            let trace = ctx.witness_trace(target).expect("initially satisfied");
+            assert!(trace.is_empty());
+            assert_eq!(trace.witness(), net.initial_marking());
+        }
+    }
+
+    #[test]
+    fn unreachable_target_has_no_witness() {
+        let net = figure1();
+        for mut ctx in contexts(&net) {
+            // p2 and p4 belong to the same SMC; both marked is unreachable.
+            let p2 = net.place_by_name("p2").unwrap();
+            let p4 = net.place_by_name("p4").unwrap();
+            let prop = Property::all_marked(&[p2, p4]);
+            let target = ctx.property_set(&prop);
+            assert!(ctx.witness_trace(target).is_none());
+        }
+    }
+
+    #[test]
+    fn deadlock_witness_for_the_philosophers() {
+        let net = philosophers(2);
+        for mut ctx in contexts(&net) {
+            let reached = ctx.reachable_markings().reached;
+            let dead = ctx.deadlocks_in(reached);
+            let trace = ctx.witness_trace(dead).expect("the deadlock is reachable");
+            assert!(trace.validate(&net));
+            let witness = trace.witness().clone();
+            assert!(net.enabled_transitions(&witness).is_empty());
+            // The classic deadlocks: both philosophers hold their left fork,
+            // or symmetrically both hold their right fork.
+            let both_left = witness.is_marked(net.place_by_name("hasl.0").unwrap())
+                && witness.is_marked(net.place_by_name("hasl.1").unwrap());
+            let both_right = witness.is_marked(net.place_by_name("hasr.0").unwrap())
+                && witness.is_marked(net.place_by_name("hasr.1").unwrap());
+            assert!(both_left || both_right, "unexpected deadlock {witness}");
+        }
+    }
+
+    #[test]
+    fn witness_is_shortest_in_steps() {
+        let net = dme(3, DmeStyle::Spec);
+        for mut ctx in contexts(&net) {
+            let cs1 = net.place_by_name("critical.1").unwrap();
+            let target = ctx.place_fn(cs1);
+            let trace = ctx.witness_trace(target).expect("reachable");
+            assert!(trace.validate(&net));
+            // Cell 1 needs: request.1, pass.0 (token from cell 0), enter.1
+            // => 3 firings minimum.
+            assert_eq!(trace.len(), 3);
+        }
+    }
+
+    #[test]
+    fn pick_marking_returns_member_of_the_set() {
+        let net = philosophers(2);
+        for mut ctx in contexts(&net) {
+            let reached = ctx.reachable_markings().reached;
+            let m = ctx.pick_marking(reached).expect("non-empty");
+            assert!(ctx.set_contains(reached, &m));
+            let places = ctx.pick_marked_places(reached).expect("non-empty");
+            assert!(!places.is_empty());
+        }
+    }
+}

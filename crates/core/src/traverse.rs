@@ -1,0 +1,280 @@
+//! Symbolic breadth-first reachability traversal.
+
+use crate::context::SymbolicContext;
+use pnsym_bdd::{Ref, SiftConfig};
+use std::time::{Duration, Instant};
+
+/// When to run dynamic variable reordering during traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiftPolicy {
+    /// Never reorder (the default: the structural variable order is already
+    /// good for the generated benchmark families).
+    #[default]
+    Never,
+    /// Sift after every `n`-th traversal iteration.
+    EveryIterations(usize),
+}
+
+/// Options controlling the symbolic traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalOptions {
+    /// Compute images from the newly discovered frontier only (true) or from
+    /// the whole reached set (false).
+    pub use_frontier: bool,
+    /// Live-node threshold above which garbage collection runs between
+    /// iterations.
+    pub gc_threshold: usize,
+    /// Dynamic reordering policy.
+    pub sift: SiftPolicy,
+    /// Abort after this many iterations (safety valve for experiments).
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for TraversalOptions {
+    fn default() -> Self {
+        TraversalOptions {
+            use_frontier: true,
+            gc_threshold: 500_000,
+            sift: SiftPolicy::Never,
+            max_iterations: None,
+        }
+    }
+}
+
+/// The outcome of a symbolic reachability traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachabilityResult {
+    /// The reached set (over the current state variables).
+    pub reached: Ref,
+    /// Number of reachable markings (exact below 2^53).
+    pub num_markings: f64,
+    /// Number of breadth-first iterations until the fixpoint.
+    pub iterations: usize,
+    /// BDD node count of the final reached set.
+    pub bdd_nodes: usize,
+    /// Peak live-node count of the manager observed during the traversal.
+    pub peak_live_nodes: usize,
+    /// Wall-clock time of the traversal.
+    pub duration: Duration,
+    /// Whether the traversal stopped early because of
+    /// [`TraversalOptions::max_iterations`].
+    pub truncated: bool,
+}
+
+impl SymbolicContext {
+    /// Computes the set of reachable markings by breadth-first symbolic
+    /// traversal with default [`TraversalOptions`].
+    pub fn reachable_markings(&mut self) -> ReachabilityResult {
+        self.reachable_markings_with(TraversalOptions::default())
+    }
+
+    /// Computes the set of reachable markings by breadth-first symbolic
+    /// traversal.
+    ///
+    /// The returned [`ReachabilityResult::reached`] BDD is protected in the
+    /// context's manager and remains valid until the context is dropped.
+    pub fn reachable_markings_with(&mut self, options: TraversalOptions) -> ReachabilityResult {
+        let start = Instant::now();
+        let mut peak = self.manager().live_node_count();
+        let mut reached = self.initial_set();
+        let mut frontier = reached;
+        self.manager_mut().protect(reached);
+        self.manager_mut().protect(frontier);
+
+        let mut iterations = 0usize;
+        let mut truncated = false;
+        loop {
+            if let Some(limit) = options.max_iterations {
+                if iterations >= limit {
+                    truncated = true;
+                    break;
+                }
+            }
+            let source = if options.use_frontier { frontier } else { reached };
+            let image = self.image_all(source);
+            let new = self.manager_mut().diff(image, reached);
+            if new == self.manager().zero() {
+                break;
+            }
+            let next_reached = self.manager_mut().or(reached, new);
+
+            // Re-protect the updated sets and release the previous ones.
+            self.manager_mut().protect(next_reached);
+            self.manager_mut().protect(new);
+            self.manager_mut().unprotect(reached);
+            self.manager_mut().unprotect(frontier);
+            reached = next_reached;
+            frontier = new;
+            iterations += 1;
+
+            peak = peak.max(self.manager().live_node_count());
+            if self.manager().live_node_count() > options.gc_threshold {
+                self.manager_mut().collect_garbage();
+            }
+            if let SiftPolicy::EveryIterations(n) = options.sift {
+                if n > 0 && iterations % n == 0 {
+                    self.manager_mut().sift_with(SiftConfig::default());
+                }
+            }
+        }
+
+        self.manager_mut().unprotect(frontier);
+        peak = peak.max(self.manager().live_node_count());
+        let num_markings = self.count_markings(reached);
+        let bdd_nodes = self.bdd_size(reached);
+        ReachabilityResult {
+            reached,
+            num_markings,
+            iterations,
+            bdd_nodes,
+            peak_live_nodes: peak,
+            duration: start.elapsed(),
+            truncated,
+        }
+    }
+
+    /// Convenience: reachability plus symbolic deadlock detection.
+    /// Returns the traversal result and the number of reachable deadlocked
+    /// markings.
+    pub fn analyze_deadlocks(&mut self, options: TraversalOptions) -> (ReachabilityResult, f64) {
+        let result = self.reachable_markings_with(options);
+        let dead = self.deadlocks_in(result.reached);
+        let count = self.count_markings(dead);
+        (result, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{AssignmentStrategy, Encoding};
+    use pnsym_net::nets::{dme, figure1, muller, philosophers, slotted_ring, DmeStyle};
+    use pnsym_net::PetriNet;
+    use pnsym_structural::{find_smcs, CoverStrategy};
+
+    fn schemes(net: &PetriNet) -> Vec<Encoding> {
+        let smcs = find_smcs(net).unwrap();
+        vec![
+            Encoding::sparse(net),
+            Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray),
+            Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+        ]
+    }
+
+    #[test]
+    fn symbolic_counts_match_explicit_counts() {
+        let nets = vec![
+            figure1(),
+            philosophers(2),
+            philosophers(3),
+            muller(4),
+            slotted_ring(3),
+            dme(3, DmeStyle::Spec),
+        ];
+        for net in nets {
+            let expected = net.explore().unwrap().num_markings() as f64;
+            for enc in schemes(&net) {
+                let scheme = enc.scheme();
+                let mut ctx = SymbolicContext::new(&net, enc);
+                let result = ctx.reachable_markings();
+                assert_eq!(
+                    result.num_markings, expected,
+                    "{} under {:?}",
+                    net.name(),
+                    scheme
+                );
+                assert!(!result.truncated);
+                assert!(result.iterations > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_explicit_marking_is_in_the_symbolic_set() {
+        let net = philosophers(2);
+        let rg = net.explore().unwrap();
+        for enc in schemes(&net) {
+            let mut ctx = SymbolicContext::new(&net, enc);
+            let result = ctx.reachable_markings();
+            for m in rg.markings() {
+                assert!(ctx.set_contains(result.reached, m));
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_and_full_breadth_first_agree() {
+        let net = muller(3);
+        let smcs = find_smcs(&net).unwrap();
+        let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+        let mut a = SymbolicContext::new(&net, enc.clone());
+        let mut b = SymbolicContext::new(&net, enc);
+        let ra = a.reachable_markings_with(TraversalOptions {
+            use_frontier: true,
+            ..TraversalOptions::default()
+        });
+        let rb = b.reachable_markings_with(TraversalOptions {
+            use_frontier: false,
+            ..TraversalOptions::default()
+        });
+        assert_eq!(ra.num_markings, rb.num_markings);
+    }
+
+    #[test]
+    fn deadlock_detection_matches_explicit() {
+        let net = philosophers(3);
+        let explicit = net.explore().unwrap().deadlocks(&net).len() as f64;
+        for enc in schemes(&net) {
+            let mut ctx = SymbolicContext::new(&net, enc);
+            let (_, dead) = ctx.analyze_deadlocks(TraversalOptions::default());
+            assert_eq!(dead, explicit);
+        }
+    }
+
+    #[test]
+    fn max_iterations_truncates() {
+        let net = muller(4);
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let result = ctx.reachable_markings_with(TraversalOptions {
+            max_iterations: Some(1),
+            ..TraversalOptions::default()
+        });
+        assert!(result.truncated);
+        let full = SymbolicContext::new(&net, Encoding::sparse(&net))
+            .reachable_markings()
+            .num_markings;
+        assert!(result.num_markings < full);
+    }
+
+    #[test]
+    fn sifting_during_traversal_preserves_the_answer() {
+        let net = slotted_ring(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let result = ctx.reachable_markings_with(TraversalOptions {
+            sift: SiftPolicy::EveryIterations(2),
+            ..TraversalOptions::default()
+        });
+        assert_eq!(result.num_markings, expected);
+    }
+
+    #[test]
+    fn dense_reached_set_is_smaller_on_muller() {
+        let net = muller(6);
+        let smcs = find_smcs(&net).unwrap();
+        let mut sparse = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let mut dense = SymbolicContext::new(
+            &net,
+            Encoding::improved(&net, &smcs, AssignmentStrategy::Gray),
+        );
+        let rs = sparse.reachable_markings();
+        let rd = dense.reachable_markings();
+        assert_eq!(rs.num_markings, rd.num_markings);
+        assert!(
+            rd.bdd_nodes < rs.bdd_nodes,
+            "dense ({}) should beat sparse ({})",
+            rd.bdd_nodes,
+            rs.bdd_nodes
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! A builder for constructing [`PetriNet`]s programmatically.
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::net::PetriNet;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Incremental construction of a [`PetriNet`].
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_net::NetBuilder;
+/// # fn main() -> Result<(), pnsym_net::BuildError> {
+/// let mut b = NetBuilder::new("producer-consumer");
+/// let idle = b.place_marked("idle");
+/// let busy = b.place("busy");
+/// b.transition("start", &[idle], &[busy]);
+/// b.transition("stop", &[busy], &[idle]);
+/// let net = b.build()?;
+/// assert_eq!(net.num_places(), 2);
+/// assert_eq!(net.num_transitions(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetBuilder {
+    name: String,
+    place_names: Vec<String>,
+    marked: Vec<bool>,
+    transition_names: Vec<String>,
+    pre: Vec<Vec<PlaceId>>,
+    post: Vec<Vec<PlaceId>>,
+}
+
+impl NetBuilder {
+    /// Starts building a net with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetBuilder {
+            name: name.into(),
+            place_names: Vec::new(),
+            marked: Vec::new(),
+            transition_names: Vec::new(),
+            pre: Vec::new(),
+            post: Vec::new(),
+        }
+    }
+
+    /// Adds an initially unmarked place and returns its id.
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.add_place(name.into(), false)
+    }
+
+    /// Adds an initially marked place and returns its id.
+    pub fn place_marked(&mut self, name: impl Into<String>) -> PlaceId {
+        self.add_place(name.into(), true)
+    }
+
+    fn add_place(&mut self, name: String, marked: bool) -> PlaceId {
+        let id = PlaceId(self.place_names.len() as u32);
+        self.place_names.push(name);
+        self.marked.push(marked);
+        id
+    }
+
+    /// Adds a transition with the given pre- and post-sets and returns its id.
+    pub fn transition(
+        &mut self,
+        name: impl Into<String>,
+        pre: &[PlaceId],
+        post: &[PlaceId],
+    ) -> TransitionId {
+        let id = TransitionId(self.transition_names.len() as u32);
+        self.transition_names.push(name.into());
+        let mut pre: Vec<PlaceId> = pre.to_vec();
+        pre.sort_unstable();
+        pre.dedup();
+        let mut post: Vec<PlaceId> = post.to_vec();
+        post.sort_unstable();
+        post.dedup();
+        self.pre.push(pre);
+        self.post.push(post);
+        id
+    }
+
+    /// Number of places added so far.
+    pub fn num_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn num_transitions(&self) -> usize {
+        self.transition_names.len()
+    }
+
+    /// Finishes construction, validating the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a name is duplicated, if a transition references a
+    /// place that was never declared, or if a transition has an empty
+    /// pre-set or post-set (source/sink transitions are rejected because the
+    /// safe token game and the structural theory both assume pure
+    /// place-bordered transitions).
+    pub fn build(self) -> Result<PetriNet, BuildError> {
+        let mut seen = HashSet::new();
+        for name in &self.place_names {
+            if !seen.insert(name.clone()) {
+                return Err(BuildError::DuplicateName { name: name.clone() });
+            }
+        }
+        let mut seen_t = HashSet::new();
+        for name in &self.transition_names {
+            if !seen_t.insert(name.clone()) {
+                return Err(BuildError::DuplicateName { name: name.clone() });
+            }
+        }
+        let num_places = self.place_names.len();
+        for (t, (pre, post)) in self.pre.iter().zip(&self.post).enumerate() {
+            if pre.is_empty() || post.is_empty() {
+                return Err(BuildError::DisconnectedTransition {
+                    name: self.transition_names[t].clone(),
+                });
+            }
+            for &p in pre.iter().chain(post) {
+                if p.index() >= num_places {
+                    return Err(BuildError::UnknownPlace {
+                        transition: self.transition_names[t].clone(),
+                        place: p,
+                    });
+                }
+            }
+        }
+
+        let mut place_post = vec![Vec::new(); num_places];
+        let mut place_pre = vec![Vec::new(); num_places];
+        for (t, (pre, post)) in self.pre.iter().zip(&self.post).enumerate() {
+            for &p in pre {
+                place_post[p.index()].push(TransitionId(t as u32));
+            }
+            for &p in post {
+                place_pre[p.index()].push(TransitionId(t as u32));
+            }
+        }
+
+        let mut initial = Marking::empty(num_places);
+        for (i, &m) in self.marked.iter().enumerate() {
+            if m {
+                initial.set(PlaceId(i as u32), true);
+            }
+        }
+
+        Ok(PetriNet {
+            name: self.name,
+            place_names: self.place_names,
+            transition_names: self.transition_names,
+            pre: self.pre,
+            post: self.post,
+            place_post,
+            place_pre,
+            initial,
+        })
+    }
+}
+
+/// Errors reported by [`NetBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two places or two transitions share the same name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A transition references a place id that was never declared.
+    UnknownPlace {
+        /// The transition's name.
+        transition: String,
+        /// The undeclared place id.
+        place: PlaceId,
+    },
+    /// A transition has an empty pre-set or post-set.
+    DisconnectedTransition {
+        /// The transition's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
+            BuildError::UnknownPlace { transition, place } => {
+                write!(f, "transition `{transition}` references undeclared {place}")
+            }
+            BuildError::DisconnectedTransition { name } => {
+                write!(f, "transition `{name}` has an empty pre-set or post-set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_net() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place_marked("a");
+        let c = b.place("c");
+        b.transition("t", &[a], &[c]);
+        let net = b.build().unwrap();
+        assert_eq!(net.name(), "n");
+        assert!(net.initial_marking().is_marked(a));
+        assert!(!net.initial_marking().is_marked(c));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a");
+        let c = b.place("a");
+        b.transition("t", &[a], &[c]);
+        assert!(matches!(b.build(), Err(BuildError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn disconnected_transition_rejected() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a");
+        b.transition("t", &[a], &[]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::DisconnectedTransition { .. }));
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn unknown_place_rejected() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place("a");
+        b.transition("t", &[a], &[PlaceId(9)]);
+        assert!(matches!(b.build(), Err(BuildError::UnknownPlace { .. })));
+    }
+
+    #[test]
+    fn pre_post_sets_are_sorted_and_deduplicated() {
+        let mut b = NetBuilder::new("n");
+        let a = b.place_marked("a");
+        let c = b.place("c");
+        let d = b.place("d");
+        b.transition("t", &[d, a, d], &[c]);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        assert_eq!(net.pre_set(t), &[a, d]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Graphviz DOT export of Petri nets and reachability graphs.
+
+use crate::net::PetriNet;
+use crate::reach::ReachabilityGraph;
+use std::fmt::Write as _;
+
+impl PetriNet {
+    /// Renders the net as a Graphviz DOT digraph: places as circles
+    /// (double-circled when initially marked), transitions as boxes, and the
+    /// flow relation as arcs.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph petri_net {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  label=\"{}\";", self.name());
+        for p in self.places() {
+            let shape = if self.initial_marking().is_marked(p) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(
+                out,
+                "  place{} [label=\"{}\", shape={shape}];",
+                p.index(),
+                self.place_name(p)
+            );
+        }
+        for t in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  trans{} [label=\"{}\", shape=box, style=filled, fillcolor=lightgrey];",
+                t.index(),
+                self.transition_name(t)
+            );
+            for &p in self.pre_set(t) {
+                let _ = writeln!(out, "  place{} -> trans{};", p.index(), t.index());
+            }
+            for &p in self.post_set(t) {
+                let _ = writeln!(out, "  trans{} -> place{};", t.index(), p.index());
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+impl ReachabilityGraph {
+    /// Renders the reachability graph as a Graphviz DOT digraph, labelling
+    /// nodes with the marked places and edges with the fired transition
+    /// (the layout of Figure 1.b of the paper).
+    pub fn to_dot(&self, net: &PetriNet) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph reachability {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, m) in self.markings().iter().enumerate() {
+            let label: Vec<&str> = m.iter().map(|p| net.place_name(p)).collect();
+            let shape = if i == 0 { "doubleoctagon" } else { "ellipse" };
+            let _ = writeln!(
+                out,
+                "  m{i} [label=\"M{i}: {{{}}}\", shape={shape}];",
+                label.join(",")
+            );
+        }
+        for &(src, t, dst) in self.edges() {
+            let _ = writeln!(
+                out,
+                "  m{src} -> m{dst} [label=\"{}\"];",
+                net.transition_name(t)
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::nets::figure1;
+
+    #[test]
+    fn net_dot_mentions_every_node() {
+        let net = figure1();
+        let dot = net.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for p in net.places() {
+            assert!(dot.contains(net.place_name(p)));
+        }
+        for t in net.transitions() {
+            assert!(dot.contains(net.transition_name(t)));
+        }
+        assert!(dot.contains("doublecircle"), "p1 is initially marked");
+    }
+
+    #[test]
+    fn reachability_dot_has_all_markings_and_edges() {
+        let net = figure1();
+        let rg = net.explore().unwrap();
+        let dot = rg.to_dot(&net);
+        assert_eq!(dot.matches("shape=ellipse").count(), 7);
+        assert_eq!(dot.matches("shape=doubleoctagon").count(), 1);
+        assert_eq!(dot.matches(" -> ").count(), 11);
+    }
+}

@@ -1,0 +1,250 @@
+//! A small line-oriented text format for Petri nets.
+//!
+//! ```text
+//! # comment
+//! net dining-2
+//! place idle.0 *        # '*' marks the place initially
+//! place eating.0
+//! trans take.0  idle.0 fork.0 -> eating.0
+//! ```
+//!
+//! Each `place` line declares one place (optionally initially marked with a
+//! trailing `*`); each `trans` line declares a transition with its pre-set
+//! before `->` and its post-set after it.
+
+use crate::builder::{BuildError, NetBuilder};
+use crate::ids::PlaceId;
+use crate::net::PetriNet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A transition referenced a place that was never declared.
+    UnknownPlace {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared place name.
+        name: String,
+    },
+    /// The declared net was structurally invalid.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseNetError::UnknownPlace { line, name } => {
+                write!(f, "line {line}: unknown place `{name}`")
+            }
+            ParseNetError::Build(e) => write!(f, "invalid net: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNetError {}
+
+impl From<BuildError> for ParseNetError {
+    fn from(e: BuildError) -> Self {
+        ParseNetError::Build(e)
+    }
+}
+
+/// Parses a net from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetError`] describing the first offending line.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pnsym_net::ParseNetError> {
+/// let net = pnsym_net::parse_net(
+///     "net toggle\n\
+///      place off *\n\
+///      place on\n\
+///      trans up off -> on\n\
+///      trans down on -> off\n",
+/// )?;
+/// assert_eq!(net.num_places(), 2);
+/// assert_eq!(net.num_transitions(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_net(text: &str) -> Result<PetriNet, ParseNetError> {
+    let mut name = String::from("unnamed");
+    let mut builder: Option<NetBuilder> = None;
+    let mut places: HashMap<String, PlaceId> = HashMap::new();
+    // (line, transition name, pre names, post names)
+    let mut transitions: Vec<(usize, String, Vec<String>, Vec<String>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        match tokens.next() {
+            Some("net") => {
+                name = tokens.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(ParseNetError::Syntax {
+                        line,
+                        message: "`net` requires a name".into(),
+                    });
+                }
+            }
+            Some("place") => {
+                let pname = tokens.next().ok_or_else(|| ParseNetError::Syntax {
+                    line,
+                    message: "`place` requires a name".into(),
+                })?;
+                let marked = match tokens.next() {
+                    None => false,
+                    Some("*") => true,
+                    Some(other) => {
+                        return Err(ParseNetError::Syntax {
+                            line,
+                            message: format!("unexpected token `{other}` after place name"),
+                        })
+                    }
+                };
+                let b = builder.get_or_insert_with(|| NetBuilder::new(name.clone()));
+                let id = if marked {
+                    b.place_marked(pname)
+                } else {
+                    b.place(pname)
+                };
+                places.insert(pname.to_string(), id);
+            }
+            Some("trans") => {
+                let tname = tokens.next().ok_or_else(|| ParseNetError::Syntax {
+                    line,
+                    message: "`trans` requires a name".into(),
+                })?;
+                let rest: Vec<&str> = tokens.collect();
+                let arrow = rest.iter().position(|&s| s == "->").ok_or_else(|| {
+                    ParseNetError::Syntax {
+                        line,
+                        message: "`trans` requires `->` between pre-set and post-set".into(),
+                    }
+                })?;
+                let pre = rest[..arrow].iter().map(|s| s.to_string()).collect();
+                let post = rest[arrow + 1..].iter().map(|s| s.to_string()).collect();
+                transitions.push((line, tname.to_string(), pre, post));
+            }
+            Some(other) => {
+                return Err(ParseNetError::Syntax {
+                    line,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+            None => unreachable!(),
+        }
+    }
+
+    let mut builder = builder.unwrap_or_else(|| NetBuilder::new(name));
+    for (line, tname, pre, post) in transitions {
+        let resolve = |names: &[String]| -> Result<Vec<PlaceId>, ParseNetError> {
+            names
+                .iter()
+                .map(|n| {
+                    places.get(n).copied().ok_or_else(|| ParseNetError::UnknownPlace {
+                        line,
+                        name: n.clone(),
+                    })
+                })
+                .collect()
+        };
+        let pre_ids = resolve(&pre)?;
+        let post_ids = resolve(&post)?;
+        builder.transition(tname, &pre_ids, &post_ids);
+    }
+    Ok(builder.build()?)
+}
+
+/// Serialises a net to the text format accepted by [`parse_net`].
+pub fn write_net(net: &PetriNet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("net {}\n", net.name()));
+    for p in net.places() {
+        if net.initial_marking().is_marked(p) {
+            out.push_str(&format!("place {} *\n", net.place_name(p)));
+        } else {
+            out.push_str(&format!("place {}\n", net.place_name(p)));
+        }
+    }
+    for t in net.transitions() {
+        let pre: Vec<&str> = net.pre_set(t).iter().map(|&p| net.place_name(p)).collect();
+        let post: Vec<&str> = net.post_set(t).iter().map(|&p| net.place_name(p)).collect();
+        out.push_str(&format!(
+            "trans {} {} -> {}\n",
+            net.transition_name(t),
+            pre.join(" "),
+            post.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::{figure1, philosophers};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        for net in [figure1(), philosophers(3)] {
+            let text = write_net(&net);
+            let parsed = parse_net(&text).unwrap();
+            assert_eq!(parsed.num_places(), net.num_places());
+            assert_eq!(parsed.num_transitions(), net.num_transitions());
+            assert_eq!(
+                parsed.initial_marking().token_count(),
+                net.initial_marking().token_count()
+            );
+            // Same reachable state count.
+            assert_eq!(
+                parsed.explore().unwrap().num_markings(),
+                net.explore().unwrap().num_markings()
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let net = parse_net(
+            "# a comment\n\nnet c\nplace a * # marked\nplace b\ntrans t a -> b\n",
+        )
+        .unwrap();
+        assert_eq!(net.name(), "c");
+        assert_eq!(net.num_places(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_net("net x\nplace\n").unwrap_err();
+        assert!(matches!(err, ParseNetError::Syntax { line: 2, .. }));
+        let err = parse_net("net x\nplace a\nbogus\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+        let err = parse_net("net x\nplace a\ntrans t a b\n").unwrap_err();
+        assert!(matches!(err, ParseNetError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_place_is_reported() {
+        let err = parse_net("place a *\ntrans t a -> ghost\n").unwrap_err();
+        assert!(matches!(err, ParseNetError::UnknownPlace { .. }));
+    }
+}

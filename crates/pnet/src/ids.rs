@@ -1,0 +1,50 @@
+//! Typed identifiers for places and transitions.
+
+use std::fmt;
+
+/// Index of a place within a [`PetriNet`](crate::PetriNet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub u32);
+
+impl PlaceId {
+    /// The numeric index of the place.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a transition within a [`PetriNet`](crate::PetriNet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub u32);
+
+impl TransitionId {
+    /// The numeric index of the transition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(PlaceId(3).to_string(), "p3");
+        assert_eq!(TransitionId(7).to_string(), "t7");
+        assert_eq!(PlaceId(3).index(), 3);
+        assert_eq!(TransitionId(7).index(), 7);
+    }
+}

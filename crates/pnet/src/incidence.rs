@@ -1,0 +1,182 @@
+//! The incidence matrix `C : P × T → {-1, 0, 1}` and the state equation.
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::net::PetriNet;
+use std::fmt;
+
+/// The incidence matrix of a Petri net, stored densely with one row per
+/// place and one column per transition.
+///
+/// `C[p][t] = +1` if `t` produces into `p`, `-1` if it consumes from `p`
+/// (and `0` for self-loops, i.e. `p ∈ •t ∩ t•`, as in the ordinary-net
+/// definition `C(·,t) = [t•] − [•t]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidenceMatrix {
+    num_places: usize,
+    num_transitions: usize,
+    entries: Vec<i64>,
+}
+
+impl IncidenceMatrix {
+    /// Builds the incidence matrix of `net`.
+    pub fn from_net(net: &PetriNet) -> Self {
+        let num_places = net.num_places();
+        let num_transitions = net.num_transitions();
+        let mut entries = vec![0i64; num_places * num_transitions];
+        for t in net.transitions() {
+            for p in net.places() {
+                entries[p.index() * num_transitions + t.index()] = net.incidence_entry(p, t);
+            }
+        }
+        IncidenceMatrix {
+            num_places,
+            num_transitions,
+            entries,
+        }
+    }
+
+    /// Number of rows (places).
+    pub fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    /// Number of columns (transitions).
+    pub fn num_transitions(&self) -> usize {
+        self.num_transitions
+    }
+
+    /// The entry `C(p, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `t` is out of range.
+    pub fn entry(&self, p: PlaceId, t: TransitionId) -> i64 {
+        assert!(p.index() < self.num_places && t.index() < self.num_transitions);
+        self.entries[p.index() * self.num_transitions + t.index()]
+    }
+
+    /// The row of place `p` as a vector indexed by transition.
+    pub fn row(&self, p: PlaceId) -> &[i64] {
+        let start = p.index() * self.num_transitions;
+        &self.entries[start..start + self.num_transitions]
+    }
+
+    /// Evaluates the state equation `M' = M + C·σ⃗` for a firing-count vector
+    /// `sigma` (one entry per transition), returning the token count each
+    /// place would have. Negative intermediate results are allowed here; the
+    /// caller decides whether the vector is realisable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` does not have one entry per transition.
+    pub fn apply_state_equation(&self, m: &Marking, sigma: &[i64]) -> Vec<i64> {
+        assert_eq!(sigma.len(), self.num_transitions, "wrong firing vector size");
+        (0..self.num_places)
+            .map(|p| {
+                let place = PlaceId(p as u32);
+                let base = i64::from(m.is_marked(place));
+                base + self
+                    .row(place)
+                    .iter()
+                    .zip(sigma)
+                    .map(|(c, s)| c * s)
+                    .sum::<i64>()
+            })
+            .collect()
+    }
+
+    /// Computes `I^T · C` for a weight vector `I` indexed by place: the
+    /// vector that must be all zeroes for `I` to be a P-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not have one entry per place.
+    pub fn weighted_column_sums(&self, weights: &[i64]) -> Vec<i64> {
+        assert_eq!(weights.len(), self.num_places, "wrong weight vector size");
+        (0..self.num_transitions)
+            .map(|t| {
+                (0..self.num_places)
+                    .map(|p| weights[p] * self.entries[p * self.num_transitions + t])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Whether `weights` is a P-invariant (`I^T · C = 0`).
+    pub fn is_p_invariant(&self, weights: &[i64]) -> bool {
+        self.weighted_column_sums(weights).iter().all(|&x| x == 0)
+    }
+}
+
+impl fmt::Display for IncidenceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in 0..self.num_places {
+            for t in 0..self.num_transitions {
+                write!(f, "{:3}", self.entries[p * self.num_transitions + t])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::figure1;
+
+    #[test]
+    fn matches_the_paper_matrix() {
+        // The incidence matrix printed in Section 2.1 of the paper.
+        let expected: [[i64; 7]; 7] = [
+            [-1, -1, 0, 0, 0, 0, 1],
+            [1, 0, -1, 0, 0, 0, 0],
+            [1, 0, 0, -1, 0, 0, 0],
+            [0, 1, 0, 0, -1, 0, 0],
+            [0, 1, 0, 0, 0, -1, 0],
+            [0, 0, 1, 0, 1, 0, -1],
+            [0, 0, 0, 1, 0, 1, -1],
+        ];
+        let net = figure1();
+        let c = IncidenceMatrix::from_net(&net);
+        for (pi, row) in expected.iter().enumerate() {
+            for (ti, &v) in row.iter().enumerate() {
+                assert_eq!(
+                    c.entry(PlaceId(pi as u32), TransitionId(ti as u32)),
+                    v,
+                    "entry ({pi},{ti})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_invariants_check_out() {
+        let net = figure1();
+        let c = IncidenceMatrix::from_net(&net);
+        assert!(c.is_p_invariant(&[2, 1, 1, 1, 1, 1, 1]));
+        assert!(c.is_p_invariant(&[1, 1, 0, 1, 0, 1, 0]));
+        assert!(c.is_p_invariant(&[1, 0, 1, 0, 1, 0, 1]));
+        assert!(!c.is_p_invariant(&[1, 0, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn state_equation_tracks_firing() {
+        let net = figure1();
+        let c = IncidenceMatrix::from_net(&net);
+        let m0 = net.initial_marking();
+        // Firing t1 once: p1 loses its token, p2 and p3 gain one.
+        let mut sigma = vec![0i64; net.num_transitions()];
+        sigma[0] = 1;
+        let m1 = c.apply_state_equation(m0, &sigma);
+        assert_eq!(m1, vec![0, 1, 1, 0, 0, 0, 0]);
+        // The full cycle t1 t3 t4 t7 returns to the initial marking.
+        let mut cycle = vec![0i64; net.num_transitions()];
+        for t in [0usize, 2, 3, 6] {
+            cycle[t] = 1;
+        }
+        let back = c.apply_state_equation(m0, &cycle);
+        assert_eq!(back, vec![1, 0, 0, 0, 0, 0, 0]);
+    }
+}

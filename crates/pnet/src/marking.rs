@@ -1,0 +1,179 @@
+//! Markings of safe Petri nets, represented as fixed-width bitsets.
+
+use crate::ids::PlaceId;
+use std::fmt;
+
+/// A marking of a *safe* Petri net: the set of places holding a token.
+///
+/// Internally a bitset sized for a fixed number of places. Markings of the
+/// same net compare equal iff the same places are marked.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_net::{Marking, PlaceId};
+/// let mut m = Marking::empty(5);
+/// m.set(PlaceId(1), true);
+/// m.set(PlaceId(3), true);
+/// assert!(m.is_marked(PlaceId(1)));
+/// assert!(!m.is_marked(PlaceId(0)));
+/// assert_eq!(m.token_count(), 2);
+/// assert_eq!(m.marked_places(), vec![PlaceId(1), PlaceId(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Marking {
+    num_places: u32,
+    bits: Vec<u64>,
+}
+
+impl Marking {
+    /// The empty marking over `num_places` places.
+    pub fn empty(num_places: usize) -> Self {
+        Marking {
+            num_places: num_places as u32,
+            bits: vec![0; num_places.div_ceil(64)],
+        }
+    }
+
+    /// A marking with the given places set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any place index is out of range.
+    pub fn from_places(num_places: usize, places: &[PlaceId]) -> Self {
+        let mut m = Self::empty(num_places);
+        for &p in places {
+            m.set(p, true);
+        }
+        m
+    }
+
+    /// Number of places this marking ranges over.
+    pub fn num_places(&self) -> usize {
+        self.num_places as usize
+    }
+
+    /// Whether place `p` holds a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn is_marked(&self, p: PlaceId) -> bool {
+        assert!(p.0 < self.num_places, "place {p} out of range");
+        self.bits[p.index() / 64] & (1u64 << (p.index() % 64)) != 0
+    }
+
+    /// Sets or clears the token in place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: PlaceId, marked: bool) {
+        assert!(p.0 < self.num_places, "place {p} out of range");
+        let (word, bit) = (p.index() / 64, p.index() % 64);
+        if marked {
+            self.bits[word] |= 1u64 << bit;
+        } else {
+            self.bits[word] &= !(1u64 << bit);
+        }
+    }
+
+    /// Total number of tokens.
+    pub fn token_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The marked places in increasing index order.
+    pub fn marked_places(&self) -> Vec<PlaceId> {
+        self.iter().collect()
+    }
+
+    /// Iterates over the marked places in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.num_places).map(PlaceId).filter(|&p| self.is_marked(p))
+    }
+
+    /// Number of places whose content differs between `self` and `other`
+    /// (the Hamming distance between the two markings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two markings range over different numbers of places.
+    pub fn hamming_distance(&self, other: &Marking) -> usize {
+        assert_eq!(
+            self.num_places, other.num_places,
+            "markings of different nets"
+        );
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Marking::empty(130);
+        m.set(PlaceId(0), true);
+        m.set(PlaceId(64), true);
+        m.set(PlaceId(129), true);
+        assert!(m.is_marked(PlaceId(0)));
+        assert!(m.is_marked(PlaceId(64)));
+        assert!(m.is_marked(PlaceId(129)));
+        assert!(!m.is_marked(PlaceId(1)));
+        assert_eq!(m.token_count(), 3);
+        m.set(PlaceId(64), false);
+        assert!(!m.is_marked(PlaceId(64)));
+        assert_eq!(m.token_count(), 2);
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = Marking::from_places(10, &[PlaceId(2), PlaceId(5)]);
+        let b = Marking::from_places(10, &[PlaceId(5), PlaceId(2)]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Marking::from_places(8, &[PlaceId(0), PlaceId(3)]);
+        let b = Marking::from_places(8, &[PlaceId(0), PlaceId(4)]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn display_lists_marked_places() {
+        let m = Marking::from_places(8, &[PlaceId(1), PlaceId(6)]);
+        assert_eq!(m.to_string(), "{p1, p6}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let m = Marking::empty(4);
+        let _ = m.is_marked(PlaceId(4));
+    }
+}

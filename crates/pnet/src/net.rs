@@ -1,0 +1,295 @@
+//! The [`PetriNet`] structure: places, transitions, flow relation, initial
+//! marking, and the token-game semantics (enabling and firing).
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordinary Petri net `N = (P, T, F, M0)` restricted to safe behaviour.
+///
+/// Places and transitions carry human-readable names. The flow relation is
+/// stored as pre-set / post-set adjacency lists on both sides.
+///
+/// Construct nets with a [`NetBuilder`](crate::NetBuilder), a generator from
+/// [`nets`](crate::nets), or by parsing the [`text format`](crate::format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PetriNet {
+    pub(crate) name: String,
+    pub(crate) place_names: Vec<String>,
+    pub(crate) transition_names: Vec<String>,
+    /// For each transition, the sorted list of input places.
+    pub(crate) pre: Vec<Vec<PlaceId>>,
+    /// For each transition, the sorted list of output places.
+    pub(crate) post: Vec<Vec<PlaceId>>,
+    /// For each place, the transitions consuming from it.
+    pub(crate) place_post: Vec<Vec<TransitionId>>,
+    /// For each place, the transitions producing into it.
+    pub(crate) place_pre: Vec<Vec<TransitionId>>,
+    pub(crate) initial: Marking,
+}
+
+impl PetriNet {
+    /// The net's name (used in reports and benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places `|P|`.
+    pub fn num_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions `|T|`.
+    pub fn num_transitions(&self) -> usize {
+        self.transition_names.len()
+    }
+
+    /// All place ids in index order.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.place_names.len() as u32).map(PlaceId)
+    }
+
+    /// All transition ids in index order.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transition_names.len() as u32).map(TransitionId)
+    }
+
+    /// The name of place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.place_names[p.index()]
+    }
+
+    /// The name of transition `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transition_names[t.index()]
+    }
+
+    /// Looks up a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.place_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| PlaceId(i as u32))
+    }
+
+    /// Looks up a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transition_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TransitionId(i as u32))
+    }
+
+    /// The pre-set `•t` of transition `t` (sorted by place index).
+    pub fn pre_set(&self, t: TransitionId) -> &[PlaceId] {
+        &self.pre[t.index()]
+    }
+
+    /// The post-set `t•` of transition `t` (sorted by place index).
+    pub fn post_set(&self, t: TransitionId) -> &[PlaceId] {
+        &self.post[t.index()]
+    }
+
+    /// The transitions consuming from place `p` (its post-set `p•`).
+    pub fn place_post_set(&self, p: PlaceId) -> &[TransitionId] {
+        &self.place_post[p.index()]
+    }
+
+    /// The transitions producing into place `p` (its pre-set `•p`).
+    pub fn place_pre_set(&self, p: PlaceId) -> &[TransitionId] {
+        &self.place_pre[p.index()]
+    }
+
+    /// The initial marking `M0`.
+    pub fn initial_marking(&self) -> &Marking {
+        &self.initial
+    }
+
+    /// Whether transition `t` is enabled in marking `m`
+    /// (every place of `•t` is marked).
+    pub fn is_enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        self.pre[t.index()].iter().all(|&p| m.is_marked(p))
+    }
+
+    /// The transitions enabled in `m`, in index order.
+    pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
+        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+    }
+
+    /// Fires `t` in marking `m`, returning the successor marking.
+    ///
+    /// Firing removes a token from every place of `•t` and adds one to every
+    /// place of `t•`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FireError::NotEnabled`] if `t` is not enabled in `m`, and
+    /// [`FireError::Unsafe`] if firing would place a second token into a
+    /// place (the net would not be safe).
+    pub fn fire(&self, m: &Marking, t: TransitionId) -> Result<Marking, FireError> {
+        if !self.is_enabled(m, t) {
+            return Err(FireError::NotEnabled { transition: t });
+        }
+        let mut next = m.clone();
+        for &p in &self.pre[t.index()] {
+            next.set(p, false);
+        }
+        for &p in &self.post[t.index()] {
+            if next.is_marked(p) {
+                return Err(FireError::Unsafe {
+                    transition: t,
+                    place: p,
+                });
+            }
+            next.set(p, true);
+        }
+        Ok(next)
+    }
+
+    /// The effect of `t` on the token count of place `p`
+    /// (`+1`, `-1` or `0`): one entry of the incidence matrix.
+    pub fn incidence_entry(&self, p: PlaceId, t: TransitionId) -> i64 {
+        let consumes = self.pre[t.index()].binary_search(&p).is_ok();
+        let produces = self.post[t.index()].binary_search(&p).is_ok();
+        i64::from(produces) - i64::from(consumes)
+    }
+
+    /// Places adjacent to `t` (`•t ∪ t•`), sorted and deduplicated.
+    pub fn adjacent_places(&self, t: TransitionId) -> Vec<PlaceId> {
+        let set: BTreeSet<PlaceId> = self.pre[t.index()]
+            .iter()
+            .chain(&self.post[t.index()])
+            .copied()
+            .collect();
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Display for PetriNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} places, {} transitions, {} initial tokens)",
+            self.name,
+            self.num_places(),
+            self.num_transitions(),
+            self.initial.token_count()
+        )
+    }
+}
+
+/// Errors produced when firing a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireError {
+    /// The transition is not enabled in the given marking.
+    NotEnabled {
+        /// The transition that was asked to fire.
+        transition: TransitionId,
+    },
+    /// Firing would put a second token into `place`: the net is not safe.
+    Unsafe {
+        /// The transition that was fired.
+        transition: TransitionId,
+        /// The place that would receive a second token.
+        place: PlaceId,
+    },
+}
+
+impl fmt::Display for FireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FireError::NotEnabled { transition } => {
+                write!(f, "transition {transition} is not enabled")
+            }
+            FireError::Unsafe { transition, place } => write!(
+                f,
+                "firing {transition} would put a second token into {place}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    fn tiny_net() -> PetriNet {
+        let mut b = NetBuilder::new("tiny");
+        let a = b.place_marked("a");
+        let c = b.place("c");
+        let d = b.place("d");
+        b.transition("t0", &[a], &[c]);
+        b.transition("t1", &[c], &[d]);
+        b.transition("t2", &[d], &[a]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enabling_and_firing() {
+        let net = tiny_net();
+        let m0 = net.initial_marking().clone();
+        let t0 = net.transition_by_name("t0").unwrap();
+        let t1 = net.transition_by_name("t1").unwrap();
+        assert!(net.is_enabled(&m0, t0));
+        assert!(!net.is_enabled(&m0, t1));
+        assert_eq!(net.enabled_transitions(&m0), vec![t0]);
+        let m1 = net.fire(&m0, t0).unwrap();
+        assert!(m1.is_marked(net.place_by_name("c").unwrap()));
+        assert!(!m1.is_marked(net.place_by_name("a").unwrap()));
+        assert!(matches!(
+            net.fire(&m0, t1),
+            Err(FireError::NotEnabled { .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_firing_is_reported() {
+        let mut b = NetBuilder::new("unsafe");
+        let a = b.place_marked("a");
+        let c = b.place_marked("c");
+        let d = b.place("d");
+        b.transition("t", &[a], &[c, d]);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let err = net.fire(net.initial_marking(), t).unwrap_err();
+        assert!(matches!(err, FireError::Unsafe { .. }));
+        assert!(err.to_string().contains("second token"));
+    }
+
+    #[test]
+    fn incidence_entries() {
+        let net = tiny_net();
+        let a = net.place_by_name("a").unwrap();
+        let t0 = net.transition_by_name("t0").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        assert_eq!(net.incidence_entry(a, t0), -1);
+        assert_eq!(net.incidence_entry(a, t2), 1);
+        let c = net.place_by_name("c").unwrap();
+        assert_eq!(net.incidence_entry(c, t2), 0);
+    }
+
+    #[test]
+    fn adjacency_lookups_are_consistent() {
+        let net = tiny_net();
+        for t in net.transitions() {
+            for &p in net.pre_set(t) {
+                assert!(net.place_post_set(p).contains(&t));
+            }
+            for &p in net.post_set(t) {
+                assert!(net.place_pre_set(p).contains(&t));
+            }
+        }
+    }
+}

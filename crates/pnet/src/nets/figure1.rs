@@ -1,0 +1,63 @@
+//! The example net of Figure 1 of the paper.
+
+use crate::builder::NetBuilder;
+use crate::net::PetriNet;
+
+/// The 7-place, 7-transition example net of Figure 1 (Pastor & Cortadella,
+/// DATE 1998). Its reachability graph has exactly 8 markings and 11 edges,
+/// and it decomposes into the two 4-place SMCs `{p1, p2, p4, p6}` and
+/// `{p1, p3, p5, p7}`.
+///
+/// # Examples
+///
+/// ```
+/// let net = pnsym_net::nets::figure1();
+/// assert_eq!(net.num_places(), 7);
+/// assert_eq!(net.num_transitions(), 7);
+/// let rg = net.explore().expect("the net is safe");
+/// assert_eq!(rg.num_markings(), 8);
+/// ```
+pub fn figure1() -> PetriNet {
+    let mut b = NetBuilder::new("figure1");
+    let p1 = b.place_marked("p1");
+    let p2 = b.place("p2");
+    let p3 = b.place("p3");
+    let p4 = b.place("p4");
+    let p5 = b.place("p5");
+    let p6 = b.place("p6");
+    let p7 = b.place("p7");
+    b.transition("t1", &[p1], &[p2, p3]);
+    b.transition("t2", &[p1], &[p4, p5]);
+    b.transition("t3", &[p2], &[p6]);
+    b.transition("t4", &[p3], &[p7]);
+    b.transition("t5", &[p4], &[p6]);
+    b.transition("t6", &[p5], &[p7]);
+    b.transition("t7", &[p6, p7], &[p1]);
+    b.build().expect("figure1 net is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_figures() {
+        let net = figure1();
+        assert_eq!(net.num_places(), 7);
+        assert_eq!(net.num_transitions(), 7);
+        let rg = net.explore().unwrap();
+        assert_eq!(rg.num_markings(), 8, "Figure 1.b shows 8 markings");
+        assert_eq!(rg.num_edges(), 11, "Figure 1.b has 11 firings");
+        assert!(rg.deadlocks(&net).is_empty());
+    }
+
+    #[test]
+    fn marking_m1_is_p2_p3() {
+        let net = figure1();
+        let m0 = net.initial_marking().clone();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let m1 = net.fire(&m0, t1).unwrap();
+        let names: Vec<&str> = m1.iter().map(|p| net.place_name(p)).collect();
+        assert_eq!(names, vec!["p2", "p3"]);
+    }
+}

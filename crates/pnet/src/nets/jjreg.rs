@@ -1,0 +1,156 @@
+//! A synthetic register-pipeline controller net (the `JJreg` analogue of
+//! Table 4).
+//!
+//! The original `JJreg` benchmarks describe the control of a register in an
+//! asynchronous datapath. The synthetic equivalent built here couples a
+//! pipeline of latch controllers (one 4-phase SMC per stage) with a shared
+//! write bus arbitrated between several ports (one SMC per port plus one bus
+//! SMC), so that — like the original — the net exhibits many overlapping
+//! invariants and a state space dominated by interleavings.
+
+use crate::builder::NetBuilder;
+use crate::net::PetriNet;
+
+/// Pre-configured sizes mirroring the two `JJreg` rows of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JjregVariant {
+    /// Larger variant: 5 register stages fed through 3 bus ports.
+    A,
+    /// Smaller variant: 3 register stages fed through 2 bus ports.
+    B,
+}
+
+/// Builds the register-pipeline controller for the chosen [`JjregVariant`].
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_net::nets::{jjreg, JjregVariant};
+/// let net = jjreg(JjregVariant::B);
+/// assert!(net.num_places() > 15);
+/// assert!(net.explore().unwrap().num_markings() > 50);
+/// ```
+pub fn jjreg(variant: JjregVariant) -> PetriNet {
+    match variant {
+        JjregVariant::A => jjreg_sized("jjreg-a", 5, 3),
+        JjregVariant::B => jjreg_sized("jjreg-b", 3, 2),
+    }
+}
+
+/// Builds a register pipeline with `stages` latch controllers written
+/// through `ports` bus ports (fully parameterised form).
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `ports == 0`.
+pub fn jjreg_sized(name: &str, stages: usize, ports: usize) -> PetriNet {
+    assert!(stages >= 1 && ports >= 1, "need at least one stage and one port");
+    let mut b = NetBuilder::new(name);
+
+    // Shared write bus: free or owned by one port.
+    let bus_free = b.place_marked("bus_free");
+    let bus_busy: Vec<_> = (0..ports).map(|j| b.place(format!("bus_busy.{j}"))).collect();
+
+    // Port state machines, declared port by port so the default variable
+    // order keeps each port's places adjacent.
+    let mut p_idle = Vec::with_capacity(ports);
+    let mut p_want = Vec::with_capacity(ports);
+    let mut p_using = Vec::with_capacity(ports);
+    let mut p_written = Vec::with_capacity(ports);
+    for j in 0..ports {
+        p_idle.push(b.place_marked(format!("port_idle.{j}")));
+        p_want.push(b.place(format!("port_want.{j}")));
+        p_using.push(b.place(format!("port_using.{j}")));
+        p_written.push(b.place(format!("port_written.{j}")));
+    }
+
+    // Latch controller state machines, declared stage by stage.
+    let mut l_idle = Vec::with_capacity(stages);
+    let mut l_capture = Vec::with_capacity(stages);
+    let mut l_hold = Vec::with_capacity(stages);
+    let mut l_release = Vec::with_capacity(stages);
+    for s in 0..stages {
+        l_idle.push(b.place_marked(format!("latch_idle.{s}")));
+        l_capture.push(b.place(format!("latch_capture.{s}")));
+        l_hold.push(b.place(format!("latch_hold.{s}")));
+        l_release.push(b.place(format!("latch_release.{s}")));
+    }
+
+    // Port protocol: request the bus, write into the first latch, release.
+    for j in 0..ports {
+        b.transition(format!("port_req.{j}"), &[p_idle[j]], &[p_want[j]]);
+        b.transition(
+            format!("port_acquire.{j}"),
+            &[p_want[j], bus_free],
+            &[p_using[j], bus_busy[j]],
+        );
+        b.transition(
+            format!("port_write.{j}"),
+            &[p_using[j], l_idle[0]],
+            &[p_written[j], l_capture[0]],
+        );
+        b.transition(
+            format!("port_release.{j}"),
+            &[p_written[j], bus_busy[j]],
+            &[p_idle[j], bus_free],
+        );
+    }
+
+    // Latch pipeline: capture → hold, forwarded downstream, then recover.
+    for s in 0..stages {
+        b.transition(format!("latch_done.{s}"), &[l_capture[s]], &[l_hold[s]]);
+        if s + 1 < stages {
+            b.transition(
+                format!("forward.{s}"),
+                &[l_hold[s], l_idle[s + 1]],
+                &[l_release[s], l_capture[s + 1]],
+            );
+        } else {
+            b.transition(format!("output.{s}"), &[l_hold[s]], &[l_release[s]]);
+        }
+        b.transition(format!("latch_reset.{s}"), &[l_release[s]], &[l_idle[s]]);
+    }
+
+    b.build().expect("jjreg net is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_expected_sizes() {
+        let a = jjreg(JjregVariant::A);
+        let b = jjreg(JjregVariant::B);
+        assert_eq!(a.num_places(), 1 + 3 + 4 * 3 + 4 * 5);
+        assert_eq!(b.num_places(), 1 + 2 + 4 * 2 + 4 * 3);
+        assert!(a.num_places() > b.num_places());
+    }
+
+    #[test]
+    fn bus_mutual_exclusion_holds() {
+        let net = jjreg(JjregVariant::B);
+        let rg = net.explore().unwrap();
+        let busy: Vec<_> = (0..2)
+            .map(|j| net.place_by_name(&format!("bus_busy.{j}")).unwrap())
+            .collect();
+        for m in rg.markings() {
+            assert!(busy.iter().filter(|&&p| m.is_marked(p)).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_live() {
+        let net = jjreg(JjregVariant::B);
+        let rg = net.explore().unwrap();
+        assert!(rg.deadlocks(&net).is_empty());
+        let report = net.behaviour_report_from(&rg);
+        assert!(report.dead_transitions.is_empty());
+    }
+
+    #[test]
+    fn custom_sizes_are_supported() {
+        let net = jjreg_sized("custom", 2, 1);
+        assert!(net.explore().unwrap().num_markings() > 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Generators for the scalable benchmark nets used throughout the paper's
+//! evaluation, plus the small illustrative nets of its figures.
+//!
+//! | Generator | Paper workload | Structure |
+//! |---|---|---|
+//! | [`figure1`] | Fig. 1 example | 7 places, 8 markings, two 4-place SMCs |
+//! | [`philosophers`] | Fig. 4 / Table 3 `phil-n` | 7 places per philosopher |
+//! | [`muller`] | Table 3 `muller-n` | 4-place handshake cycle per stage |
+//! | [`slotted_ring`] | Table 3 `slot-n` | slot + node state machine per node |
+//! | [`dme`] | Table 4 `DMEspec`/`DMEcir` | token-ring mutual exclusion cells |
+//! | [`jjreg`] | Table 4 `JJreg-a/b` | register pipeline + bus arbitration |
+
+mod dme;
+mod figure1;
+mod jjreg;
+mod muller;
+mod philosophers;
+mod random;
+mod slotted_ring;
+
+pub use dme::{dme, DmeStyle};
+pub use figure1::figure1;
+pub use jjreg::{jjreg, JjregVariant};
+pub use muller::muller;
+pub use random::{random_composed, RandomNetConfig};
+pub use philosophers::philosophers;
+pub use slotted_ring::slotted_ring;

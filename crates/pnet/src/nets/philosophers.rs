@@ -1,0 +1,96 @@
+//! The dining-philosophers net of Figure 4, generalised to `n` philosophers.
+
+use crate::builder::NetBuilder;
+use crate::net::PetriNet;
+
+/// The dining-philosophers net with `n` philosophers (7 places and 5
+/// transitions per philosopher).
+///
+/// Philosopher `i` goes to the table, takes its left fork (`fork.i`), takes
+/// its right fork (`fork.(i+1) mod n`), eats, and finally returns both forks
+/// and leaves. For `n = 2` this is exactly the 14-place net of Figure 4 of
+/// the paper, with 22 reachable markings.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let net = pnsym_net::nets::philosophers(2);
+/// assert_eq!(net.num_places(), 14);
+/// assert_eq!(net.num_transitions(), 10);
+/// assert_eq!(net.explore().unwrap().num_markings(), 22);
+/// ```
+pub fn philosophers(n: usize) -> PetriNet {
+    assert!(n >= 2, "at least two philosophers are required");
+    let mut b = NetBuilder::new(format!("phil-{n}"));
+    // Places are declared philosopher by philosopher so that the default
+    // variable order keeps each philosopher's places adjacent.
+    let mut idle = Vec::with_capacity(n);
+    let mut wait_l = Vec::with_capacity(n);
+    let mut wait_r = Vec::with_capacity(n);
+    let mut has_l = Vec::with_capacity(n);
+    let mut has_r = Vec::with_capacity(n);
+    let mut eating = Vec::with_capacity(n);
+    let mut fork = Vec::with_capacity(n);
+    for i in 0..n {
+        idle.push(b.place_marked(format!("idle.{i}")));
+        wait_l.push(b.place(format!("waitl.{i}")));
+        wait_r.push(b.place(format!("waitr.{i}")));
+        has_l.push(b.place(format!("hasl.{i}")));
+        has_r.push(b.place(format!("hasr.{i}")));
+        eating.push(b.place(format!("eating.{i}")));
+        fork.push(b.place_marked(format!("fork.{i}")));
+    }
+
+    for i in 0..n {
+        let right = (i + 1) % n;
+        b.transition(format!("go.{i}"), &[idle[i]], &[wait_l[i], wait_r[i]]);
+        b.transition(format!("takel.{i}"), &[wait_l[i], fork[i]], &[has_l[i]]);
+        b.transition(format!("taker.{i}"), &[wait_r[i], fork[right]], &[has_r[i]]);
+        b.transition(format!("eat.{i}"), &[has_l[i], has_r[i]], &[eating[i]]);
+        b.transition(
+            format!("leave.{i}"),
+            &[eating[i]],
+            &[idle[i], fork[i], fork[right]],
+        );
+    }
+    b.build().expect("philosophers net is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_philosophers_match_figure4() {
+        let net = philosophers(2);
+        assert_eq!(net.num_places(), 14, "the paper's Figure 4 has 14 places");
+        assert_eq!(net.num_transitions(), 10);
+        let rg = net.explore().unwrap();
+        assert_eq!(rg.num_markings(), 22, "Section 4.3 reports 22 markings");
+    }
+
+    #[test]
+    fn scaling_grows_the_state_space() {
+        let m3 = philosophers(3).explore().unwrap().num_markings();
+        let m4 = philosophers(4).explore().unwrap().num_markings();
+        assert!(m4 > m3);
+        assert!(m3 > 22);
+    }
+
+    #[test]
+    fn classic_deadlock_exists() {
+        let net = philosophers(3);
+        let rg = net.explore().unwrap();
+        assert!(!rg.deadlocks(&net).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_philosopher() {
+        let _ = philosophers(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Behavioural properties checked on the explicit reachability graph:
+//! safety, deadlock freedom, liveness of transitions, and basic statistics.
+
+use crate::ids::TransitionId;
+use crate::net::PetriNet;
+use crate::reach::{ExploreError, ExploreOptions, ReachabilityGraph};
+
+/// A summary of behavioural properties of a net, computed explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviourReport {
+    /// Number of reachable markings.
+    pub num_markings: usize,
+    /// Number of reachability-graph edges.
+    pub num_edges: usize,
+    /// Number of reachable deadlock markings.
+    pub num_deadlocks: usize,
+    /// Transitions that never fire in any reachable marking.
+    pub dead_transitions: Vec<TransitionId>,
+    /// Maximum number of tokens observed in any reachable marking.
+    pub max_tokens: usize,
+    /// Average number of transitions enabled per reachable marking.
+    pub avg_enabled: f64,
+}
+
+impl PetriNet {
+    /// Computes a [`BehaviourReport`] by explicit exploration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExploreError`] from the underlying exploration.
+    pub fn behaviour_report(
+        &self,
+        options: ExploreOptions,
+    ) -> Result<BehaviourReport, ExploreError> {
+        let rg = self.explore_with(options)?;
+        Ok(self.behaviour_report_from(&rg))
+    }
+
+    /// Computes a [`BehaviourReport`] from an already-built reachability
+    /// graph.
+    pub fn behaviour_report_from(&self, rg: &ReachabilityGraph) -> BehaviourReport {
+        let mut fired = vec![false; self.num_transitions()];
+        for &(_, t, _) in rg.edges() {
+            fired[t.index()] = true;
+        }
+        let dead_transitions = self
+            .transitions()
+            .filter(|t| !fired[t.index()])
+            .collect();
+        let mut total_enabled = 0usize;
+        let mut num_deadlocks = 0usize;
+        let mut max_tokens = 0usize;
+        for m in rg.markings() {
+            let enabled = self.enabled_transitions(m).len();
+            total_enabled += enabled;
+            if enabled == 0 {
+                num_deadlocks += 1;
+            }
+            max_tokens = max_tokens.max(m.token_count());
+        }
+        BehaviourReport {
+            num_markings: rg.num_markings(),
+            num_edges: rg.num_edges(),
+            num_deadlocks,
+            dead_transitions,
+            max_tokens,
+            avg_enabled: total_enabled as f64 / rg.num_markings() as f64,
+        }
+    }
+
+    /// Whether the net is safe, decided by explicit exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimit`] if the exploration budget is
+    /// exceeded before an answer is known.
+    pub fn is_safe(&self, options: ExploreOptions) -> Result<bool, ExploreError> {
+        match self.explore_with(options) {
+            Ok(_) => Ok(true),
+            Err(ExploreError::Unsafe(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::nets::{figure1, philosophers};
+
+    #[test]
+    fn figure1_report() {
+        let net = figure1();
+        let report = net.behaviour_report(ExploreOptions::default()).unwrap();
+        assert_eq!(report.num_markings, 8);
+        assert_eq!(report.num_edges, 11);
+        assert_eq!(report.num_deadlocks, 0);
+        assert!(report.dead_transitions.is_empty());
+        assert_eq!(report.max_tokens, 2);
+        assert!(report.avg_enabled > 1.0);
+    }
+
+    #[test]
+    fn philosophers_have_the_classic_deadlock() {
+        let net = philosophers(2);
+        let report = net.behaviour_report(ExploreOptions::default()).unwrap();
+        assert!(report.num_deadlocks > 0, "both grab their left fork");
+        assert!(report.dead_transitions.is_empty());
+    }
+
+    #[test]
+    fn dead_transition_is_reported() {
+        let mut b = NetBuilder::new("dead-t");
+        let a = b.place_marked("a");
+        let c = b.place("c");
+        let d = b.place("d");
+        b.transition("live", &[a], &[c]);
+        b.transition("dead", &[d], &[a]);
+        let net = b.build().unwrap();
+        let report = net.behaviour_report(ExploreOptions::default()).unwrap();
+        assert_eq!(report.dead_transitions.len(), 1);
+        assert_eq!(report.num_deadlocks, 1);
+    }
+
+    #[test]
+    fn safety_check() {
+        let net = figure1();
+        assert!(net.is_safe(ExploreOptions::default()).unwrap());
+        let mut b = NetBuilder::new("unsafe");
+        let a = b.place_marked("a");
+        let c = b.place_marked("c");
+        let d = b.place("d");
+        b.transition("t1", &[a], &[d]);
+        b.transition("t2", &[c], &[d]);
+        let bad = b.build().unwrap();
+        assert!(!bad.is_safe(ExploreOptions::default()).unwrap());
+    }
+}

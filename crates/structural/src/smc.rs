@@ -1,0 +1,396 @@
+//! State Machine Components (SMCs): extraction from P-invariants and the
+//! structural checks of Section 2.2.
+
+use crate::invariants::{minimal_invariants_with, Invariant, InvariantError, InvariantOptions};
+use pnsym_net::{PetriNet, PlaceId, TransitionId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A State Machine Component of a Petri net: a subset of places generating a
+/// strongly connected state machine.
+///
+/// By Theorem 2.1 of the paper the characteristic vector of the place set is
+/// a minimal semi-positive P-invariant, so the token count inside the
+/// component is preserved; components holding exactly one token admit a
+/// logarithmic encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Smc {
+    places: Vec<PlaceId>,
+    transitions: Vec<TransitionId>,
+    initial_tokens: usize,
+}
+
+impl Smc {
+    /// The component's places in increasing index order.
+    pub fn places(&self) -> &[PlaceId] {
+        &self.places
+    }
+
+    /// The transitions adjacent to the component's places.
+    pub fn transitions(&self) -> &[TransitionId] {
+        &self.transitions
+    }
+
+    /// Number of places in the component.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Whether the component has no places (never true for a checked SMC).
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// Whether `p` belongs to the component.
+    pub fn contains(&self, p: PlaceId) -> bool {
+        self.places.binary_search(&p).is_ok()
+    }
+
+    /// Whether transition `t` is covered by the component.
+    pub fn covers_transition(&self, t: TransitionId) -> bool {
+        self.transitions.binary_search(&t).is_ok()
+    }
+
+    /// Number of tokens the component holds in the initial marking.
+    pub fn initial_tokens(&self) -> usize {
+        self.initial_tokens
+    }
+
+    /// Number of boolean variables a logarithmic encoding of this component
+    /// needs: `⌈log2 |places|⌉`.
+    pub fn encoding_cost(&self) -> u32 {
+        (self.places.len() as u32).next_power_of_two().trailing_zeros()
+    }
+
+    /// The output place of `t` inside the component, if `t` is covered.
+    pub fn output_place_of(&self, net: &PetriNet, t: TransitionId) -> Option<PlaceId> {
+        net.post_set(t).iter().copied().find(|&p| self.contains(p))
+    }
+
+    /// The input place of `t` inside the component, if `t` is covered.
+    pub fn input_place_of(&self, net: &PetriNet, t: TransitionId) -> Option<PlaceId> {
+        net.pre_set(t).iter().copied().find(|&p| self.contains(p))
+    }
+}
+
+impl fmt::Display for Smc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SMC{{")?;
+        for (i, p) in self.places.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Why a place set fails to be a (usable) SMC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmcCheckError {
+    /// The set is empty.
+    Empty,
+    /// A covered transition has more or fewer than one input place in the set.
+    BadInputDegree {
+        /// The offending transition.
+        transition: TransitionId,
+        /// How many of its input places lie in the set.
+        count: usize,
+    },
+    /// A covered transition has more or fewer than one output place in the set.
+    BadOutputDegree {
+        /// The offending transition.
+        transition: TransitionId,
+        /// How many of its output places lie in the set.
+        count: usize,
+    },
+    /// The generated state machine is not strongly connected.
+    NotStronglyConnected,
+}
+
+impl fmt::Display for SmcCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcCheckError::Empty => write!(f, "empty place set"),
+            SmcCheckError::BadInputDegree { transition, count } => write!(
+                f,
+                "transition {transition} has {count} input places in the set (expected 1)"
+            ),
+            SmcCheckError::BadOutputDegree { transition, count } => write!(
+                f,
+                "transition {transition} has {count} output places in the set (expected 1)"
+            ),
+            SmcCheckError::NotStronglyConnected => {
+                write!(f, "the generated state machine is not strongly connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmcCheckError {}
+
+/// Checks whether `places` generates a State Machine Component of `net` and
+/// returns it if so.
+///
+/// The generated subnet takes every transition adjacent to the places; each
+/// such transition must have exactly one input and one output place within
+/// the set, and the induced place graph must be strongly connected
+/// (single-place components with a self-loop transition are accepted).
+///
+/// # Errors
+///
+/// Returns an [`SmcCheckError`] describing the first violated condition.
+pub fn check_smc(net: &PetriNet, places: &[PlaceId]) -> Result<Smc, SmcCheckError> {
+    if places.is_empty() {
+        return Err(SmcCheckError::Empty);
+    }
+    let place_set: BTreeSet<PlaceId> = places.iter().copied().collect();
+    // Transitions adjacent to the place set.
+    let mut transitions: BTreeSet<TransitionId> = BTreeSet::new();
+    for &p in &place_set {
+        transitions.extend(net.place_pre_set(p).iter().copied());
+        transitions.extend(net.place_post_set(p).iter().copied());
+    }
+    // Each covered transition needs exactly one input and one output place
+    // inside the set.
+    let mut edges: HashMap<PlaceId, Vec<PlaceId>> = HashMap::new();
+    for &t in &transitions {
+        let ins: Vec<PlaceId> = net
+            .pre_set(t)
+            .iter()
+            .copied()
+            .filter(|p| place_set.contains(p))
+            .collect();
+        let outs: Vec<PlaceId> = net
+            .post_set(t)
+            .iter()
+            .copied()
+            .filter(|p| place_set.contains(p))
+            .collect();
+        if ins.len() != 1 {
+            return Err(SmcCheckError::BadInputDegree {
+                transition: t,
+                count: ins.len(),
+            });
+        }
+        if outs.len() != 1 {
+            return Err(SmcCheckError::BadOutputDegree {
+                transition: t,
+                count: outs.len(),
+            });
+        }
+        edges.entry(ins[0]).or_default().push(outs[0]);
+    }
+    if !strongly_connected(&place_set, &edges) {
+        return Err(SmcCheckError::NotStronglyConnected);
+    }
+    let initial_tokens = place_set
+        .iter()
+        .filter(|&&p| net.initial_marking().is_marked(p))
+        .count();
+    Ok(Smc {
+        places: place_set.into_iter().collect(),
+        transitions: transitions.into_iter().collect(),
+        initial_tokens,
+    })
+}
+
+fn strongly_connected(
+    places: &BTreeSet<PlaceId>,
+    edges: &HashMap<PlaceId, Vec<PlaceId>>,
+) -> bool {
+    if places.len() == 1 {
+        return true;
+    }
+    let start = *places.iter().next().expect("non-empty");
+    let reaches_all = |forward: bool| -> bool {
+        let mut seen: HashSet<PlaceId> = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            if forward {
+                if let Some(next) = edges.get(&p) {
+                    stack.extend(next.iter().copied());
+                }
+            } else {
+                for (&src, targets) in edges {
+                    if targets.contains(&p) {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+        seen.len() == places.len()
+    };
+    reaches_all(true) && reaches_all(false)
+}
+
+/// Extracts every SMC holding exactly one initial token from a list of
+/// minimal semi-positive invariants: the candidates are the unit-weight
+/// invariants whose support passes [`check_smc`].
+pub fn smcs_from_invariants(net: &PetriNet, invariants: &[Invariant]) -> Vec<Smc> {
+    invariants
+        .iter()
+        .filter(|inv| inv.has_unit_weights())
+        .filter_map(|inv| check_smc(net, &inv.support()).ok())
+        .filter(|smc| smc.initial_tokens() == 1)
+        .collect()
+}
+
+/// Convenience: computes the minimal invariants of `net` and extracts the
+/// one-token SMCs from them.
+///
+/// # Errors
+///
+/// Propagates [`InvariantError`] from the invariant computation.
+pub fn find_smcs(net: &PetriNet) -> Result<Vec<Smc>, InvariantError> {
+    find_smcs_with(net, InvariantOptions::default())
+}
+
+/// [`find_smcs`] with explicit invariant-computation options.
+///
+/// # Errors
+///
+/// Propagates [`InvariantError`] from the invariant computation.
+pub fn find_smcs_with(
+    net: &PetriNet,
+    options: InvariantOptions,
+) -> Result<Vec<Smc>, InvariantError> {
+    let invariants = minimal_invariants_with(net, options)?;
+    Ok(smcs_from_invariants(net, &invariants))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnsym_net::nets::{dme, figure1, muller, philosophers, slotted_ring, DmeStyle};
+
+    fn names(net: &PetriNet, smc: &Smc) -> Vec<String> {
+        smc.places().iter().map(|&p| net.place_name(p).to_string()).collect()
+    }
+
+    #[test]
+    fn figure1_smcs_match_figure_2e() {
+        let net = figure1();
+        let smcs = find_smcs(&net).unwrap();
+        assert_eq!(smcs.len(), 2);
+        let mut sets: Vec<Vec<String>> = smcs.iter().map(|s| names(&net, s)).collect();
+        sets.sort();
+        assert_eq!(
+            sets,
+            vec![
+                vec!["p1", "p2", "p4", "p6"],
+                vec!["p1", "p3", "p5", "p7"]
+            ]
+        );
+        for smc in &smcs {
+            assert_eq!(smc.encoding_cost(), 2);
+            assert_eq!(smc.initial_tokens(), 1);
+        }
+    }
+
+    #[test]
+    fn figure3_decomposition_of_two_philosophers() {
+        // The paper's Figure 3 shows six SMCs covering all 14 places.
+        let net = philosophers(2);
+        let smcs = find_smcs(&net).unwrap();
+        assert_eq!(smcs.len(), 6);
+        let mut covered: BTreeSet<PlaceId> = BTreeSet::new();
+        for smc in &smcs {
+            covered.extend(smc.places().iter().copied());
+        }
+        assert_eq!(covered.len(), 14, "the SMCs cover every place");
+        // Branch SMCs have 4 places, fork SMCs have 5 in this model.
+        let sizes: BTreeSet<usize> = smcs.iter().map(Smc::len).collect();
+        assert_eq!(sizes, BTreeSet::from([4, 5]));
+    }
+
+    #[test]
+    fn rejects_non_state_machine_sets() {
+        let net = figure1();
+        // {p1, p2}: t1 has two output places outside? t1: p1 -> {p2, p3};
+        // within {p1, p2} it has one input (p1) and one output (p2), t3 has
+        // input p2 but output p6 outside the set -> bad output degree.
+        let p1 = net.place_by_name("p1").unwrap();
+        let p2 = net.place_by_name("p2").unwrap();
+        let err = check_smc(&net, &[p1, p2]).unwrap_err();
+        assert!(matches!(err, SmcCheckError::BadOutputDegree { .. }));
+        assert!(check_smc(&net, &[]).is_err());
+    }
+
+    #[test]
+    fn muller_stage_components() {
+        let net = muller(4);
+        let smcs = find_smcs(&net).unwrap();
+        assert_eq!(smcs.len(), 4);
+        for smc in &smcs {
+            assert_eq!(smc.len(), 4);
+            assert_eq!(smc.encoding_cost(), 2);
+        }
+    }
+
+    #[test]
+    fn dme_has_one_large_token_component() {
+        let net = dme(4, DmeStyle::Spec);
+        let smcs = find_smcs(&net).unwrap();
+        // Per cell there are three 3-place user SMCs ({idle,pending,critical},
+        // {idle,pending,held} and {idle,prep,prepped}), and the
+        // circulating-token invariant has one variant per cell (held_i may
+        // be swapped for critical_i), so 4·3 + 2^4 = 28 minimal one-token
+        // SMCs exist in total.
+        assert_eq!(smcs.len(), 28);
+        let largest = smcs.iter().map(Smc::len).max().unwrap();
+        assert_eq!(largest, 8, "the token component spans 2 places per cell");
+        let large = smcs.iter().find(|s| s.len() == 8).unwrap();
+        assert_eq!(large.encoding_cost(), 3);
+        // Together the SMCs cover every place of the net.
+        let covered: BTreeSet<PlaceId> = smcs
+            .iter()
+            .flat_map(|s| s.places().iter().copied())
+            .collect();
+        assert_eq!(covered.len(), net.num_places());
+    }
+
+    #[test]
+    fn slotted_ring_components_cover_everything() {
+        let net = slotted_ring(3);
+        let smcs = find_smcs(&net).unwrap();
+        let mut covered: BTreeSet<PlaceId> = BTreeSet::new();
+        for smc in &smcs {
+            covered.extend(smc.places().iter().copied());
+        }
+        assert_eq!(covered.len(), net.num_places());
+    }
+
+    #[test]
+    fn encoding_cost_is_ceil_log2() {
+        let net = dme(3, DmeStyle::Spec);
+        let smcs = find_smcs(&net).unwrap();
+        for smc in &smcs {
+            let expected = (smc.len() as f64).log2().ceil() as u32;
+            assert_eq!(smc.encoding_cost(), expected, "SMC of {} places", smc.len());
+        }
+    }
+
+    #[test]
+    fn output_and_input_place_lookup() {
+        let net = figure1();
+        let smcs = find_smcs(&net).unwrap();
+        let smc1 = smcs
+            .iter()
+            .find(|s| s.contains(net.place_by_name("p2").unwrap()))
+            .unwrap();
+        let t1 = net.transition_by_name("t1").unwrap();
+        assert_eq!(
+            smc1.output_place_of(&net, t1),
+            net.place_by_name("p2")
+        );
+        assert_eq!(
+            smc1.input_place_of(&net, t1),
+            net.place_by_name("p1")
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-engine equivalence: the explicit enumeration, the BDD engines under
+//! every encoding scheme, and the ZDD engine must agree on the set of
+//! reachable markings for every benchmark family.
+
+use pnsym::net::nets::{dme, figure1, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant};
+use pnsym::net::PetriNet;
+use pnsym::structural::find_smcs;
+use pnsym::{
+    analyze_zdd, AssignmentStrategy, Encoding, SchemeKind, SymbolicContext, TraversalOptions,
+};
+use pnsym::structural::CoverStrategy;
+
+fn all_encodings(net: &PetriNet) -> Vec<Encoding> {
+    let smcs = find_smcs(net).expect("benchmark nets stay within limits");
+    vec![
+        Encoding::sparse(net),
+        Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray),
+        Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Sequential),
+        Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+        Encoding::improved(net, &smcs, AssignmentStrategy::Sequential),
+    ]
+}
+
+fn check_net(net: &PetriNet) {
+    let rg = net.explore().expect("explicit exploration fits in memory");
+    let expected = rg.num_markings() as f64;
+    let explicit_deadlocks = rg.deadlocks(net).len() as f64;
+
+    for encoding in all_encodings(net) {
+        let scheme = encoding.scheme();
+        let vars = encoding.num_vars();
+        let mut ctx = SymbolicContext::new(net, encoding);
+        let result = ctx.reachable_markings_with(TraversalOptions::default());
+        assert_eq!(
+            result.num_markings, expected,
+            "{}: {scheme} with {vars} vars disagrees with explicit enumeration",
+            net.name()
+        );
+        // Deadlock counts agree too.
+        let dead = ctx.deadlocks_in(result.reached);
+        assert_eq!(
+            ctx.count_markings(dead),
+            explicit_deadlocks,
+            "{}: {scheme} deadlock count",
+            net.name()
+        );
+        // Every explicit marking is in the symbolic set (spot-check a few).
+        for m in rg.markings().iter().take(16) {
+            assert!(ctx.set_contains(result.reached, m));
+        }
+        if scheme != SchemeKind::Sparse {
+            assert!(vars <= net.num_places());
+        }
+    }
+
+    let zdd = analyze_zdd(net);
+    assert_eq!(zdd.num_markings, expected, "{}: ZDD engine", net.name());
+}
+
+#[test]
+fn figure1_and_philosophers() {
+    check_net(&figure1());
+    check_net(&philosophers(2));
+    check_net(&philosophers(3));
+}
+
+#[test]
+fn muller_pipelines() {
+    check_net(&muller(2));
+    check_net(&muller(5));
+}
+
+#[test]
+fn slotted_rings() {
+    check_net(&slotted_ring(2));
+    check_net(&slotted_ring(4));
+}
+
+#[test]
+fn dme_rings() {
+    check_net(&dme(3, DmeStyle::Spec));
+    check_net(&dme(2, DmeStyle::Circuit));
+}
+
+#[test]
+fn jjreg_controllers() {
+    check_net(&jjreg(JjregVariant::B));
+}

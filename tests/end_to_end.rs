@@ -1,0 +1,90 @@
+//! End-to-end scenarios exercising the public facade: building nets through
+//! the builder and the text format, running every analysis entry point, and
+//! checking the headline claim (dense beats sparse) on a mid-size instance.
+
+use pnsym::net::{parse_net, write_net, ExploreOptions, NetBuilder};
+use pnsym::net::nets::{muller, slotted_ring};
+use pnsym::prelude::*;
+use pnsym::{analyze, analyze_zdd, AnalysisOptions, SchemeKind};
+
+#[test]
+fn builder_to_analysis_pipeline() {
+    // A small mutual-exclusion net built by hand through the public API.
+    let mut b = NetBuilder::new("mutex");
+    let idle_a = b.place_marked("idle.a");
+    let want_a = b.place("want.a");
+    let cs_a = b.place("cs.a");
+    let idle_b = b.place_marked("idle.b");
+    let want_b = b.place("want.b");
+    let cs_b = b.place("cs.b");
+    let lock = b.place_marked("lock");
+    b.transition("req.a", &[idle_a], &[want_a]);
+    b.transition("acq.a", &[want_a, lock], &[cs_a]);
+    b.transition("rel.a", &[cs_a], &[idle_a, lock]);
+    b.transition("req.b", &[idle_b], &[want_b]);
+    b.transition("acq.b", &[want_b, lock], &[cs_b]);
+    b.transition("rel.b", &[cs_b], &[idle_b, lock]);
+    let net = b.build().expect("valid net");
+
+    let explicit = net.explore().expect("safe").num_markings() as f64;
+    let sparse = analyze(&net, &AnalysisOptions::sparse()).expect("sparse");
+    let dense = analyze(&net, &AnalysisOptions::dense()).expect("dense");
+    let zdd = analyze_zdd(&net);
+    assert_eq!(sparse.num_markings, explicit);
+    assert_eq!(dense.num_markings, explicit);
+    assert_eq!(zdd.num_markings, explicit);
+    assert!(dense.num_variables < sparse.num_variables);
+
+    // Mutual exclusion holds: cs.a and cs.b never marked together.
+    let smcs = find_smcs(&net).expect("small net");
+    let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+    let mut ctx = SymbolicContext::new(&net, enc);
+    let reached = ctx.reachable_markings().reached;
+    let chi_a = ctx.place_fn(net.place_by_name("cs.a").unwrap());
+    let chi_b = ctx.place_fn(net.place_by_name("cs.b").unwrap());
+    let both = ctx.manager_mut().and(chi_a, chi_b);
+    let bad = ctx.manager_mut().and(reached, both);
+    assert_eq!(bad, ctx.manager().zero(), "mutual exclusion violated");
+}
+
+#[test]
+fn text_format_round_trip_preserves_analysis_results() {
+    let net = slotted_ring(3);
+    let text = write_net(&net);
+    let reparsed = parse_net(&text).expect("own output parses");
+    let a = analyze(&net, &AnalysisOptions::dense()).expect("dense");
+    let b = analyze(&reparsed, &AnalysisOptions::dense()).expect("dense");
+    assert_eq!(a.num_markings, b.num_markings);
+    assert_eq!(a.num_variables, b.num_variables);
+}
+
+#[test]
+fn dense_encoding_wins_on_a_mid_size_pipeline() {
+    // The headline claim of Table 3 at a CI-friendly size: same marking
+    // count, half the variables, smaller reached-set BDD.
+    let net = muller(10);
+    let sparse = analyze(&net, &AnalysisOptions::sparse()).expect("sparse");
+    let dense = analyze(&net, &AnalysisOptions::dense()).expect("dense");
+    assert_eq!(sparse.num_markings, dense.num_markings);
+    assert_eq!(sparse.num_variables, 40);
+    assert_eq!(dense.num_variables, 20);
+    assert!(
+        dense.bdd_nodes < sparse.bdd_nodes,
+        "dense reached set ({}) should be smaller than sparse ({})",
+        dense.bdd_nodes,
+        sparse.bdd_nodes
+    );
+}
+
+#[test]
+fn explicit_exploration_limit_protects_big_instances() {
+    let net = muller(12);
+    let err = net
+        .explore_with(ExploreOptions { max_markings: 100 })
+        .unwrap_err();
+    assert!(err.to_string().contains("state limit"));
+    // The symbolic engine handles the same instance without trouble.
+    let report = analyze(&net, &AnalysisOptions::dense()).expect("dense");
+    assert!(report.num_markings > 100.0);
+    assert_eq!(report.scheme, SchemeKind::ImprovedDense);
+}

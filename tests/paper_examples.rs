@@ -1,0 +1,160 @@
+//! Integration tests pinning the concrete numbers the paper states for its
+//! running examples (Figures 1–4, Tables 1–2, Section 3 and Section 5.4).
+
+use pnsym::net::nets::{figure1, philosophers};
+use pnsym::net::{IncidenceMatrix, Marking};
+use pnsym::structural::{find_smcs, minimal_invariants, select_smc_cover, CoverStrategy};
+use pnsym::{
+    analyze, toggling_of_state_codes, AnalysisOptions, AssignmentStrategy, Encoding, SchemeKind,
+    SymbolicContext,
+};
+
+#[test]
+fn figure1_reachability_graph() {
+    // Figure 1.b: 8 reachable markings, 11 firings.
+    let net = figure1();
+    let rg = net.explore().expect("safe");
+    assert_eq!(rg.num_markings(), 8);
+    assert_eq!(rg.num_edges(), 11);
+}
+
+#[test]
+fn section2_invariants_and_smcs() {
+    // Section 2.2: I1 = [1 1 0 1 0 1 0] and I2 = [1 0 1 0 1 0 1] are the
+    // minimal semi-positive P-invariants; I = [2 1 1 1 1 1 1] is their sum
+    // and therefore an invariant, but not minimal.
+    let net = figure1();
+    let c = IncidenceMatrix::from_net(&net);
+    assert!(c.is_p_invariant(&[1, 1, 0, 1, 0, 1, 0]));
+    assert!(c.is_p_invariant(&[1, 0, 1, 0, 1, 0, 1]));
+    assert!(c.is_p_invariant(&[2, 1, 1, 1, 1, 1, 1]));
+
+    let invariants = minimal_invariants(&net).expect("small net");
+    let mut weights: Vec<Vec<i64>> = invariants.iter().map(|i| i.weights().to_vec()).collect();
+    weights.sort();
+    assert_eq!(
+        weights,
+        vec![vec![1, 0, 1, 0, 1, 0, 1], vec![1, 1, 0, 1, 0, 1, 0]]
+    );
+
+    // Figure 2.e: the two SMCs cover {p1,p2,p4,p6} and {p1,p3,p5,p7}.
+    let smcs = find_smcs(&net).expect("small net");
+    assert_eq!(smcs.len(), 2);
+    for smc in &smcs {
+        assert_eq!(smc.len(), 4);
+        assert_eq!(smc.initial_tokens(), 1);
+        assert_eq!(smc.encoding_cost(), 2);
+    }
+}
+
+#[test]
+fn section3_encoding_scheme_comparison() {
+    // Section 3: one-variable-per-place uses |P| = 7 variables, the optimal
+    // scheme needs ceil(log2 8) = 3, and the SMC-based scheme uses 4.
+    let net = figure1();
+    let smcs = find_smcs(&net).expect("small net");
+    let sparse = Encoding::sparse(&net);
+    let dense = Encoding::dense(&net, &smcs, CoverStrategy::Exact, AssignmentStrategy::Gray);
+    assert_eq!(sparse.num_vars(), 7);
+    assert_eq!(dense.num_vars(), 4);
+    let rg = net.explore().expect("safe");
+    let optimal = (rg.num_markings() as f64).log2().ceil() as usize;
+    assert_eq!(optimal, 3);
+}
+
+#[test]
+fn section3_toggling_figures() {
+    // Section 3: the assignment of Figure 2.c toggles 15 bits over the 11
+    // edges of the reachability graph; worse assignments (Figure 2.d) need
+    // more switching.
+    let net = figure1();
+    let rg = net.explore().expect("safe");
+    let index_of = |names: &[&str]| {
+        let places: Vec<_> = names.iter().map(|n| net.place_by_name(n).unwrap()).collect();
+        rg.index_of(&Marking::from_places(net.num_places(), &places))
+            .expect("reachable")
+    };
+    let order = [
+        index_of(&["p1"]),
+        index_of(&["p2", "p3"]),
+        index_of(&["p4", "p5"]),
+        index_of(&["p3", "p6"]),
+        index_of(&["p2", "p7"]),
+        index_of(&["p5", "p6"]),
+        index_of(&["p4", "p7"]),
+        index_of(&["p6", "p7"]),
+    ];
+    let fig2c = [0b000u32, 0b001, 0b100, 0b011, 0b101, 0b110, 0b111, 0b010];
+    let mut codes = vec![0u32; 8];
+    for (m, &idx) in order.iter().enumerate() {
+        codes[idx] = fig2c[m];
+    }
+    let report = toggling_of_state_codes(&rg, &codes);
+    assert_eq!(report.total_bits, 15, "Figure 2.c switches 15 bits");
+    assert_eq!(report.num_edges, 11);
+
+    // A naive binary assignment in BFS order is strictly worse.
+    let mut naive = vec![0u32; 8];
+    for (m, &idx) in order.iter().enumerate() {
+        naive[idx] = m as u32;
+    }
+    assert!(toggling_of_state_codes(&rg, &naive).total_bits > 15);
+}
+
+#[test]
+fn section4_philosophers_cover_and_improved_encoding() {
+    // Section 4.3: the two-philosopher net has 14 places, 22 reachable
+    // markings, six SMCs covering all places, a basic cover with 10
+    // variables and (Section 5.4 / Table 1) an improved encoding with 8.
+    let net = philosophers(2);
+    assert_eq!(net.num_places(), 14);
+    let rg = net.explore().expect("safe");
+    assert_eq!(rg.num_markings(), 22);
+
+    let smcs = find_smcs(&net).expect("small net");
+    assert_eq!(smcs.len(), 6);
+
+    let cover = select_smc_cover(&net, &smcs, CoverStrategy::Exact);
+    assert!(cover.num_variables <= 10, "Section 4.3 reports 10 variables");
+
+    let improved = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+    assert_eq!(improved.num_vars(), 8, "Table 1 uses 8 variables");
+    assert_eq!(Encoding::sparse(&net).num_vars(), 14);
+}
+
+#[test]
+fn section5_characteristic_functions_resolve_shared_codes() {
+    // Table 2: the characteristic function of a place owned by an overlap
+    // block must also constrain the variables of the block resolving the
+    // shared code, e.g. [p3] = x5'·(x1 + x2) depends on three variables.
+    let net = philosophers(2);
+    let smcs = find_smcs(&net).expect("small net");
+    let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+    let ctx = SymbolicContext::new(&net, enc);
+    let mut saw_shared_code_place = false;
+    for p in net.places() {
+        let support = ctx.manager().support(ctx.place_fn(p)).len();
+        let owner_width = ctx.encoding().blocks()[ctx.encoding().owner_of_place(p)].width();
+        assert!(support >= 1);
+        if support > owner_width {
+            saw_shared_code_place = true;
+        }
+    }
+    assert!(
+        saw_shared_code_place,
+        "some place must resolve its code through another block (Table 2)"
+    );
+}
+
+#[test]
+fn full_analysis_of_the_paper_examples() {
+    for (net, markings) in [(figure1(), 8.0), (philosophers(2), 22.0)] {
+        for options in [AnalysisOptions::sparse(), AnalysisOptions::dense()] {
+            let report = analyze(&net, &options).expect("analysis succeeds");
+            assert_eq!(report.num_markings, markings, "{} {:?}", net.name(), options.scheme);
+            if options.scheme != SchemeKind::Sparse {
+                assert!(report.num_variables < net.num_places());
+            }
+        }
+    }
+}
