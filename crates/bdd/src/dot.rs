@@ -18,10 +18,7 @@ impl BddManager {
         let mut seen: HashSet<u32> = HashSet::new();
         let mut stack: Vec<u32> = Vec::new();
         for (name, root) in roots {
-            let _ = writeln!(
-                out,
-                "  root_{name} [label=\"{name}\", shape=plaintext];"
-            );
+            let _ = writeln!(out, "  root_{name} [label=\"{name}\", shape=plaintext];");
             let _ = writeln!(out, "  root_{name} -> node{};", root.0);
             stack.push(root.0);
         }

@@ -195,7 +195,7 @@ impl BddManager {
             .iter()
             .map(|&(v, sign)| (self.level_of(v), sign))
             .collect();
-        sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        sorted.sort_unstable_by_key(|&(level, _)| std::cmp::Reverse(level));
         for (level, sign) in sorted {
             let idx = if sign {
                 self.mk(level, FALSE, acc.0)

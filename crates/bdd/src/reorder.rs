@@ -186,7 +186,7 @@ impl BddManager {
         let mut by_size: Vec<(usize, VarId)> = (0..nlevels)
             .map(|l| (self.unique[l].len(), self.var_at(l as u32)))
             .collect();
-        by_size.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        by_size.sort_unstable_by_key(|&(size, _)| std::cmp::Reverse(size));
         let limit = config.max_vars.unwrap_or(nlevels).min(nlevels);
 
         for &(_, var) in by_size.iter().take(limit) {
@@ -362,7 +362,10 @@ mod tests {
         assert!(after <= before);
         // The optimal size for this function with interleaved order is 8
         // internal nodes + 2 terminals.
-        assert!(after <= 10, "sifting should reach a near-optimal size, got {after}");
+        assert!(
+            after <= 10,
+            "sifting should reach a near-optimal size, got {after}"
+        );
     }
 
     #[test]

@@ -536,7 +536,7 @@ mod tests {
         let mut z = ZddManager::new(4);
         let f = z.single_set(&[2, 0, 2]);
         assert_eq!(z.sets(f), vec![vec![0, 2]]);
-        assert_eq!(z.node_count(f) > 2, true);
+        assert!(z.node_count(f) > 2);
     }
 
     #[test]

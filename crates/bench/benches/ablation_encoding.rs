@@ -5,14 +5,12 @@
 //!   (Section 4.4);
 //! * E8 — traversal with and without dynamic variable reordering (sifting).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pnsym_core::{
-    AssignmentStrategy, Encoding, SiftPolicy, SymbolicContext, TraversalOptions,
-};
+use pnsym_core::{AssignmentStrategy, Encoding, SiftPolicy, SymbolicContext, TraversalOptions};
 use pnsym_net::nets::{muller, philosophers, slotted_ring};
 use pnsym_net::PetriNet;
 use pnsym_structural::{find_smcs, CoverStrategy};
+use std::time::Duration;
 
 fn nets() -> Vec<(&'static str, PetriNet)> {
     vec![

@@ -3,12 +3,12 @@
 //! assignment) and of the toggling-activity evaluation used to compare code
 //! assignments.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnsym_core::{toggling_activity, AssignmentStrategy, Encoding};
 use pnsym_net::nets::{figure1, philosophers, slotted_ring};
 use pnsym_net::PetriNet;
 use pnsym_structural::{find_smcs, CoverStrategy};
+use std::time::Duration;
 
 fn nets() -> Vec<(&'static str, PetriNet)> {
     vec![

@@ -2,10 +2,10 @@
 //! and the dense encoding on each scalable family (CI-sized instances; run
 //! the `experiments` binary with `--paper-scale` for the original sizes).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnsym_bench::{table3_workloads, Scale};
 use pnsym_core::{analyze, AnalysisOptions};
+use std::time::Duration;
 
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3");
@@ -24,11 +24,9 @@ fn bench_table3(c: &mut Criterion) {
             &net,
             |b, net| b.iter(|| analyze(net, &AnalysisOptions::sparse()).expect("sparse analysis")),
         );
-        group.bench_with_input(
-            BenchmarkId::new("dense", &workload.name),
-            &net,
-            |b, net| b.iter(|| analyze(net, &AnalysisOptions::dense()).expect("dense analysis")),
-        );
+        group.bench_with_input(BenchmarkId::new("dense", &workload.name), &net, |b, net| {
+            b.iter(|| analyze(net, &AnalysisOptions::dense()).expect("dense analysis"))
+        });
     }
     group.finish();
 }

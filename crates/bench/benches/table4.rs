@@ -2,10 +2,10 @@
 //! (Yoneda et al.) against the dense BDD encoding on the DME / JJreg-style
 //! workloads.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnsym_bench::{table4_workloads, Scale};
 use pnsym_core::{analyze, analyze_zdd, AnalysisOptions};
+use std::time::Duration;
 
 fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4");

@@ -26,8 +26,15 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
-    let scale = if paper_scale { Scale::Paper } else { Scale::Default };
-    let command = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
+    let scale = if paper_scale {
+        Scale::Paper
+    } else {
+        Scale::Default
+    };
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
 
     match command {
         Some("table3") => table3(scale),
@@ -44,7 +51,9 @@ fn main() {
         }
         Some(other) => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: experiments [table3|table4|fig2|table1|ablation|all] [--paper-scale]");
+            eprintln!(
+                "usage: experiments [table3|table4|fig2|table1|ablation|all] [--paper-scale]"
+            );
             std::process::exit(2);
         }
     }
@@ -150,7 +159,10 @@ fn figure2() {
         rg.num_edges()
     );
 
-    println!("{:<34} {:>6} {:>10} {:>14}", "scheme", "vars", "density", "toggled bits");
+    println!(
+        "{:<34} {:>6} {:>10} {:>14}",
+        "scheme", "vars", "density", "toggled bits"
+    );
     let row = |name: &str, enc: &Encoding| {
         let t = toggling_activity(&net, enc, &rg);
         println!(
@@ -174,8 +186,12 @@ fn figure2() {
 
     // The hand-made 3-variable assignments of Figure 2.c / 2.d.
     let index_of = |names: &[&str]| {
-        let places: Vec<_> = names.iter().map(|n| net.place_by_name(n).unwrap()).collect();
-        rg.index_of(&Marking::from_places(net.num_places(), &places)).unwrap()
+        let places: Vec<_> = names
+            .iter()
+            .map(|n| net.place_by_name(n).unwrap())
+            .collect();
+        rg.index_of(&Marking::from_places(net.num_places(), &places))
+            .unwrap()
     };
     let order = [
         index_of(&["p1"]),

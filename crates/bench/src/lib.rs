@@ -47,8 +47,7 @@ impl Workload {
 /// The Table-3 workloads: Muller pipelines, dining philosophers and slotted
 /// rings at the requested scale.
 pub fn table3_workloads(scale: Scale) -> Vec<Workload> {
-    let (muller_sizes, phil_sizes, slot_sizes): (Vec<usize>, Vec<usize>, Vec<usize>) = match scale
-    {
+    let (muller_sizes, phil_sizes, slot_sizes): (Vec<usize>, Vec<usize>, Vec<usize>) = match scale {
         Scale::Default => (vec![8, 12, 16], vec![3, 4, 5], vec![3, 4, 5]),
         Scale::Paper => (vec![30, 40, 50], vec![5, 8, 10], vec![5, 7, 9]),
     };

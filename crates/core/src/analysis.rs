@@ -127,7 +127,10 @@ impl From<InvariantError> for AnalysisError {
 ///
 /// Returns [`AnalysisError::Structural`] if the P-invariant computation
 /// exceeds its row limit (only possible for the dense schemes).
-pub fn build_encoding(net: &PetriNet, options: &AnalysisOptions) -> Result<Encoding, AnalysisError> {
+pub fn build_encoding(
+    net: &PetriNet,
+    options: &AnalysisOptions,
+) -> Result<Encoding, AnalysisError> {
     Ok(match options.scheme {
         SchemeKind::Sparse => Encoding::sparse(net),
         SchemeKind::Dense => {

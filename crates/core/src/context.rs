@@ -240,7 +240,9 @@ fn build_chi(
             let sharing: Vec<PlaceId> = places
                 .iter()
                 .enumerate()
-                .filter(|&(k, &q)| q != p && codes[k] == code && encoding.owner_of_place(q) != owner)
+                .filter(|&(k, &q)| {
+                    q != p && codes[k] == code && encoding.owner_of_place(q) != owner
+                })
                 .map(|(_, &q)| q)
                 .collect();
             for q in sharing {
@@ -270,7 +272,10 @@ mod tests {
                 net,
                 Encoding::dense(net, &smcs, CoverStrategy::Exact, AssignmentStrategy::Gray),
             ),
-            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+            SymbolicContext::new(
+                net,
+                Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+            ),
         ]
     }
 

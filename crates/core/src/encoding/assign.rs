@@ -92,11 +92,8 @@ pub fn gray_code(n: u32) -> u32 {
 /// follows the token's possible paths.
 fn walk_order(net: &PetriNet, smc: &Smc, owned: &[bool]) -> Vec<usize> {
     let places = smc.places();
-    let index_of: BTreeMap<PlaceId, usize> = places
-        .iter()
-        .enumerate()
-        .map(|(j, &p)| (p, j))
-        .collect();
+    let index_of: BTreeMap<PlaceId, usize> =
+        places.iter().enumerate().map(|(j, &p)| (p, j)).collect();
     // Successor places within the component.
     let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); places.len()];
     for &t in smc.transitions() {
@@ -126,8 +123,8 @@ fn walk_order(net: &PetriNet, smc: &Smc, owned: &[bool]) -> Vec<usize> {
     }
     // Strong connectivity should make everything reachable; defensively
     // append anything left.
-    for j in 0..places.len() {
-        if !visited[j] {
+    for (j, seen) in visited.iter().enumerate() {
+        if !seen {
             order.push(j);
         }
     }

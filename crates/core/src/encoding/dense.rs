@@ -33,11 +33,21 @@ pub(super) fn build(
         .chosen
         .iter()
         .map(|&i| {
-            let anchor = smcs[i].places().iter().copied().min().expect("non-empty SMC");
+            let anchor = smcs[i]
+                .places()
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty SMC");
             (anchor, Pending::Smc(i))
         })
         .collect();
-    pending.extend(cover.singleton_places.iter().map(|&p| (p, Pending::Single(p))));
+    pending.extend(
+        cover
+            .singleton_places
+            .iter()
+            .map(|&p| (p, Pending::Single(p))),
+    );
     pending.sort_by_key(|&(anchor, _)| anchor);
 
     for (_, item) in pending {
@@ -65,7 +75,10 @@ pub(super) fn build(
                 });
             }
             Pending::Single(p) => {
-                blocks.push(Block::Place { place: p, var: next_var });
+                blocks.push(Block::Place {
+                    place: p,
+                    var: next_var,
+                });
                 next_var += 1;
             }
         }

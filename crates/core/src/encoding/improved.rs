@@ -73,11 +73,7 @@ pub(super) fn build_with(
         let Some((i, _, width)) = best else { break };
         used[i] = true;
         let smc = usable[i];
-        let owns: Vec<bool> = smc
-            .places()
-            .iter()
-            .map(|p| !covered.contains(p))
-            .collect();
+        let owns: Vec<bool> = smc.places().iter().map(|p| !covered.contains(p)).collect();
         covered.extend(smc.places().iter().copied());
         chosen.push((smc, owns, width));
     }
@@ -127,7 +123,10 @@ pub(super) fn build_with(
                 });
             }
             Pending::Single(p) => {
-                blocks.push(Block::Place { place: p, var: next_var });
+                blocks.push(Block::Place {
+                    place: p,
+                    var: next_var,
+                });
                 next_var += 1;
             }
         }

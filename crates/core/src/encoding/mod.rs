@@ -211,10 +211,9 @@ impl Encoding {
     pub fn code_of(&self, block: usize, p: PlaceId) -> Option<u32> {
         match &self.blocks[block] {
             Block::Place { place, .. } => (*place == p).then_some(1),
-            Block::Smc { places, codes, .. } => places
-                .iter()
-                .position(|&q| q == p)
-                .map(|j| codes[j]),
+            Block::Smc { places, codes, .. } => {
+                places.iter().position(|&q| q == p).map(|j| codes[j])
+            }
         }
     }
 

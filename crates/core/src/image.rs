@@ -66,7 +66,10 @@ impl SymbolicContext {
                         .copied()
                         .find(|p| places.contains(p))
                         .expect("a covered SMC always has an output place for the transition");
-                    let j = places.iter().position(|&p| p == out).expect("out in places");
+                    let j = places
+                        .iter()
+                        .position(|&p| p == out)
+                        .expect("out in places");
                     let code = codes[j];
                     for (b, &v) in vars.iter().enumerate() {
                         assignments.push((v, code & (1 << b) != 0));
@@ -177,11 +180,7 @@ impl SymbolicContext {
         let next = self.next_vars().to_vec();
         let m = self.manager_mut();
         let product = m.and_exists(from, rel, &current);
-        let map: Vec<(VarId, VarId)> = next
-            .iter()
-            .zip(&current)
-            .map(|(&q, &p)| (q, p))
-            .collect();
+        let map: Vec<(VarId, VarId)> = next.iter().zip(&current).map(|(&q, &p)| (q, p)).collect();
         m.rename(product, &map)
     }
 }
@@ -202,7 +201,10 @@ mod tests {
                 net,
                 Encoding::dense(net, &smcs, CoverStrategy::Exact, AssignmentStrategy::Gray),
             ),
-            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+            SymbolicContext::new(
+                net,
+                Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+            ),
         ]
     }
 

@@ -204,7 +204,10 @@ mod tests {
 
     fn dense_ctx(net: &PetriNet) -> SymbolicContext {
         let smcs = find_smcs(net).unwrap();
-        SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray))
+        SymbolicContext::new(
+            net,
+            Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+        )
     }
 
     #[test]

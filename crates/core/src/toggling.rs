@@ -110,14 +110,14 @@ mod tests {
             rg.index_of(&m).expect("marking reachable")
         };
         vec![
-            by_names(&["p1"]),              // M0
-            by_names(&["p2", "p3"]),        // M1
-            by_names(&["p4", "p5"]),        // M2
-            by_names(&["p3", "p6"]),        // M3
-            by_names(&["p2", "p7"]),        // M4
-            by_names(&["p5", "p6"]),        // M5
-            by_names(&["p4", "p7"]),        // M6
-            by_names(&["p6", "p7"]),        // M7
+            by_names(&["p1"]),       // M0
+            by_names(&["p2", "p3"]), // M1
+            by_names(&["p4", "p5"]), // M2
+            by_names(&["p3", "p6"]), // M3
+            by_names(&["p2", "p7"]), // M4
+            by_names(&["p5", "p6"]), // M5
+            by_names(&["p4", "p7"]), // M6
+            by_names(&["p6", "p7"]), // M7
         ]
     }
 

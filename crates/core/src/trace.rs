@@ -39,7 +39,9 @@ impl WitnessTrace {
     ///
     /// Never panics: a trace always contains at least the initial marking.
     pub fn witness(&self) -> &Marking {
-        self.markings.last().expect("trace contains the initial marking")
+        self.markings
+            .last()
+            .expect("trace contains the initial marking")
     }
 
     /// Validates the trace against the net's token game.
@@ -201,7 +203,10 @@ mod tests {
         let smcs = find_smcs(net).unwrap();
         vec![
             SymbolicContext::new(net, Encoding::sparse(net)),
-            SymbolicContext::new(net, Encoding::improved(net, &smcs, AssignmentStrategy::Gray)),
+            SymbolicContext::new(
+                net,
+                Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+            ),
         ]
     }
 

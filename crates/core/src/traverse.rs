@@ -90,7 +90,11 @@ impl SymbolicContext {
                     break;
                 }
             }
-            let source = if options.use_frontier { frontier } else { reached };
+            let source = if options.use_frontier {
+                frontier
+            } else {
+                reached
+            };
             let image = self.image_all(source);
             let new = self.manager_mut().diff(image, reached);
             if new == self.manager().zero() {
@@ -112,7 +116,7 @@ impl SymbolicContext {
                 self.manager_mut().collect_garbage();
             }
             if let SiftPolicy::EveryIterations(n) = options.sift {
-                if n > 0 && iterations % n == 0 {
+                if n > 0 && iterations.is_multiple_of(n) {
                     self.manager_mut().sift_with(SiftConfig::default());
                 }
             }
@@ -178,7 +182,8 @@ mod tests {
                 let mut ctx = SymbolicContext::new(&net, enc);
                 let result = ctx.reachable_markings();
                 assert_eq!(
-                    result.num_markings, expected,
+                    result.num_markings,
+                    expected,
                     "{} under {:?}",
                     net.name(),
                     scheme

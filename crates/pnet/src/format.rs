@@ -134,12 +134,13 @@ pub fn parse_net(text: &str) -> Result<PetriNet, ParseNetError> {
                     message: "`trans` requires a name".into(),
                 })?;
                 let rest: Vec<&str> = tokens.collect();
-                let arrow = rest.iter().position(|&s| s == "->").ok_or_else(|| {
-                    ParseNetError::Syntax {
-                        line,
-                        message: "`trans` requires `->` between pre-set and post-set".into(),
-                    }
-                })?;
+                let arrow =
+                    rest.iter()
+                        .position(|&s| s == "->")
+                        .ok_or_else(|| ParseNetError::Syntax {
+                            line,
+                            message: "`trans` requires `->` between pre-set and post-set".into(),
+                        })?;
                 let pre = rest[..arrow].iter().map(|s| s.to_string()).collect();
                 let post = rest[arrow + 1..].iter().map(|s| s.to_string()).collect();
                 transitions.push((line, tname.to_string(), pre, post));
@@ -160,10 +161,13 @@ pub fn parse_net(text: &str) -> Result<PetriNet, ParseNetError> {
             names
                 .iter()
                 .map(|n| {
-                    places.get(n).copied().ok_or_else(|| ParseNetError::UnknownPlace {
-                        line,
-                        name: n.clone(),
-                    })
+                    places
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| ParseNetError::UnknownPlace {
+                            line,
+                            name: n.clone(),
+                        })
                 })
                 .collect()
         };
@@ -224,10 +228,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let net = parse_net(
-            "# a comment\n\nnet c\nplace a * # marked\nplace b\ntrans t a -> b\n",
-        )
-        .unwrap();
+        let net = parse_net("# a comment\n\nnet c\nplace a * # marked\nplace b\ntrans t a -> b\n")
+            .unwrap();
         assert_eq!(net.name(), "c");
         assert_eq!(net.num_places(), 2);
     }

@@ -71,7 +71,11 @@ impl IncidenceMatrix {
     ///
     /// Panics if `sigma` does not have one entry per transition.
     pub fn apply_state_equation(&self, m: &Marking, sigma: &[i64]) -> Vec<i64> {
-        assert_eq!(sigma.len(), self.num_transitions, "wrong firing vector size");
+        assert_eq!(
+            sigma.len(),
+            self.num_transitions,
+            "wrong firing vector size"
+        );
         (0..self.num_places)
             .map(|p| {
                 let place = PlaceId(p as u32);

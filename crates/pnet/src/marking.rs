@@ -90,7 +90,9 @@ impl Marking {
 
     /// Iterates over the marked places in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = PlaceId> + '_ {
-        (0..self.num_places).map(PlaceId).filter(|&p| self.is_marked(p))
+        (0..self.num_places)
+            .map(PlaceId)
+            .filter(|&p| self.is_marked(p))
     }
 
     /// Number of places whose content differs between `self` and `other`

@@ -122,7 +122,9 @@ impl PetriNet {
 
     /// The transitions enabled in `m`, in index order.
     pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
-        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+        self.transitions()
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
     }
 
     /// Fires `t` in marking `m`, returning the successor marking.

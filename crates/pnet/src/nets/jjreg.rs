@@ -44,12 +44,17 @@ pub fn jjreg(variant: JjregVariant) -> PetriNet {
 ///
 /// Panics if `stages == 0` or `ports == 0`.
 pub fn jjreg_sized(name: &str, stages: usize, ports: usize) -> PetriNet {
-    assert!(stages >= 1 && ports >= 1, "need at least one stage and one port");
+    assert!(
+        stages >= 1 && ports >= 1,
+        "need at least one stage and one port"
+    );
     let mut b = NetBuilder::new(name);
 
     // Shared write bus: free or owned by one port.
     let bus_free = b.place_marked("bus_free");
-    let bus_busy: Vec<_> = (0..ports).map(|j| b.place(format!("bus_busy.{j}"))).collect();
+    let bus_busy: Vec<_> = (0..ports)
+        .map(|j| b.place(format!("bus_busy.{j}")))
+        .collect();
 
     // Port state machines, declared port by port so the default variable
     // order keeps each port's places adjacent.

@@ -22,6 +22,6 @@ pub use dme::{dme, DmeStyle};
 pub use figure1::figure1;
 pub use jjreg::{jjreg, JjregVariant};
 pub use muller::muller;
-pub use random::{random_composed, RandomNetConfig};
 pub use philosophers::philosophers;
+pub use random::{random_composed, RandomNetConfig};
 pub use slotted_ring::slotted_ring;

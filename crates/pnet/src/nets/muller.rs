@@ -55,11 +55,7 @@ pub fn muller(n: usize) -> PetriNet {
         b.transition(format!("reset.{i}"), &[recover[i]], &[ready[i]]);
     }
     // The environment consumes the last stage's output.
-    b.transition(
-        format!("emit.{}", n - 1),
-        &[done[n - 1]],
-        &[recover[n - 1]],
-    );
+    b.transition(format!("emit.{}", n - 1), &[done[n - 1]], &[recover[n - 1]]);
     b.build().expect("muller pipeline net is well formed")
 }
 
@@ -89,7 +85,10 @@ mod tests {
             .map(|n| muller(n).explore().unwrap().num_markings())
             .collect();
         for w in counts.windows(2) {
-            assert!(w[1] as f64 >= 1.5 * w[0] as f64, "growth too slow: {counts:?}");
+            assert!(
+                w[1] as f64 >= 1.5 * w[0] as f64,
+                "growth too slow: {counts:?}"
+            );
         }
     }
 

@@ -11,8 +11,45 @@
 use crate::builder::NetBuilder;
 use crate::ids::PlaceId;
 use crate::net::PetriNet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A small deterministic RNG (splitmix64), standing in for `rand::StdRng` so
+/// generation stays seed-reproducible without an external dependency.
+/// Twin of `TestRng` in `vendor/proptest/src/test_runner.rs` — kept separate
+/// so `pnsym-net` stays dependency-free; fix bugs in both places.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a `lo..hi` or `lo..=hi` style span given as
+    /// `(lo, span)` with `span >= 1`.
+    fn below(&mut self, span: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    fn gen_range_exclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
 
 /// Parameters for [`random_composed`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,13 +91,13 @@ pub fn random_composed(config: RandomNetConfig, seed: u64) -> PetriNet {
     assert!(config.components >= 1, "need at least one component");
     assert!(config.min_places >= 2, "cycles need at least two places");
     assert!(config.min_places <= config.max_places, "empty size range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut b = NetBuilder::new(format!("random-{seed}"));
 
     // Build the component cycles.
     let mut components: Vec<Vec<PlaceId>> = Vec::with_capacity(config.components);
     for i in 0..config.components {
-        let size = rng.gen_range(config.min_places..=config.max_places);
+        let size = rng.gen_range_inclusive(config.min_places, config.max_places);
         let mut places = Vec::with_capacity(size);
         for j in 0..size {
             let name = format!("s{i}.{j}");
@@ -84,13 +121,13 @@ pub fn random_composed(config: RandomNetConfig, seed: u64) -> PetriNet {
         if config.components < 2 {
             break;
         }
-        let a = rng.gen_range(0..config.components);
-        let c = rng.gen_range(0..config.components);
+        let a = rng.gen_range_exclusive(0, config.components);
+        let c = rng.gen_range_exclusive(0, config.components);
         if a == c {
             continue;
         }
-        let sa = rng.gen_range(0..components[a].len());
-        let sc = rng.gen_range(0..components[c].len());
+        let sa = rng.gen_range_exclusive(0, components[a].len());
+        let sc = rng.gen_range_exclusive(0, components[c].len());
         if fused[a][sa] || fused[c][sc] {
             continue;
         }

@@ -43,10 +43,7 @@ impl PetriNet {
         for &(_, t, _) in rg.edges() {
             fired[t.index()] = true;
         }
-        let dead_transitions = self
-            .transitions()
-            .filter(|t| !fired[t.index()])
-            .collect();
+        let dead_transitions = self.transitions().filter(|t| !fired[t.index()]).collect();
         let mut total_enabled = 0usize;
         let mut num_deadlocks = 0usize;
         let mut max_tokens = 0usize;

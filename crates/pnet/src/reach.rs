@@ -137,10 +137,7 @@ impl PetriNet {
     /// `options.max_markings` markings are discovered, and
     /// [`ExploreError::Unsafe`] if a reachable firing would place a second
     /// token into a place.
-    pub fn explore_with(
-        &self,
-        options: ExploreOptions,
-    ) -> Result<ReachabilityGraph, ExploreError> {
+    pub fn explore_with(&self, options: ExploreOptions) -> Result<ReachabilityGraph, ExploreError> {
         let mut markings = vec![self.initial_marking().clone()];
         let mut index = HashMap::new();
         index.insert(self.initial_marking().clone(), 0usize);

@@ -118,10 +118,19 @@ impl CoverProblem {
         });
         let all: BTreeSet<usize> = (0..self.num_elements).collect();
         let mut chosen: Vec<usize> = Vec::new();
-        self.branch(&order, 0, &all, 0, &mut chosen, &mut best_cost, &mut best_choice);
+        self.branch(
+            &order,
+            0,
+            &all,
+            0,
+            &mut chosen,
+            &mut best_cost,
+            &mut best_choice,
+        );
         Some((best_choice, best_cost))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn branch(
         &self,
         order: &[usize],
@@ -233,8 +242,7 @@ pub fn select_smc_cover(net: &PetriNet, candidates: &[Smc], strategy: CoverStrat
     }
     // Every place not covered by a chosen SMC is a singleton, including
     // places whose singleton cover was chosen explicitly.
-    let singleton_places: Vec<PlaceId> =
-        net.places().filter(|p| !covered.contains(p)).collect();
+    let singleton_places: Vec<PlaceId> = net.places().filter(|p| !covered.contains(p)).collect();
     let num_variables = chosen
         .iter()
         .map(|&i| candidates[i].encoding_cost())

@@ -315,8 +315,7 @@ mod tests {
         let net = figure1();
         let invs = minimal_invariants(&net).unwrap();
         assert_eq!(invs.len(), 2);
-        let mut weight_sets: Vec<Vec<i64>> =
-            invs.iter().map(|i| i.weights().to_vec()).collect();
+        let mut weight_sets: Vec<Vec<i64>> = invs.iter().map(|i| i.weights().to_vec()).collect();
         weight_sets.sort();
         assert_eq!(
             weight_sets,

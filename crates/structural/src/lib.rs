@@ -41,6 +41,5 @@ pub use invariants::{
 };
 pub use smc::{check_smc, find_smcs, find_smcs_with, smcs_from_invariants, Smc, SmcCheckError};
 pub use tinvariants::{
-    minimal_t_invariants, place_bounds, structurally_safe, uncovered_places, PlaceBound,
-    TInvariant,
+    minimal_t_invariants, place_bounds, structurally_safe, uncovered_places, PlaceBound, TInvariant,
 };

@@ -59,7 +59,9 @@ impl Smc {
     /// Number of boolean variables a logarithmic encoding of this component
     /// needs: `⌈log2 |places|⌉`.
     pub fn encoding_cost(&self) -> u32 {
-        (self.places.len() as u32).next_power_of_two().trailing_zeros()
+        (self.places.len() as u32)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// The output place of `t` inside the component, if `t` is covered.
@@ -196,10 +198,7 @@ pub fn check_smc(net: &PetriNet, places: &[PlaceId]) -> Result<Smc, SmcCheckErro
     })
 }
 
-fn strongly_connected(
-    places: &BTreeSet<PlaceId>,
-    edges: &HashMap<PlaceId, Vec<PlaceId>>,
-) -> bool {
+fn strongly_connected(places: &BTreeSet<PlaceId>, edges: &HashMap<PlaceId, Vec<PlaceId>>) -> bool {
     if places.len() == 1 {
         return true;
     }
@@ -269,7 +268,10 @@ mod tests {
     use pnsym_net::nets::{dme, figure1, muller, philosophers, slotted_ring, DmeStyle};
 
     fn names(net: &PetriNet, smc: &Smc) -> Vec<String> {
-        smc.places().iter().map(|&p| net.place_name(p).to_string()).collect()
+        smc.places()
+            .iter()
+            .map(|&p| net.place_name(p).to_string())
+            .collect()
     }
 
     #[test]
@@ -281,10 +283,7 @@ mod tests {
         sets.sort();
         assert_eq!(
             sets,
-            vec![
-                vec!["p1", "p2", "p4", "p6"],
-                vec!["p1", "p3", "p5", "p7"]
-            ]
+            vec![vec!["p1", "p2", "p4", "p6"], vec!["p1", "p3", "p5", "p7"]]
         );
         for smc in &smcs {
             assert_eq!(smc.encoding_cost(), 2);
@@ -384,13 +383,7 @@ mod tests {
             .find(|s| s.contains(net.place_by_name("p2").unwrap()))
             .unwrap();
         let t1 = net.transition_by_name("t1").unwrap();
-        assert_eq!(
-            smc1.output_place_of(&net, t1),
-            net.place_by_name("p2")
-        );
-        assert_eq!(
-            smc1.input_place_of(&net, t1),
-            net.place_by_name("p1")
-        );
+        assert_eq!(smc1.output_place_of(&net, t1), net.place_by_name("p2"));
+        assert_eq!(smc1.input_place_of(&net, t1), net.place_by_name("p1"));
     }
 }

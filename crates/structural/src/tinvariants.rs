@@ -83,7 +83,11 @@ pub fn minimal_t_invariants(
     // cannot correspond to a realisable firing cycle anyway).
     Ok(invariants
         .into_iter()
-        .filter(|inv| inv.weights()[net.num_transitions()..].iter().all(|&w| w == 0))
+        .filter(|inv| {
+            inv.weights()[net.num_transitions()..]
+                .iter()
+                .all(|&w| w == 0)
+        })
         .map(|inv| TInvariant {
             counts: inv.weights()[..net.num_transitions()].to_vec(),
         })
@@ -124,8 +128,16 @@ fn transpose_net(net: &PetriNet) -> PetriNet {
             // only when the place is isolated — otherwise keep the side
             // that exists and a dummy for the other.
             let dummy = b.place(format!("dummy_{}", net.place_name(p)));
-            let pre = if consumed.is_empty() { vec![dummy] } else { consumed };
-            let post = if produced.is_empty() { vec![dummy] } else { produced };
+            let pre = if consumed.is_empty() {
+                vec![dummy]
+            } else {
+                consumed
+            };
+            let post = if produced.is_empty() {
+                vec![dummy]
+            } else {
+                produced
+            };
             b.transition(format!("p_{}", net.place_name(p)), &pre, &post);
         } else {
             b.transition(format!("p_{}", net.place_name(p)), &consumed, &produced);
@@ -187,16 +199,15 @@ pub fn place_bounds(net: &PetriNet, invariants: &[Invariant]) -> Vec<PlaceBound>
 /// Whether every place is structurally bounded by 1 (a sufficient — not
 /// necessary — condition for the net to be safe).
 pub fn structurally_safe(net: &PetriNet, invariants: &[Invariant]) -> bool {
-    place_bounds(net, invariants).iter().all(PlaceBound::is_safe)
+    place_bounds(net, invariants)
+        .iter()
+        .all(PlaceBound::is_safe)
 }
 
 /// The set of places not covered by any of the given invariants (these are
 /// the places the dense encoding must fall back to one variable for).
 pub fn uncovered_places(net: &PetriNet, invariants: &[Invariant]) -> Vec<PlaceId> {
-    let covered: BTreeSet<PlaceId> = invariants
-        .iter()
-        .flat_map(|inv| inv.support())
-        .collect();
+    let covered: BTreeSet<PlaceId> = invariants.iter().flat_map(|inv| inv.support()).collect();
     net.places().filter(|p| !covered.contains(p)).collect()
 }
 
@@ -223,7 +234,11 @@ mod tests {
     fn cyclic_benchmarks_have_t_invariants() {
         for net in [muller(3), slotted_ring(2), dme(2, DmeStyle::Spec)] {
             let tinvs = minimal_t_invariants(&net, InvariantOptions::default()).unwrap();
-            assert!(!tinvs.is_empty(), "{} should be covered by cycles", net.name());
+            assert!(
+                !tinvs.is_empty(),
+                "{} should be covered by cycles",
+                net.name()
+            );
             for ti in &tinvs {
                 assert!(ti.verify(&net), "{}", net.name());
             }

@@ -40,7 +40,12 @@ fn main() -> Result<(), AnalysisError> {
             Block::Place { place, var } => {
                 println!("  block {i}: place {} -> x{var}", net.place_name(*place));
             }
-            Block::Smc { places, codes, vars, .. } => {
+            Block::Smc {
+                places,
+                codes,
+                vars,
+                ..
+            } => {
                 let vars_s: Vec<String> = vars.iter().map(|v| format!("x{v}")).collect();
                 println!("  block {i}: SMC on [{}]", vars_s.join(" "));
                 for (j, &p) in places.iter().enumerate() {

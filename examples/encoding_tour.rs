@@ -28,7 +28,10 @@ fn main() -> Result<(), AnalysisError> {
     let dense_seq = Encoding::improved(&net, &smcs, AssignmentStrategy::Sequential);
     let optimal_bits = (rg.num_markings() as f64).log2().ceil() as usize;
 
-    println!("\n{:<28} {:>6} {:>10} {:>14}", "scheme", "vars", "density", "toggled bits");
+    println!(
+        "\n{:<28} {:>6} {:>10} {:>14}",
+        "scheme", "vars", "density", "toggled bits"
+    );
     let describe = |name: &str, enc: &Encoding| {
         let toggling = toggling_activity(&net, enc, &rg);
         println!(
@@ -54,8 +57,12 @@ fn main() -> Result<(), AnalysisError> {
     // The hand-made 3-variable assignments of Figure 2.c and a naive
     // sequential assignment (2.d uses 19/11 in the paper).
     let index_of = |names: &[&str]| {
-        let places: Vec<_> = names.iter().map(|n| net.place_by_name(n).unwrap()).collect();
-        rg.index_of(&Marking::from_places(net.num_places(), &places)).unwrap()
+        let places: Vec<_> = names
+            .iter()
+            .map(|n| net.place_by_name(n).unwrap())
+            .collect();
+        rg.index_of(&Marking::from_places(net.num_places(), &places))
+            .unwrap()
     };
     let paper_order = [
         index_of(&["p1"]),
@@ -76,8 +83,14 @@ fn main() -> Result<(), AnalysisError> {
     }
     let tc = toggling_of_state_codes(&rg, &codes_c);
     let td = toggling_of_state_codes(&rg, &codes_d);
-    println!("\n3-variable assignment of Figure 2.c : {}/{} toggled bits (paper: 15/11)", tc.total_bits, tc.num_edges);
-    println!("3-variable assignment, BFS order    : {}/{} toggled bits (paper's 2.d: 19/11)", td.total_bits, td.num_edges);
+    println!(
+        "\n3-variable assignment of Figure 2.c : {}/{} toggled bits (paper: 15/11)",
+        tc.total_bits, tc.num_edges
+    );
+    println!(
+        "3-variable assignment, BFS order    : {}/{} toggled bits (paper's 2.d: 19/11)",
+        td.total_bits, td.num_edges
+    );
     println!("\nderiving the optimal encoding requires knowing the markings up front —");
     println!("the SMC-based scheme gets close using structure alone (Section 3).");
     Ok(())

@@ -22,14 +22,21 @@ fn main() -> Result<(), AnalysisError> {
     println!("\nstate machine components (Figure 2.e):");
     for smc in &smcs {
         let names: Vec<&str> = smc.places().iter().map(|&p| net.place_name(p)).collect();
-        println!("  {{{}}} -> {} encoding bits", names.join(", "), smc.encoding_cost());
+        println!(
+            "  {{{}}} -> {} encoding bits",
+            names.join(", "),
+            smc.encoding_cost()
+        );
     }
 
     // Symbolic reachability under both encodings.
     let sparse = analyze(&net, &AnalysisOptions::sparse())?;
     let dense = analyze(&net, &AnalysisOptions::dense())?;
 
-    println!("\n{:<10} {:>10} {:>6} {:>10} {:>10}", "scheme", "markings", "vars", "BDD nodes", "CPU (ms)");
+    println!(
+        "\n{:<10} {:>10} {:>6} {:>10} {:>10}",
+        "scheme", "markings", "vars", "BDD nodes", "CPU (ms)"
+    );
     for report in [&sparse, &dense] {
         println!(
             "{:<10} {:>10} {:>6} {:>10} {:>10.2}",

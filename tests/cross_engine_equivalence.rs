@@ -2,20 +2,27 @@
 //! every encoding scheme, and the ZDD engine must agree on the set of
 //! reachable markings for every benchmark family.
 
-use pnsym::net::nets::{dme, figure1, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant};
+use pnsym::net::nets::{
+    dme, figure1, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant,
+};
 use pnsym::net::PetriNet;
 use pnsym::structural::find_smcs;
+use pnsym::structural::CoverStrategy;
 use pnsym::{
     analyze_zdd, AssignmentStrategy, Encoding, SchemeKind, SymbolicContext, TraversalOptions,
 };
-use pnsym::structural::CoverStrategy;
 
 fn all_encodings(net: &PetriNet) -> Vec<Encoding> {
     let smcs = find_smcs(net).expect("benchmark nets stay within limits");
     vec![
         Encoding::sparse(net),
         Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray),
-        Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Sequential),
+        Encoding::dense(
+            net,
+            &smcs,
+            CoverStrategy::Greedy,
+            AssignmentStrategy::Sequential,
+        ),
         Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
         Encoding::improved(net, &smcs, AssignmentStrategy::Sequential),
     ]
@@ -32,7 +39,8 @@ fn check_net(net: &PetriNet) {
         let mut ctx = SymbolicContext::new(net, encoding);
         let result = ctx.reachable_markings_with(TraversalOptions::default());
         assert_eq!(
-            result.num_markings, expected,
+            result.num_markings,
+            expected,
             "{}: {scheme} with {vars} vars disagrees with explicit enumeration",
             net.name()
         );

@@ -1,0 +1,82 @@
+//! Deadlock agreement between the explicit and symbolic engines, with exact
+//! expected values pinned per net.
+//!
+//! The cross-engine harness asserts only that the two engines agree with each
+//! other; these tests additionally pin the expected marking and deadlock
+//! counts so a bug that breaks both engines identically still fails loudly.
+
+use pnsym::net::nets::{dme, figure1, slotted_ring, DmeStyle};
+use pnsym::net::PetriNet;
+use pnsym::structural::{find_smcs, CoverStrategy};
+use pnsym::{AssignmentStrategy, Encoding, SymbolicContext, TraversalOptions};
+
+/// Asserts explicit and symbolic deadlock counts equal `expected_deadlocks`
+/// under the sparse, dense and improved encodings.
+fn check_deadlocks(net: &PetriNet, expected_markings: usize, expected_deadlocks: usize) {
+    let rg = net.explore().expect("benchmark nets fit in memory");
+    assert_eq!(
+        rg.num_markings(),
+        expected_markings,
+        "{}: explicit marking count",
+        net.name()
+    );
+    let explicit = rg.deadlocks(net);
+    assert_eq!(
+        explicit.len(),
+        expected_deadlocks,
+        "{}: explicit deadlock count",
+        net.name()
+    );
+    // Every explicitly found deadlock really is dead: no transition enabled.
+    for m in &explicit {
+        assert!(
+            net.enabled_transitions(m).is_empty(),
+            "{}: explicit deadlock {m} has an enabled transition",
+            net.name()
+        );
+    }
+
+    let smcs = find_smcs(net).expect("benchmark nets stay within limits");
+    let encodings = [
+        Encoding::sparse(net),
+        Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray),
+        Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+    ];
+    for encoding in encodings {
+        let scheme = encoding.scheme();
+        let mut ctx = SymbolicContext::new(net, encoding);
+        let result = ctx.reachable_markings_with(TraversalOptions::default());
+        let dead = ctx.deadlocks_in(result.reached);
+        assert_eq!(
+            ctx.count_markings(dead),
+            expected_deadlocks as f64,
+            "{}: symbolic deadlock count under {scheme}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn figure1_is_deadlock_free() {
+    // The paper's running example: 8 reachable markings, strongly connected
+    // behaviour, no deadlock.
+    check_deadlocks(&figure1(), 8, 0);
+}
+
+#[test]
+fn slotted_ring_has_exactly_one_deadlock() {
+    // The slotted ring deadlocks exactly once per size: every node can grab
+    // its local slot simultaneously, mirroring the philosophers' circular
+    // wait. The count stays 1 as the ring grows.
+    check_deadlocks(&slotted_ring(2), 14, 1);
+    check_deadlocks(&slotted_ring(3), 62, 1);
+}
+
+#[test]
+fn dme_rings_are_deadlock_free() {
+    // Mutual-exclusion rings keep the token circulating; no reachable
+    // marking is dead in either modelling style.
+    check_deadlocks(&dme(2, DmeStyle::Spec), 30, 0);
+    check_deadlocks(&dme(3, DmeStyle::Spec), 135, 0);
+    check_deadlocks(&dme(2, DmeStyle::Circuit), 42, 0);
+}

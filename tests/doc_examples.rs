@@ -1,0 +1,33 @@
+//! Pins the quick-start numbers quoted in `README.md` and the `pnsym`
+//! crate-level docs: `philosophers(2)` has 22 reachable markings, encoded
+//! with 14 variables under the sparse scheme (one per place) and 8 under the
+//! dense SMC-based scheme (Table 1 of the paper).
+
+use pnsym::net::nets::philosophers;
+use pnsym::{analyze, AnalysisOptions};
+
+#[test]
+fn quick_start_numbers_match_table1() {
+    let net = philosophers(2);
+    assert_eq!(net.num_places(), 14);
+    assert_eq!(net.num_transitions(), 10);
+
+    let sparse = analyze(&net, &AnalysisOptions::sparse()).expect("sparse analysis succeeds");
+    let dense = analyze(&net, &AnalysisOptions::dense()).expect("dense analysis succeeds");
+
+    assert_eq!(sparse.num_markings, 22.0);
+    assert_eq!(dense.num_markings, 22.0);
+    assert_eq!(sparse.num_variables, 14, "one variable per place");
+    assert_eq!(dense.num_variables, 8, "Table 1: dense SMC-based encoding");
+}
+
+#[test]
+fn explicit_engine_agrees_with_the_quick_start() {
+    let net = philosophers(2);
+    let rg = net.explore().expect("tiny net");
+    assert_eq!(rg.num_markings(), 22);
+    assert!(
+        !rg.deadlocks(&net).is_empty(),
+        "both can grab their left fork"
+    );
+}

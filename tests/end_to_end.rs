@@ -2,8 +2,8 @@
 //! the builder and the text format, running every analysis entry point, and
 //! checking the headline claim (dense beats sparse) on a mid-size instance.
 
-use pnsym::net::{parse_net, write_net, ExploreOptions, NetBuilder};
 use pnsym::net::nets::{muller, slotted_ring};
+use pnsym::net::{parse_net, write_net, ExploreOptions, NetBuilder};
 use pnsym::prelude::*;
 use pnsym::{analyze, analyze_zdd, AnalysisOptions, SchemeKind};
 

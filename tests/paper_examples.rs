@@ -70,7 +70,10 @@ fn section3_toggling_figures() {
     let net = figure1();
     let rg = net.explore().expect("safe");
     let index_of = |names: &[&str]| {
-        let places: Vec<_> = names.iter().map(|n| net.place_by_name(n).unwrap()).collect();
+        let places: Vec<_> = names
+            .iter()
+            .map(|n| net.place_by_name(n).unwrap())
+            .collect();
         rg.index_of(&Marking::from_places(net.num_places(), &places))
             .expect("reachable")
     };
@@ -115,7 +118,10 @@ fn section4_philosophers_cover_and_improved_encoding() {
     assert_eq!(smcs.len(), 6);
 
     let cover = select_smc_cover(&net, &smcs, CoverStrategy::Exact);
-    assert!(cover.num_variables <= 10, "Section 4.3 reports 10 variables");
+    assert!(
+        cover.num_variables <= 10,
+        "Section 4.3 reports 10 variables"
+    );
 
     let improved = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
     assert_eq!(improved.num_vars(), 8, "Table 1 uses 8 variables");
@@ -151,7 +157,13 @@ fn full_analysis_of_the_paper_examples() {
     for (net, markings) in [(figure1(), 8.0), (philosophers(2), 22.0)] {
         for options in [AnalysisOptions::sparse(), AnalysisOptions::dense()] {
             let report = analyze(&net, &options).expect("analysis succeeds");
-            assert_eq!(report.num_markings, markings, "{} {:?}", net.name(), options.scheme);
+            assert_eq!(
+                report.num_markings,
+                markings,
+                "{} {:?}",
+                net.name(),
+                options.scheme
+            );
             if options.scheme != SchemeKind::Sparse {
                 assert!(report.num_variables < net.num_places());
             }

@@ -6,10 +6,10 @@
 //! stays small enough for explicit enumeration, so the symbolic engines can
 //! be validated against it on thousands of structurally diverse instances.
 
-use proptest::prelude::*;
 use pnsym::net::{NetBuilder, PetriNet};
 use pnsym::structural::{find_smcs, minimal_invariants, CoverStrategy};
 use pnsym::{analyze_zdd, AssignmentStrategy, Encoding, SymbolicContext};
+use proptest::prelude::*;
 
 /// Description of one random net: a list of state-machine component sizes
 /// plus synchronisation pairs (component, component) joined at a shared
@@ -61,7 +61,10 @@ fn build_net(spec: &RandomNetSpec) -> PetriNet {
             b.transition(
                 format!("sync_{x}_{y}"),
                 &[places[x][0], places[y][0]],
-                &[places[x][1 % places[x].len()], places[y][1 % places[y].len()]],
+                &[
+                    places[x][1 % places[x].len()],
+                    places[y][1 % places[y].len()],
+                ],
             );
         }
     }

@@ -1,0 +1,51 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + fmt::Debug + 'static {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool()
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<A> {
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `A` over its whole domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

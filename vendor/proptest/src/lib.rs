@@ -1,0 +1,259 @@
+//! An offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The pnsym build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This shim implements exactly the surface the
+//! workspace's property suites use — [`Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, integer-range / tuple / `any` /
+//! `collection::vec` strategies, the [`proptest!`], [`prop_oneof!`] and
+//! `prop_assert*` macros, and [`ProptestConfig`] — over a small deterministic
+//! RNG.
+//!
+//! Deliberate simplifications relative to the real crate:
+//!
+//! * **No shrinking.** A failing case panics immediately with the generated
+//!   inputs in the message; there is no minimisation pass and therefore no
+//!   `proptest-regressions/` persistence (CI never has to manage seed files).
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible across machines; set
+//!   `PROPTEST_SEED=<u64>` to perturb the seed stream.
+//! * **`PROPTEST_CASES` overrides case counts.** When set, the environment
+//!   variable replaces every in-source `ProptestConfig::with_cases` value,
+//!   which lets CI cap the suite's runtime.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generation of arbitrary values for primitive types (`any::<T>()`).
+pub mod arbitrary_impl {}
+
+#[doc(hidden)]
+pub mod macro_support {
+    use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Seeds the RNG for one property test deterministically from its name.
+    pub fn rng_for_test(full_name: &str) -> TestRng {
+        // FNV-1a over the test's full path, perturbed by PROPTEST_SEED.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in full_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                h = h.wrapping_add(seed.wrapping_mul(0x9e3779b97f4a7c15));
+            }
+        }
+        TestRng::with_seed(h)
+    }
+
+    /// Runs the per-case closure `cases` times, panicking with the inputs on
+    /// the first failure.
+    pub fn run_cases<F>(config: &ProptestConfig, full_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (Vec<String>, Result<(), TestCaseError>),
+    {
+        let cases = config.effective_cases();
+        let mut rng = rng_for_test(full_name);
+        for i in 0..cases {
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(reason)) => {
+                    // No shrinking/resampling machinery: treat an explicit
+                    // rejection as a skipped case.
+                    let _ = reason;
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: {} failed at case {}/{}:\n  {}\n  inputs:\n    {}",
+                        full_name,
+                        i + 1,
+                        cases,
+                        msg,
+                        inputs.join("\n    ")
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the standard forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, y in any::<bool>()) {
+///         prop_assert!(x < 10 || y);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pnsym_config = $config;
+                let __pnsym_full_name = concat!(module_path!(), "::", stringify!($name));
+                $crate::macro_support::run_cases(
+                    &__pnsym_config,
+                    __pnsym_full_name,
+                    |__pnsym_rng| {
+                        // Snapshot the RNG so the inputs of a failing case can
+                        // be regenerated for the report; passing cases then
+                        // pay no Debug-formatting cost.
+                        let __pnsym_snapshot = __pnsym_rng.clone();
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strat), __pnsym_rng);
+                        )+
+                        let __pnsym_outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            Ok(())
+                        })();
+                        match __pnsym_outcome {
+                            Ok(()) => (Vec::new(), Ok(())),
+                            Err(__pnsym_err) => {
+                                let mut __pnsym_replay = __pnsym_snapshot;
+                                let mut __pnsym_inputs: Vec<String> = Vec::new();
+                                $(
+                                    __pnsym_inputs.push(format!(
+                                        "{} = {:?}",
+                                        stringify!($pat),
+                                        $crate::strategy::Strategy::generate(
+                                            &($strat),
+                                            &mut __pnsym_replay
+                                        )
+                                    ));
+                                )+
+                                (__pnsym_inputs, Err(__pnsym_err))
+                            }
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+///
+/// The real macro supports `weight => strategy` arms; this subset picks
+/// uniformly, which is all the workspace suites use.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current property case (without panicking the whole process)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pnsym_l, __pnsym_r) = (&$left, &$right);
+        if !(*__pnsym_l == *__pnsym_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __pnsym_l,
+                    __pnsym_r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pnsym_l, __pnsym_r) = (&$left, &$right);
+        if !(*__pnsym_l == *__pnsym_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}: {}\n  left:  {:?}\n  right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    __pnsym_l,
+                    __pnsym_r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pnsym_l, __pnsym_r) = (&$left, &$right);
+        if *__pnsym_l == *__pnsym_r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pnsym_l
+            )));
+        }
+    }};
+}

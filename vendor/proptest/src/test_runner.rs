@@ -1,0 +1,112 @@
+//! Configuration, errors and the deterministic RNG backing the shim.
+
+use std::fmt;
+
+/// Per-test configuration; only the knobs the workspace uses are present.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override (used by CI to cap the suite's runtime).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed or zero `PROPTEST_CASES` value — silently
+    /// falling back would let a typo disable the property suites while CI
+    /// stays green.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                Ok(_) => panic!("PROPTEST_CASES must be positive, got 0"),
+                Err(_) => panic!("malformed PROPTEST_CASES value: {v:?}"),
+            },
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. by a filter); it is skipped, not failed.
+    Reject(String),
+    /// The property was falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A small, fast, deterministic RNG (splitmix64).
+/// Twin of `SplitMix64` in `crates/pnet/src/nets/random.rs` — kept separate
+/// so `pnsym-net` stays dependency-free; fix bugs in both places.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG starting from the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded generation (Lemire); the slight modulo bias
+        // of the fallback is irrelevant for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform bool.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
