@@ -1,8 +1,13 @@
 //! Read-only analyses of BDDs: evaluation, support, node counting,
 //! satisfying-assignment counting and enumeration.
+//!
+//! Traversals mark visited nodes in arena-indexed scratch vectors rather
+//! than hash sets: node indices are dense, so a `Vec` lookup is one load
+//! with no hashing, which matters for the node counts taken after every
+//! traversal iteration of the experiment harness.
 
 use crate::manager::{BddManager, Ref, VarId, FALSE, TERMINAL_LEVEL, TRUE};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 impl BddManager {
     /// Evaluates `f` under the assignment given by `assignment`
@@ -24,21 +29,25 @@ impl BddManager {
 
     /// The set of variables `f` actually depends on, sorted by id.
     pub fn support(&self, f: Ref) -> Vec<VarId> {
-        let mut seen = HashSet::new();
-        let mut vars = HashSet::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut in_support = vec![false; self.num_vars()];
         let mut stack = vec![f.0];
         while let Some(idx) = stack.pop() {
-            if idx == FALSE || idx == TRUE || !seen.insert(idx) {
+            if idx == FALSE || idx == TRUE || seen[idx as usize] {
                 continue;
             }
+            seen[idx as usize] = true;
             let n = &self.nodes[idx as usize];
-            vars.insert(self.var_at(n.level));
+            in_support[self.var_at(n.level).index()] = true;
             stack.push(n.low);
             stack.push(n.high);
         }
-        let mut out: Vec<VarId> = vars.into_iter().collect();
-        out.sort_unstable();
-        out
+        in_support
+            .iter()
+            .enumerate()
+            .filter(|&(_, &present)| present)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
     }
 
     /// Number of nodes in the diagram rooted at `f`, terminals included.
@@ -49,19 +58,22 @@ impl BddManager {
     /// Number of distinct nodes reachable from any of `roots`
     /// (the "shared size" of a set of functions), terminals included.
     pub fn shared_node_count(&self, roots: &[Ref]) -> usize {
-        let mut seen = HashSet::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut count = 0usize;
         let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
         while let Some(idx) = stack.pop() {
-            if !seen.insert(idx) {
+            if seen[idx as usize] {
                 continue;
             }
+            seen[idx as usize] = true;
+            count += 1;
             let n = &self.nodes[idx as usize];
             if n.level != TERMINAL_LEVEL {
                 stack.push(n.low);
                 stack.push(n.high);
             }
         }
-        seen.len()
+        count
     }
 
     /// Number of satisfying assignments of `f` over `nvars` variables,
@@ -81,7 +93,8 @@ impl BddManager {
             "nvars ({nvars}) is smaller than the support size ({})",
             support.len()
         );
-        let mut memo: HashMap<u32, f64> = HashMap::new();
+        // Arena-indexed memo; NaN marks "not yet computed".
+        let mut memo: Vec<f64> = vec![f64::NAN; self.nodes.len()];
         // Count over the support only, then scale by the free variables.
         let levels: Vec<u32> = {
             let mut l: Vec<u32> = support.iter().map(|&v| self.level_of(v)).collect();
@@ -92,13 +105,7 @@ impl BddManager {
         count * 2f64.powi((nvars - support.len()) as i32)
     }
 
-    fn sat_count_rec(
-        &self,
-        f: u32,
-        levels: &[u32],
-        depth: usize,
-        memo: &mut HashMap<u32, f64>,
-    ) -> f64 {
+    fn sat_count_rec(&self, f: u32, levels: &[u32], depth: usize, memo: &mut Vec<f64>) -> f64 {
         // Number of support levels strictly below `depth` position.
         if f == FALSE {
             return 0.0;
@@ -110,15 +117,14 @@ impl BddManager {
         // Position of this node's level within the support levels.
         let pos = levels.partition_point(|&l| l < n.level);
         debug_assert!(pos < levels.len() && levels[pos] == n.level);
-        let key = f;
-        let sub = if let Some(&c) = memo.get(&key) {
-            c
-        } else {
+        let sub = if memo[f as usize].is_nan() {
             let low = self.sat_count_rec(n.low, levels, pos + 1, memo);
             let high = self.sat_count_rec(n.high, levels, pos + 1, memo);
             let c = low + high;
-            memo.insert(key, c);
+            memo[f as usize] = c;
             c
+        } else {
+            memo[f as usize]
         };
         // Scale for the support variables skipped between `depth` and `pos`.
         sub * 2f64.powi((pos - depth) as i32)

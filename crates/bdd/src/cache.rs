@@ -1,0 +1,273 @@
+//! The lossy computed cache memoising boolean operations.
+//!
+//! Unlike a general-purpose map, the computed cache of a BDD kernel does not
+//! need to remember everything: a lost entry only costs a recomputation, so
+//! the cache is a direct-mapped array of fixed-size entries where a colliding
+//! insert simply overwrites the previous occupant. This bounds the cache's
+//! memory (a power-of-two slot count, each slot 24 bytes) no matter how long
+//! an analysis runs, where the previous `HashMap`-backed cache grew without
+//! limit and reallocated on every resize.
+//!
+//! Invalidation is by generation counter: [`ComputedCache::invalidate_all`]
+//! bumps a counter instead of touching the slots, so garbage collection and
+//! reordering pay O(1) for cache invalidation instead of O(slots).
+//!
+//! The slot count starts small (tiny managers stay tiny) and doubles under
+//! sustained insert pressure up to a configurable hard cap, after which the
+//! cache is truly fixed-size and lossy.
+
+/// log2 of the initial slot count.
+const INITIAL_LOG2: u32 = 12;
+
+/// log2 of the default hard cap on the slot count (2^23 slots × 24 bytes
+/// per entry = 192 MiB). The cap exists so the cache cannot outgrow every
+/// other allocation; in practice the proportional sizing below keeps the
+/// cache at roughly the arena's size and the cap only binds on diagrams
+/// of several million nodes.
+const DEFAULT_MAX_LOG2: u32 = 23;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+    /// Generation at which the entry was written; 0 means never written.
+    generation: u32,
+    op: u8,
+}
+
+/// Statistics counters of a [`ComputedCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CacheCounters {
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) overwrites: u64,
+}
+
+/// A direct-mapped lossy operation cache with generation invalidation.
+#[derive(Debug, Clone)]
+pub(crate) struct ComputedCache {
+    entries: Vec<Entry>,
+    mask: usize,
+    /// Entries written under an older generation read as empty.
+    generation: u32,
+    max_log2: u32,
+    /// Inserts since the last resize, driving the bounded growth heuristic.
+    inserts_since_resize: u64,
+    counters: CacheCounters,
+}
+
+#[inline(always)]
+fn slot_of(op: u8, a: u32, b: u32, c: u32, mask: usize) -> usize {
+    // Fold the four key components into one u64, then run the splitmix64
+    // finaliser (shared with the unique table) for full avalanche: the
+    // masked low bits must depend on every key bit, or keys sharing low
+    // operand bits pile onto one slot band and thrash.
+    let folded = (((a as u64) << 32) | b as u64)
+        ^ ((c as u64) << 8).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (op as u64) << 56;
+    crate::table::splitmix64(folded) as usize & mask
+}
+
+impl ComputedCache {
+    /// Creates a cache with the default initial size and growth cap.
+    pub(crate) fn new() -> Self {
+        Self::with_max_log2(DEFAULT_MAX_LOG2)
+    }
+
+    /// Creates a cache whose slot count never exceeds `2^max_log2`.
+    pub(crate) fn with_max_log2(max_log2: u32) -> Self {
+        let log2 = INITIAL_LOG2.min(max_log2);
+        ComputedCache {
+            entries: vec![Entry::default(); 1 << log2],
+            mask: (1 << log2) - 1,
+            generation: 1,
+            max_log2,
+            inserts_since_resize: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of slots currently allocated.
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The hard cap on the slot count.
+    pub(crate) fn max_capacity(&self) -> usize {
+        1 << self.max_log2
+    }
+
+    /// Changes the hard cap (shrinking the cap does not shrink an already
+    /// grown cache).
+    pub(crate) fn set_max_log2(&mut self, max_log2: u32) {
+        self.max_log2 = max_log2.max(self.entries.len().trailing_zeros());
+    }
+
+    /// Cache statistics counters.
+    #[inline]
+    pub(crate) fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Looks up a memoised result in the two slots of the key's set.
+    #[inline]
+    pub(crate) fn get(&mut self, op: u8, a: u32, b: u32, c: u32) -> Option<u32> {
+        let slot = slot_of(op, a, b, c, self.mask);
+        // Two-way set associativity: the partner slot differs in the lowest
+        // bit, so both ways share a cache line. One hot collision pair then
+        // coexists instead of evicting each other on every probe, which is
+        // what turns a deep recursion's memoisation quadratic.
+        for i in [slot, (slot ^ 1) & self.mask] {
+            let e = &self.entries[i];
+            if e.generation == self.generation && e.op == op && e.a == a && e.b == b && e.c == c {
+                self.counters.hits += 1;
+                return Some(e.result);
+            }
+        }
+        self.counters.misses += 1;
+        None
+    }
+
+    /// Memoises a result, overwriting a set occupant if both ways are taken.
+    #[inline]
+    pub(crate) fn put(&mut self, op: u8, a: u32, b: u32, c: u32, result: u32) {
+        self.inserts_since_resize += 1;
+        if self.inserts_since_resize > 4 * self.entries.len() as u64
+            && self.entries.len() < self.max_capacity()
+        {
+            self.grow();
+        }
+        let slot = slot_of(op, a, b, c, self.mask);
+        // Prefer an empty way, then a way already holding this key; failing
+        // both, overwrite the primary way.
+        let mut target = slot;
+        for i in [slot, (slot ^ 1) & self.mask] {
+            let e = &self.entries[i];
+            if e.generation != self.generation || (e.op == op && e.a == a && e.b == b && e.c == c) {
+                target = i;
+                break;
+            }
+        }
+        let generation = self.generation;
+        let e = &mut self.entries[target];
+        if e.generation == generation && (e.op != op || e.a != a || e.b != b || e.c != c) {
+            self.counters.overwrites += 1;
+        }
+        *e = Entry {
+            a,
+            b,
+            c,
+            result,
+            generation,
+            op,
+        };
+    }
+
+    /// Grows the cache until it has at least `n` slots (rounded up to a
+    /// power of two), without exceeding the hard cap. Managers call this as
+    /// their node arena grows: a direct-mapped cache much smaller than the
+    /// working set thrashes, and a deep operation whose memo entries evict
+    /// each other degrades from linear in the diagram size to exponential.
+    #[inline]
+    pub(crate) fn ensure_covers(&mut self, n: usize) {
+        while self.entries.len() < n && self.entries.len() < self.max_capacity() {
+            self.grow();
+        }
+    }
+
+    /// Invalidates every entry in O(1) by bumping the generation counter.
+    pub(crate) fn invalidate_all(&mut self) {
+        if self.generation == u32::MAX {
+            // One full sweep every 2^32 - 1 invalidations keeps the counter
+            // sound without a second word per entry.
+            self.entries.fill(Entry::default());
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.entries.len() * 2).min(self.max_capacity());
+        let old = std::mem::replace(&mut self.entries, vec![Entry::default(); new_cap]);
+        self.mask = new_cap - 1;
+        self.inserts_since_resize = 0;
+        // Carry live entries over so a resize is not a full invalidation.
+        for e in old {
+            if e.generation == self.generation {
+                let slot = slot_of(e.op, e.a, e.b, e.c, self.mask);
+                self.entries[slot] = e;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_round_trips() {
+        let mut c = ComputedCache::new();
+        assert_eq!(c.get(1, 10, 20, 0), None);
+        c.put(1, 10, 20, 0, 99);
+        assert_eq!(c.get(1, 10, 20, 0), Some(99));
+        // A different op with the same operands is a distinct key.
+        assert_eq!(c.get(2, 10, 20, 0), None);
+        let counters = c.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 2);
+    }
+
+    #[test]
+    fn invalidate_all_is_a_generation_bump() {
+        let mut c = ComputedCache::new();
+        c.put(1, 1, 2, 3, 7);
+        assert_eq!(c.get(1, 1, 2, 3), Some(7));
+        c.invalidate_all();
+        assert_eq!(c.get(1, 1, 2, 3), None);
+        // Re-inserting under the new generation works.
+        c.put(1, 1, 2, 3, 8);
+        assert_eq!(c.get(1, 1, 2, 3), Some(8));
+    }
+
+    #[test]
+    fn colliding_insert_overwrites() {
+        let mut c = ComputedCache::with_max_log2(0); // a single slot
+        assert_eq!(c.capacity(), 1);
+        c.put(1, 1, 1, 1, 10);
+        c.put(1, 2, 2, 2, 20);
+        assert_eq!(c.get(1, 1, 1, 1), None);
+        assert_eq!(c.get(1, 2, 2, 2), Some(20));
+        assert_eq!(c.counters().overwrites, 1);
+    }
+
+    #[test]
+    fn growth_is_bounded_by_the_cap() {
+        let mut c = ComputedCache::with_max_log2(13);
+        for i in 0..2_000_000u32 {
+            c.put(1, i, i, i, i);
+        }
+        assert!(c.capacity() <= 1 << 13);
+        assert!(c.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn grow_preserves_live_entries() {
+        let mut c = ComputedCache::with_max_log2(20);
+        c.put(3, 5, 6, 7, 42);
+        // Force a growth cycle with filler traffic.
+        for i in 0..(4 << INITIAL_LOG2) + 8 {
+            let i = i as u32;
+            c.put(1, i, 0, 0, i);
+        }
+        assert!(c.capacity() > 1 << INITIAL_LOG2);
+        // The entry survives unless filler traffic happened to collide.
+        if let Some(v) = c.get(3, 5, 6, 7) {
+            assert_eq!(v, 42);
+        }
+    }
+}

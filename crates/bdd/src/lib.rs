@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
 mod dot;
 mod isop;
 mod manager;
 mod ops;
 pub mod reorder;
+mod table;
 mod zdd;
 
 pub use analysis::SatAssignments;

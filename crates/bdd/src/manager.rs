@@ -5,7 +5,15 @@
 //! arena. Nodes are identified by [`Ref`] handles (plain `u32` indices), so
 //! handles are `Copy` and comparing two handles for equality decides function
 //! equality in O(1) (the manager maintains strong canonicity).
+//!
+//! Canonicity is enforced by one open-addressing [`UniqueTable`] per level
+//! (multiplicative hashing, linear probing, no per-entry allocation) and
+//! operations are memoised in a direct-mapped lossy [`ComputedCache`]
+//! invalidated by generation counter — see [`crate::table`] and
+//! [`crate::cache`] for the rationale.
 
+use crate::cache::ComputedCache;
+use crate::table::UniqueTable;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -94,6 +102,7 @@ pub(crate) struct Node {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Op {
     And,
+    Or,
     Xor,
     Not,
     Ite,
@@ -117,6 +126,40 @@ pub struct ManagerStats {
     pub gc_reclaimed: usize,
     /// Peak number of live nodes observed at garbage-collection points.
     pub peak_live_nodes: usize,
+    /// Entries across all per-level unique tables (live internal nodes).
+    pub unique_entries: usize,
+    /// Slots allocated across all per-level unique tables.
+    pub unique_capacity: usize,
+    /// Slots of the computed cache (bounded; see
+    /// [`BddManager::set_cache_max_log2`]).
+    pub cache_capacity: usize,
+    /// Computed-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Computed-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Computed-cache inserts that evicted a live entry (lossy collisions).
+    pub cache_overwrites: u64,
+}
+
+impl ManagerStats {
+    /// Load factor of the unique tables (entries over slots), in `[0, 1]`.
+    pub fn unique_load(&self) -> f64 {
+        if self.unique_capacity == 0 {
+            0.0
+        } else {
+            self.unique_entries as f64 / self.unique_capacity as f64
+        }
+    }
+
+    /// Fraction of computed-cache lookups answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A shared-storage manager for Reduced Ordered Binary Decision Diagrams.
@@ -147,9 +190,9 @@ pub struct ManagerStats {
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
     /// Per-level unique tables: `(low, high) -> node index`.
-    pub(crate) unique: Vec<HashMap<(u32, u32), u32>>,
+    pub(crate) unique: Vec<UniqueTable>,
     /// Computed cache for memoised operations.
-    pub(crate) cache: HashMap<(Op, u32, u32, u32), u32>,
+    pub(crate) cache: ComputedCache,
     /// `var_at_level[level] = var`.
     pub(crate) var_at_level: Vec<u32>,
     /// `level_of_var[var] = level`.
@@ -187,7 +230,7 @@ impl BddManager {
         let mut m = BddManager {
             nodes: Vec::with_capacity(1024),
             unique: Vec::new(),
-            cache: HashMap::new(),
+            cache: ComputedCache::new(),
             var_at_level: Vec::new(),
             level_of_var: Vec::new(),
             free_list: Vec::new(),
@@ -233,7 +276,7 @@ impl BddManager {
         let level = self.var_at_level.len() as u32;
         self.var_at_level.push(var);
         self.level_of_var.push(level);
-        self.unique.push(HashMap::new());
+        self.unique.push(UniqueTable::new());
         VarId(var)
     }
 
@@ -355,11 +398,11 @@ impl BddManager {
         if low == high {
             return low;
         }
-        if let Some(&idx) = self.unique[level as usize].get(&(low, high)) {
+        if let Some(idx) = self.unique[level as usize].get(low, high) {
             return idx;
         }
         let idx = self.alloc(level, low, high);
-        self.unique[level as usize].insert((low, high), idx);
+        self.unique[level as usize].insert(low, high, idx);
         idx
     }
 
@@ -386,6 +429,11 @@ impl BddManager {
                 marked: false,
                 free: false,
             });
+            // Keep the computed cache sized ahead of the arena: the apply
+            // recursions memoise operand *pairs*, whose working set runs
+            // ahead of the node count, and a cache much smaller than that
+            // working set thrashes (see ComputedCache).
+            self.cache.ensure_covers(2 * self.nodes.len());
             idx
         }
     }
@@ -424,8 +472,14 @@ impl BddManager {
         self.gc_hint_threshold = nodes.max(16);
     }
 
+    /// The current advisory GC threshold (see [`BddManager::should_collect`]).
+    pub fn gc_threshold(&self) -> usize {
+        self.gc_hint_threshold
+    }
+
     /// Returns a snapshot of manager statistics.
     pub fn stats(&self) -> ManagerStats {
+        let counters = self.cache.counters();
         ManagerStats {
             live_nodes: self.live_node_count(),
             arena_size: self.nodes.len(),
@@ -433,14 +487,29 @@ impl BddManager {
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
             peak_live_nodes: self.peak_live.max(self.live_node_count()),
+            unique_entries: self.unique.iter().map(|t| t.len()).sum(),
+            unique_capacity: self.unique.iter().map(|t| t.capacity()).sum(),
+            cache_capacity: self.cache.capacity(),
+            cache_hits: counters.hits,
+            cache_misses: counters.misses,
+            cache_overwrites: counters.overwrites,
         }
+    }
+
+    /// Caps the computed cache at `2^max_log2` slots. The cache starts small
+    /// and grows under insert pressure, but never beyond this bound, after
+    /// which colliding inserts overwrite (the cache is lossy by design).
+    pub fn set_cache_max_log2(&mut self, max_log2: u32) {
+        self.cache.set_max_log2(max_log2);
     }
 
     /// Mark-and-sweep garbage collection.
     ///
     /// Every node not reachable from a [protected](BddManager::protect) root
-    /// is reclaimed. The computed cache is cleared. Unprotected `Ref`s held by
-    /// the caller are invalidated.
+    /// is reclaimed. Unique tables are rebuilt *in place* (their allocations
+    /// are kept) and the computed cache is invalidated in O(1) by bumping its
+    /// generation counter, so a collection costs one pass over the arena and
+    /// nothing else. Unprotected `Ref`s held by the caller are invalidated.
     pub fn collect_garbage(&mut self) {
         self.peak_live = self.peak_live.max(self.live_node_count());
         // Mark phase.
@@ -450,10 +519,10 @@ impl BddManager {
         }
         self.nodes[FALSE as usize].marked = true;
         self.nodes[TRUE as usize].marked = true;
-        // Sweep phase.
+        // Sweep phase: empty the tables without freeing their storage.
         let mut reclaimed = 0usize;
         for level_table in &mut self.unique {
-            level_table.clear();
+            level_table.clear_in_place();
         }
         self.free_list.clear();
         for idx in 0..self.nodes.len() as u32 {
@@ -477,17 +546,17 @@ impl BddManager {
                 reclaimed += 1;
             }
         }
-        // Rebuild unique tables and refcounts from surviving nodes.
+        // Re-insert survivors into the kept storage and rebuild refcounts.
         for idx in 2..self.nodes.len() as u32 {
             let n = self.nodes[idx as usize];
             if n.free {
                 continue;
             }
-            self.unique[n.level as usize].insert((n.low, n.high), idx);
+            self.unique[n.level as usize].insert(n.low, n.high, idx);
             self.nodes[n.low as usize].refcount += 1;
             self.nodes[n.high as usize].refcount += 1;
         }
-        self.cache.clear();
+        self.cache.invalidate_all();
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed;
     }
@@ -508,18 +577,19 @@ impl BddManager {
     }
 
     #[inline]
-    pub(crate) fn cache_get(&self, key: (Op, u32, u32, u32)) -> Option<u32> {
-        self.cache.get(&key).copied()
+    pub(crate) fn cache_get(&mut self, key: (Op, u32, u32, u32)) -> Option<u32> {
+        self.cache.get(key.0 as u8, key.1, key.2, key.3)
     }
 
     #[inline]
     pub(crate) fn cache_put(&mut self, key: (Op, u32, u32, u32), value: u32) {
-        self.cache.insert(key, value);
+        self.cache.put(key.0 as u8, key.1, key.2, key.3, value);
     }
 
-    /// Clears the computed cache (normally only needed by reordering).
+    /// Invalidates the computed cache (normally only needed by reordering).
+    /// O(1): bumps the cache generation instead of touching the slots.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.cache.invalidate_all();
     }
 
     /// Checks internal invariants: canonicity (no duplicate or redundant
@@ -545,8 +615,8 @@ impl BddManager {
                 return Err(format!("nodes {other} and {idx} are duplicates"));
             }
             seen.insert((n.level, n.low, n.high), idx);
-            match self.unique[n.level as usize].get(&(n.low, n.high)) {
-                Some(&u) if u == idx => {}
+            match self.unique[n.level as usize].get(n.low, n.high) {
+                Some(u) if u == idx => {}
                 _ => return Err(format!("node {idx} missing from its unique table")),
             }
         }

@@ -64,11 +64,33 @@ impl BddManager {
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        // De Morgan over the conjunction keeps a single binary cache hot.
-        let nf = self.not(f);
-        let ng = self.not(g);
-        let n = self.and(nf, ng);
-        self.not(n)
+        // A dedicated recursion (rather than De Morgan over `and`) keeps the
+        // direct-mapped computed cache from carrying three negation results
+        // per disjunction.
+        Ref(self.or_rec(f.0, g.0))
+    }
+
+    fn or_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g || g == FALSE {
+            return f;
+        }
+        if f == FALSE {
+            return g;
+        }
+        if f == TRUE || g == TRUE {
+            return TRUE;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        let key = (Op::Or, a, b, 0);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
+        let low = self.or_rec(fl, gl);
+        let high = self.or_rec(fh, gh);
+        let r = self.mk(level, low, high);
+        self.cache_put(key, r);
+        r
     }
 
     /// Exclusive or `f ⊕ g`.
@@ -475,10 +497,7 @@ impl BddManager {
 
     #[inline]
     fn or_idx(&mut self, f: u32, g: u32) -> u32 {
-        let nf = self.not_rec(f);
-        let ng = self.not_rec(g);
-        let n = self.and_rec(nf, ng);
-        self.not_rec(n)
+        self.or_rec(f, g)
     }
 
     /// Cofactors of `f` with respect to the variable at `level`
@@ -654,6 +673,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn commutative_cache_keys_are_normalized() {
+        // `and(a, b)` and `and(b, a)` must share one computed-cache entry:
+        // the second call is answered entirely from the cache (one hit, no
+        // new misses), so operand order cannot double the cache footprint.
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.and(a, b);
+        let g = m.or(b, c);
+        // Non-constant, distinct operands so every op takes its cache path.
+        type OpPair = Box<dyn Fn(&mut BddManager) -> (Ref, Ref)>;
+        let ops: Vec<(&str, OpPair)> = vec![
+            ("and", Box::new(move |m| (m.and(f, g), m.and(g, f)))),
+            ("or", Box::new(move |m| (m.or(f, g), m.or(g, f)))),
+            ("xor", Box::new(move |m| (m.xor(f, g), m.xor(g, f)))),
+        ];
+        for (name, op) in ops {
+            let before = m.stats();
+            let (fwd, rev) = op(&mut m);
+            let after = m.stats();
+            assert_eq!(fwd, rev, "{name} must be commutative");
+            let new_misses = after.cache_misses - before.cache_misses;
+            let new_hits = after.cache_hits - before.cache_hits;
+            assert!(
+                new_hits >= 1,
+                "{name}: the swapped-operand call must hit the cache \
+                 (hits {new_hits}, misses {new_misses})"
+            );
+        }
+        // The relational product normalizes its two conjuncts the same way.
+        let vars = [v[3]];
+        let before = m.stats();
+        let fwd = m.and_exists(f, g, &vars);
+        let miss_fwd = m.stats().cache_misses - before.cache_misses;
+        let mid = m.stats();
+        let rev = m.and_exists(g, f, &vars);
+        let miss_rev = m.stats().cache_misses - mid.cache_misses;
+        assert_eq!(fwd, rev);
+        assert!(miss_fwd >= 1, "first call populates the cache");
+        assert_eq!(miss_rev, 0, "swapped operands must be answered cached");
     }
 
     #[test]

@@ -41,12 +41,12 @@ impl BddManager {
         let x = level as usize;
         let y = x + 1;
         assert!(y < self.var_at_level.len(), "level out of range for swap");
-        self.cache.clear();
+        self.cache.invalidate_all();
 
-        let x_nodes: Vec<u32> = self.unique[x].values().copied().collect();
-        let y_nodes: Vec<u32> = self.unique[y].values().copied().collect();
-        self.unique[x].clear();
-        self.unique[y].clear();
+        let x_nodes: Vec<u32> = self.unique[x].node_indices().collect();
+        let y_nodes: Vec<u32> = self.unique[y].node_indices().collect();
+        self.unique[x].clear_in_place();
+        self.unique[y].clear_in_place();
 
         // Pass A: nodes at level x that do not depend on the level-y variable
         // keep their variable and simply move down to level y.
@@ -59,8 +59,8 @@ impl BddManager {
                 dependent.push(idx);
             } else {
                 self.nodes[idx as usize].level = y as u32;
-                let prev = self.unique[y].insert((n.low, n.high), idx);
-                debug_assert!(prev.is_none(), "unexpected collision while relocating");
+                // UniqueTable::insert debug-asserts key uniqueness itself.
+                self.unique[y].insert(n.low, n.high, idx);
             }
         }
 
@@ -97,8 +97,7 @@ impl BddManager {
             node.low = new_low;
             node.high = new_high;
             // The node keeps level x, which now hosts the other variable.
-            let prev = self.unique[x].insert((new_low, new_high), idx);
-            debug_assert!(prev.is_none(), "unexpected collision while rewriting");
+            self.unique[x].insert(new_low, new_high, idx);
         }
 
         // Pass C: surviving nodes of the old level y move up to level x;
@@ -115,8 +114,7 @@ impl BddManager {
                 self.free_list.push(idx);
             } else {
                 self.nodes[idx as usize].level = x as u32;
-                let prev = self.unique[x].insert((n.low, n.high), idx);
-                debug_assert!(prev.is_none(), "unexpected collision while promoting");
+                self.unique[x].insert(n.low, n.high, idx);
             }
         }
 

@@ -1,0 +1,225 @@
+//! The open-addressing unique table backing canonicity.
+//!
+//! One [`UniqueTable`] exists per variable level. Each entry stores the
+//! `(low, high)` child pair packed into a `u64` key plus the `u32` arena
+//! index of the node — 16 bytes per slot, no per-entry allocation, no
+//! hashing state. Lookup mixes the packed key with the splitmix64
+//! finaliser and probes linearly over a power-of-two slot array, the
+//! open-addressing scheme mature BDD kernels (CUDD and descendants) use in
+//! place of chained general-purpose hash maps: the probe sequence is a
+//! handful of adjacent cache lines and the hash is two multiplies and
+//! three shifts.
+//!
+//! Deletion never leaves tombstones: garbage collection and adjacent-level
+//! swaps empty the whole table with [`UniqueTable::clear_in_place`] (keeping
+//! the allocation) and re-insert the survivors, so the probe invariant is
+//! re-established wholesale instead of per-entry.
+
+/// Sentinel marking an empty slot (`u32::MAX` is never a valid node index:
+/// the arena is bounded well below it and index 0/1 are the terminals).
+const EMPTY: u32 = u32::MAX;
+
+/// Smallest capacity allocated once a table holds an entry.
+const MIN_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// `(low << 32) | high` of the stored node.
+    key: u64,
+    /// Arena index of the stored node, or [`EMPTY`].
+    idx: u32,
+}
+
+const EMPTY_SLOT: Slot = Slot { key: 0, idx: EMPTY };
+
+/// An open-addressing `(low, high) -> node index` table for one level.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UniqueTable {
+    slots: Vec<Slot>,
+    /// Number of occupied slots.
+    len: usize,
+    /// `slots.len() - 1`; kept separate so probing is mask-and-go.
+    mask: usize,
+}
+
+#[inline(always)]
+fn pack(low: u32, high: u32) -> u64 {
+    ((low as u64) << 32) | high as u64
+}
+
+/// The splitmix64 finaliser: full avalanche, so the low bits kept by a
+/// power-of-two mask depend on every input bit. A single multiply is NOT
+/// enough for the kernel's keys: the low k bits of `key * C` depend only on
+/// the low k bits of the key — i.e. only on the `high` child — and every
+/// node sharing a `high` child would land in one band of the table,
+/// degrading linear probing to quadratic clustering on wide levels. Shared
+/// with the computed cache so both hash paths keep the same distribution.
+#[inline(always)]
+pub(crate) fn splitmix64(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[inline(always)]
+fn hash(key: u64) -> u64 {
+    splitmix64(key)
+}
+
+impl UniqueTable {
+    /// Creates an empty table with no backing allocation.
+    pub(crate) fn new() -> Self {
+        UniqueTable::default()
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of slots currently allocated.
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up the node for children `(low, high)`.
+    #[inline]
+    pub(crate) fn get(&self, low: u32, high: u32) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let key = pack(low, high);
+        let mut i = hash(key) as usize & self.mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.idx == EMPTY {
+                return None;
+            }
+            if slot.key == key {
+                return Some(slot.idx);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `(low, high) -> idx`, assuming the key is not present
+    /// (callers always [`get`](UniqueTable::get) first).
+    #[inline]
+    pub(crate) fn insert(&mut self, low: u32, high: u32, idx: u32) {
+        debug_assert_ne!(idx, EMPTY);
+        // Grow at 3/4 load.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let key = pack(low, high);
+        let mut i = hash(key) as usize & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.idx == EMPTY {
+                *slot = Slot { key, idx };
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(slot.key, key, "duplicate unique-table insert");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Empties the table while keeping its allocation, so a GC rebuild
+    /// re-inserts into already-sized storage instead of reallocating.
+    pub(crate) fn clear_in_place(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+
+    /// Iterates over the stored node indices (order is unspecified).
+    pub(crate) fn node_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.iter().filter(|s| s.idx != EMPTY).map(|s| s.idx)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        self.mask = new_cap - 1;
+        for slot in old {
+            if slot.idx == EMPTY {
+                continue;
+            }
+            let mut i = hash(slot.key) as usize & self.mask;
+            while self.slots[i].idx != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_misses_without_allocating() {
+        let t = UniqueTable::new();
+        assert_eq!(t.get(3, 4), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut t = UniqueTable::new();
+        for i in 0..1000u32 {
+            t.insert(i, i + 1, i + 2);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(t.get(i, i + 1), Some(i + 2));
+        }
+        assert_eq!(t.get(1000, 1001), None);
+        // Power-of-two capacity with load below 3/4.
+        assert!(t.capacity().is_power_of_two());
+        assert!(t.len() * 4 <= t.capacity() * 3);
+    }
+
+    #[test]
+    fn keys_differing_only_in_one_child_do_not_collide_logically() {
+        let mut t = UniqueTable::new();
+        t.insert(7, 9, 100);
+        t.insert(9, 7, 200);
+        assert_eq!(t.get(7, 9), Some(100));
+        assert_eq!(t.get(9, 7), Some(200));
+    }
+
+    #[test]
+    fn clear_in_place_keeps_capacity() {
+        let mut t = UniqueTable::new();
+        for i in 0..100u32 {
+            t.insert(i, i, i + 2);
+        }
+        let cap = t.capacity();
+        t.clear_in_place();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), cap);
+        assert_eq!(t.get(5, 5), None);
+        t.insert(5, 5, 7);
+        assert_eq!(t.get(5, 5), Some(7));
+    }
+
+    #[test]
+    fn node_indices_visits_every_entry_once() {
+        let mut t = UniqueTable::new();
+        for i in 0..50u32 {
+            t.insert(i, 2 * i, i + 2);
+        }
+        let mut seen: Vec<u32> = t.node_indices().collect();
+        seen.sort_unstable();
+        let expected: Vec<u32> = (2..52).collect();
+        assert_eq!(seen, expected);
+    }
+}

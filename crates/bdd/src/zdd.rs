@@ -8,7 +8,14 @@
 //! The reduction rule differs from BDDs: a node whose `high` (element
 //! present) child is the empty family is removed, while nodes with equal
 //! children are kept.
+//!
+//! Storage mirrors the BDD kernel: one open-addressing
+//! [`UniqueTable`](crate::table) per element level and a direct-mapped lossy
+//! [`ComputedCache`](crate::cache) for the set operations (a lost cache
+//! entry only costs a recomputation, so lossiness is sound).
 
+use crate::cache::ComputedCache;
+use crate::table::UniqueTable;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -75,8 +82,9 @@ enum ZOp {
 /// ```
 pub struct ZddManager {
     nodes: Vec<ZNode>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    cache: HashMap<(ZOp, u32, u32), u32>,
+    /// One `(low, high) -> node` table per element level.
+    unique: Vec<UniqueTable>,
+    cache: ComputedCache,
     num_elements: usize,
 }
 
@@ -106,8 +114,8 @@ impl ZddManager {
         });
         ZddManager {
             nodes,
-            unique: HashMap::new(),
-            cache: HashMap::new(),
+            unique: (0..num_elements).map(|_| UniqueTable::new()).collect(),
+            cache: ComputedCache::new(),
             num_elements,
         }
     }
@@ -137,12 +145,13 @@ impl ZddManager {
         if high == EMPTY {
             return low;
         }
-        if let Some(&idx) = self.unique.get(&(level, low, high)) {
+        if let Some(idx) = self.unique[level as usize].get(low, high) {
             return idx;
         }
         let idx = self.nodes.len() as u32;
         self.nodes.push(ZNode { level, low, high });
-        self.unique.insert((level, low, high), idx);
+        self.unique[level as usize].insert(low, high, idx);
+        self.cache.ensure_covers(2 * self.nodes.len());
         idx
     }
 
@@ -199,7 +208,7 @@ impl ZddManager {
             return g;
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(ZOp::Union, a, b)) {
+        if let Some(r) = self.cache.get(ZOp::Union as u8, a, b, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -219,7 +228,7 @@ impl ZddManager {
             let high = self.union_rec(nf.high, ng.high);
             self.mk(lf, low, high)
         };
-        self.cache.insert((ZOp::Union, a, b), r);
+        self.cache.put(ZOp::Union as u8, a, b, 0, r);
         r
     }
 
@@ -236,7 +245,7 @@ impl ZddManager {
             return f;
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(ZOp::Intersect, a, b)) {
+        if let Some(r) = self.cache.get(ZOp::Intersect as u8, a, b, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -254,7 +263,7 @@ impl ZddManager {
             let high = self.intersect_rec(nf.high, ng.high);
             self.mk(lf, low, high)
         };
-        self.cache.insert((ZOp::Intersect, a, b), r);
+        self.cache.put(ZOp::Intersect as u8, a, b, 0, r);
         r
     }
 
@@ -270,7 +279,7 @@ impl ZddManager {
         if g == EMPTY {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(ZOp::Diff, f, g)) {
+        if let Some(r) = self.cache.get(ZOp::Diff as u8, f, g, 0) {
             return r;
         }
         let lf = self.level(f);
@@ -289,12 +298,20 @@ impl ZddManager {
             let high = self.diff_rec(nf.high, ng.high);
             self.mk(lf, low, high)
         };
-        self.cache.insert((ZOp::Diff, f, g), r);
+        self.cache.put(ZOp::Diff as u8, f, g, 0, r);
         r
     }
 
     /// The sub-family of sets *not* containing `element`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range.
     pub fn subset0(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        assert!(
+            element < self.num_elements,
+            "element {element} out of range"
+        );
         let e = element as u32;
         ZddRef(self.subset0_rec(f.0, e))
     }
@@ -304,8 +321,8 @@ impl ZddManager {
         if lf > e {
             return f; // element cannot occur below this point
         }
-        let key = (ZOp::Subset0, f, e);
-        if let Some(&r) = self.cache.get(&key) {
+        let key = (ZOp::Subset0 as u8, f, e);
+        if let Some(r) = self.cache.get(key.0, key.1, key.2, 0) {
             return r;
         }
         let n = self.nodes[f as usize];
@@ -316,12 +333,20 @@ impl ZddManager {
             let high = self.subset0_rec(n.high, e);
             self.mk(lf, low, high)
         };
-        self.cache.insert(key, r);
+        self.cache.put(key.0, key.1, key.2, 0, r);
         r
     }
 
     /// The sets containing `element`, with `element` removed from each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range.
     pub fn subset1(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        assert!(
+            element < self.num_elements,
+            "element {element} out of range"
+        );
         let e = element as u32;
         ZddRef(self.subset1_rec(f.0, e))
     }
@@ -331,8 +356,8 @@ impl ZddManager {
         if lf > e {
             return EMPTY;
         }
-        let key = (ZOp::Subset1, f, e);
-        if let Some(&r) = self.cache.get(&key) {
+        let key = (ZOp::Subset1 as u8, f, e);
+        if let Some(r) = self.cache.get(key.0, key.1, key.2, 0) {
             return r;
         }
         let n = self.nodes[f as usize];
@@ -343,24 +368,33 @@ impl ZddManager {
             let high = self.subset1_rec(n.high, e);
             self.mk(lf, low, high)
         };
-        self.cache.insert(key, r);
+        self.cache.put(key.0, key.1, key.2, 0, r);
         r
     }
 
     /// Toggles the membership of `element` in every set of the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range (the per-level unique tables,
+    /// unlike the previous single map, only exist for declared elements).
     pub fn change(&mut self, f: ZddRef, element: usize) -> ZddRef {
+        assert!(
+            element < self.num_elements,
+            "element {element} out of range"
+        );
         let e = element as u32;
         ZddRef(self.change_rec(f.0, e))
     }
 
     fn change_rec(&mut self, f: u32, e: u32) -> u32 {
         let lf = self.level(f);
-        let key = (ZOp::Change, f, e);
+        let key = (ZOp::Change as u8, f, e);
         if lf > e {
             // The element does not occur: add it to every set.
             return self.mk(e, EMPTY, f);
         }
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key.0, key.1, key.2, 0) {
             return r;
         }
         let n = self.nodes[f as usize];
@@ -371,7 +405,7 @@ impl ZddManager {
             let high = self.change_rec(n.high, e);
             self.mk(lf, low, high)
         };
-        self.cache.insert(key, r);
+        self.cache.put(key.0, key.1, key.2, 0, r);
         r
     }
 
@@ -544,6 +578,14 @@ mod tests {
     fn out_of_range_element_panics() {
         let mut z = ZddManager::new(2);
         let _ = z.single_set(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_change_panics() {
+        let mut z = ZddManager::new(2);
+        let b = z.base();
+        let _ = z.change(b, 5);
     }
 
     #[test]

@@ -201,6 +201,52 @@ proptest! {
     }
 
     #[test]
+    fn interleaved_ops_gc_and_sifting_preserve_invariants(
+        steps in proptest::collection::vec((arb_expr(), 0u8..4), 1..10)
+    ) {
+        // Random operations interleaved with garbage collections (which
+        // rebuild the open-addressing unique tables in place and bump the
+        // cache generation) and sifting (which rewrites the tables level by
+        // level). Invariants and canonicity must survive every interleaving.
+        let mut m = BddManager::with_vars(NVARS);
+        let mut roots: Vec<(Expr, Ref)> = Vec::new();
+        for (expr, action) in steps {
+            let f = expr.build(&mut m);
+            m.protect(f);
+            roots.push((expr, f));
+            match action {
+                1 => m.collect_garbage(),
+                2 => {
+                    m.sift_with(SiftConfig { max_growth: 1.5, max_vars: None });
+                }
+                3 => {
+                    m.collect_garbage();
+                    m.clear_cache();
+                }
+                _ => {}
+            }
+            prop_assert!(m.check_invariants().is_ok());
+        }
+        // Every protected root still denotes its function, and rebuilding
+        // the same function must return the identical handle (canonicity).
+        for (expr, f) in &roots {
+            for a in all_assignments() {
+                prop_assert_eq!(m.eval(*f, |v| a[v.index()]), expr.eval(&a));
+            }
+            let rebuilt = expr.build(&mut m);
+            prop_assert_eq!(rebuilt, *f);
+        }
+        // Releasing every root must let a final collection empty the arena;
+        // the rebuilt tables may then hold only the two terminals.
+        for (_, f) in &roots {
+            m.unprotect(*f);
+        }
+        m.collect_garbage();
+        prop_assert_eq!(m.live_node_count(), 2);
+        prop_assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
     fn rename_forward_matches_reference(expr in arb_expr()) {
         // Rename every variable i -> i + NVARS in a 2*NVARS manager.
         let mut m = BddManager::with_vars(2 * NVARS);

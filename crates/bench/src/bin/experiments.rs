@@ -9,14 +9,21 @@
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
 //! experiments all [--paper-scale]      everything above
+//! experiments smoke                    fast kernel sanity run on the two smallest nets (CI)
 //! ```
 //!
 //! Run with `cargo run --release -p pnsym-bench --bin experiments -- all`.
+//!
+//! Passing `--json[=PATH]` additionally writes the per-net timings, node
+//! counts and kernel statistics of the table3/table4 runs as JSON (default
+//! path `BENCH.json`); the committed `BENCH_*.json` snapshots tracking the
+//! performance trajectory across PRs are produced this way.
 
+use pnsym_bench::json::Value;
 use pnsym_bench::{table3_workloads, table4_workloads, Scale, Workload};
 use pnsym_core::{
     analyze, analyze_zdd, toggling_activity, toggling_of_state_codes, AnalysisOptions,
-    AnalysisReport, AssignmentStrategy, Encoding, SymbolicContext,
+    AnalysisReport, AssignmentStrategy, Encoding, SymbolicContext, ZddAnalysisReport,
 };
 use pnsym_net::nets::{figure1, philosophers};
 use pnsym_net::Marking;
@@ -31,32 +38,127 @@ fn main() {
     } else {
         Scale::Default
     };
+    let json_path: Option<String> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some("BENCH.json".to_string())
+        } else {
+            a.strip_prefix("--json=").map(str::to_string)
+        }
+    });
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str);
 
+    let mut records: Vec<Value> = Vec::new();
     match command {
-        Some("table3") => table3(scale),
-        Some("table4") => table4(scale),
+        Some("table3") => table3(scale, &mut records),
+        Some("table4") => table4(scale, &mut records),
         Some("fig2") => figure2(),
         Some("table1") => table1(),
         Some("ablation") => ablation(),
+        Some("smoke") => smoke(&mut records),
         Some("all") | None => {
             figure2();
             table1();
-            table3(scale);
-            table4(scale);
+            table3(scale, &mut records);
+            table4(scale, &mut records);
             ablation();
         }
         Some(other) => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "usage: experiments [table3|table4|fig2|table1|ablation|all] [--paper-scale]"
+                "usage: experiments [table3|table4|fig2|table1|ablation|smoke|all] [--paper-scale] [--json[=PATH]]"
             );
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = json_path {
+        if records.is_empty() {
+            // fig2/table1/ablation emit no per-net records; refusing to
+            // write protects a committed BENCH_*.json from being clobbered
+            // by an empty snapshot.
+            eprintln!("--json: no per-net records produced by this command; not writing {path}");
+            return;
+        }
+        let doc = Value::object(vec![
+            ("schema", Value::Str("pnsym-experiments-v1".into())),
+            (
+                "scale",
+                Value::Str(if paper_scale { "paper" } else { "default" }.into()),
+            ),
+            ("records", Value::Array(records)),
+        ]);
+        match std::fs::write(&path, doc.to_json() + "\n") {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// One machine-readable record per (experiment, net, scheme) BDD run.
+fn bdd_record(experiment: &str, net: &str, scheme: &str, r: &AnalysisReport) -> Value {
+    let s = r.manager_stats;
+    Value::object(vec![
+        ("experiment", Value::Str(experiment.into())),
+        ("net", Value::Str(net.into())),
+        ("scheme", Value::Str(scheme.into())),
+        ("variables", Value::UInt(r.num_variables as u64)),
+        ("markings", Value::Float(r.num_markings)),
+        ("bdd_nodes", Value::UInt(r.bdd_nodes as u64)),
+        ("peak_live_nodes", Value::UInt(r.peak_live_nodes as u64)),
+        ("iterations", Value::UInt(r.iterations as u64)),
+        (
+            "encoding_ms",
+            Value::Float(r.encoding_time.as_secs_f64() * 1e3),
+        ),
+        (
+            "traversal_ms",
+            Value::Float(r.traversal_time.as_secs_f64() * 1e3),
+        ),
+        ("total_ms", Value::Float(r.total_time.as_secs_f64() * 1e3)),
+        ("unique_entries", Value::UInt(s.unique_entries as u64)),
+        ("unique_load", Value::Float(s.unique_load())),
+        ("cache_hits", Value::UInt(s.cache_hits)),
+        ("cache_misses", Value::UInt(s.cache_misses)),
+        ("cache_overwrites", Value::UInt(s.cache_overwrites)),
+        ("cache_hit_rate", Value::Float(s.cache_hit_rate())),
+        ("cache_capacity", Value::UInt(s.cache_capacity as u64)),
+        ("gc_runs", Value::UInt(s.gc_runs as u64)),
+        ("gc_reclaimed", Value::UInt(s.gc_reclaimed as u64)),
+    ])
+}
+
+/// The ZDD runs carry no BDD-manager statistics.
+fn zdd_record(experiment: &str, net: &str, r: &ZddAnalysisReport) -> Value {
+    Value::object(vec![
+        ("experiment", Value::Str(experiment.into())),
+        ("net", Value::Str(net.into())),
+        ("scheme", Value::Str("zdd-sparse".into())),
+        ("variables", Value::UInt(r.num_variables as u64)),
+        ("markings", Value::Float(r.num_markings)),
+        ("zdd_nodes", Value::UInt(r.zdd_nodes as u64)),
+        ("iterations", Value::UInt(r.iterations as u64)),
+        ("total_ms", Value::Float(r.total_time.as_secs_f64() * 1e3)),
+    ])
+}
+
+/// Compact one-line kernel statistics, printed under each table row.
+fn fmt_kernel_stats(r: &AnalysisReport) -> String {
+    let s = r.manager_stats;
+    format!(
+        "cache-hit {:.1}% ({}/{} lookups, {} overwrites) uniq-load {:.2} gc {}",
+        s.cache_hit_rate() * 100.0,
+        s.cache_hits,
+        s.cache_hits + s.cache_misses,
+        s.cache_overwrites,
+        s.unique_load(),
+        s.gc_runs
+    )
 }
 
 fn fmt_report(name: &str, r: &AnalysisReport) -> String {
@@ -72,7 +174,7 @@ fn fmt_report(name: &str, r: &AnalysisReport) -> String {
 
 /// Table 3: sparse (one variable per place) vs dense (improved SMC)
 /// encoding on the Muller pipeline, dining philosophers and slotted ring.
-fn table3(scale: Scale) {
+fn table3(scale: Scale, records: &mut Vec<Value>) {
     println!("\n== Table 3: sparse vs dense encoding ==============================");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
@@ -96,6 +198,9 @@ fn table3(scale: Scale) {
                     d.bdd_nodes,
                     d.total_time.as_secs_f64()
                 );
+                println!("             kernel(dense): {}", fmt_kernel_stats(&d));
+                records.push(bdd_record("table3", &name, "sparse", &s));
+                records.push(bdd_record("table3", &name, "improved-dense", &d));
             }
             (s, d) => println!(
                 "{name:<12} failed: sparse={:?} dense={:?} after {:.1}s",
@@ -110,7 +215,7 @@ fn table3(scale: Scale) {
 
 /// Table 4: the ZDD-based sparse representation (Yoneda et al.) vs the dense
 /// BDD encoding on the DME and JJreg-style nets.
-fn table4(scale: Scale) {
+fn table4(scale: Scale, records: &mut Vec<Value>) {
     println!("\n== Table 4: ZDD compaction vs dense encoding ======================");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
@@ -137,6 +242,9 @@ fn table4(scale: Scale) {
                     d.bdd_nodes,
                     d.total_time.as_secs_f64()
                 );
+                println!("             kernel(dense): {}", fmt_kernel_stats(&d));
+                records.push(zdd_record("table4", &name, &zdd));
+                records.push(bdd_record("table4", &name, "improved-dense", &d));
             }
             Err(e) => println!("{name:<12} dense analysis failed: {e}"),
         }
@@ -261,6 +369,40 @@ fn table1() {
         });
         println!("  [{}] = {}", net.place_name(p), formula);
     }
+}
+
+/// Fast kernel sanity run for CI: full sparse + dense analysis of the two
+/// smallest table-3 nets, cross-checked against explicit exploration, so a
+/// kernel regression (wrong counts or a pathological slowdown) surfaces
+/// without a full criterion sweep.
+fn smoke(records: &mut Vec<Value>) {
+    println!("\n== Smoke: kernel sanity on the two smallest nets ==================");
+    let mut workloads = table3_workloads(Scale::Default);
+    workloads.sort_by_key(|w| w.net.num_places());
+    for Workload { name, net } in workloads.into_iter().take(2) {
+        let expected = net.explore().expect("smoke nets are tiny").num_markings() as f64;
+        let start = Instant::now();
+        let sparse = analyze(&net, &AnalysisOptions::sparse()).expect("sparse analysis");
+        let dense = analyze(&net, &AnalysisOptions::dense()).expect("dense analysis");
+        assert_eq!(
+            sparse.num_markings, expected,
+            "{name}: sparse disagrees with explicit exploration"
+        );
+        assert_eq!(
+            dense.num_markings, expected,
+            "{name}: dense disagrees with explicit exploration"
+        );
+        println!(
+            "{name:<12} {expected:>8} markings  sparse {:.3}s  dense {:.3}s  total {:.3}s",
+            sparse.total_time.as_secs_f64(),
+            dense.total_time.as_secs_f64(),
+            start.elapsed().as_secs_f64()
+        );
+        println!("             kernel(dense): {}", fmt_kernel_stats(&dense));
+        records.push(bdd_record("smoke", &name, "sparse", &sparse));
+        records.push(bdd_record("smoke", &name, "improved-dense", &dense));
+    }
+    println!("smoke OK");
 }
 
 /// Ablations: Gray vs binary code assignment, basic vs improved scheme,

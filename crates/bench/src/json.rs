@@ -1,0 +1,172 @@
+//! Minimal JSON emission for the `experiments --json` flag.
+//!
+//! The build environment vendors no serde, so the machine-readable benchmark
+//! snapshots (`BENCH_*.json`) are emitted by this hand-rolled writer. Only
+//! the handful of shapes the harness needs are supported: objects, arrays,
+//! strings, integers and floats.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (emitted via `{:?}`, which round-trips f64).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+    /// An array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for object values.
+    pub fn object(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialises the value with two-space indentation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Str(s) => write_escaped(out, s),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no Infinity/NaN; the harness only emits
+                    // counts, so this is purely defensive.
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    v.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Value::Int(-3).to_json(), "-3");
+        assert_eq!(Value::UInt(7).to_json(), "7");
+        assert_eq!(Value::Float(1.5).to_json(), "1.5");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(
+            Value::Str("a\"b\\c\n".into()).to_json(),
+            "\"a\\\"b\\\\c\\n\""
+        );
+    }
+
+    #[test]
+    fn nested_structure_round_trips_visually() {
+        let v = Value::object(vec![
+            ("name", Value::Str("muller-8".into())),
+            ("nodes", Value::UInt(120)),
+            (
+                "times",
+                Value::Array(vec![Value::Float(0.25), Value::Float(0.5)]),
+            ),
+            ("empty", Value::Object(vec![])),
+        ]);
+        let s = v.to_json();
+        assert!(s.contains("\"name\": \"muller-8\""));
+        assert!(s.contains("\"nodes\": 120"));
+        assert!(s.contains("0.25"));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+}

@@ -15,6 +15,8 @@
 use pnsym_net::nets::{dme, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant};
 use pnsym_net::PetriNet;
 
+pub mod json;
+
 /// Which instance sizes to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {

@@ -81,6 +81,9 @@ pub struct AnalysisReport {
     pub traversal_time: Duration,
     /// Total wall-clock time (column `CPU`).
     pub total_time: Duration,
+    /// Kernel statistics of the BDD manager at the end of the analysis
+    /// (unique-table load, computed-cache hit rate, GC activity).
+    pub manager_stats: pnsym_bdd::ManagerStats,
 }
 
 impl fmt::Display for AnalysisReport {
@@ -175,6 +178,7 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
     let result = ctx.reachable_markings_with(options.traversal);
     let dead = ctx.deadlocks_in(result.reached);
     let num_deadlocks = ctx.count_markings(dead);
+    let manager_stats = ctx.stats();
 
     Ok(AnalysisReport {
         net_name: net.name().to_string(),
@@ -190,6 +194,7 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
         encoding_time,
         traversal_time: result.duration,
         total_time: start.elapsed(),
+        manager_stats,
     })
 }
 

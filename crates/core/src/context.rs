@@ -3,7 +3,7 @@
 //! enabling functions (Section 5.3) and the encoded initial marking.
 
 use crate::encoding::{Block, Encoding};
-use pnsym_bdd::{BddManager, Ref, VarId};
+use pnsym_bdd::{BddManager, ManagerStats, Ref, VarId};
 use pnsym_net::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// A symbolic analysis context for one net and one encoding.
@@ -126,6 +126,12 @@ impl SymbolicContext {
     /// export or custom operations on the sets produced by this context).
     pub fn manager_mut(&mut self) -> &mut BddManager {
         &mut self.manager
+    }
+
+    /// Statistics snapshot of the underlying BDD manager (node counts,
+    /// unique-table load, computed-cache hit rates, GC activity).
+    pub fn stats(&self) -> ManagerStats {
+        self.manager.stats()
     }
 
     /// The BDD variables encoding the *current* state, indexed by state

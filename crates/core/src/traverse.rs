@@ -21,8 +21,11 @@ pub struct TraversalOptions {
     /// Compute images from the newly discovered frontier only (true) or from
     /// the whole reached set (false).
     pub use_frontier: bool,
-    /// Live-node threshold above which garbage collection runs between
-    /// iterations.
+    /// Initial live-node threshold above which garbage collection runs
+    /// between iterations. The threshold adapts upwards: when a collection
+    /// leaves more than half the threshold live (the working set genuinely
+    /// needs the space), it doubles, so a traversal whose reached set keeps
+    /// growing does not pay a useless collection every iteration.
     pub gc_threshold: usize,
     /// Dynamic reordering policy.
     pub sift: SiftPolicy,
@@ -75,6 +78,9 @@ impl SymbolicContext {
     /// context's manager and remains valid until the context is dropped.
     pub fn reachable_markings_with(&mut self, options: TraversalOptions) -> ReachabilityResult {
         let start = Instant::now();
+        // The manager's advisory threshold is the single source of truth for
+        // the adaptive GC policy below.
+        self.manager_mut().set_gc_threshold(options.gc_threshold);
         let mut peak = self.manager().live_node_count();
         let mut reached = self.initial_set();
         let mut frontier = reached;
@@ -112,8 +118,15 @@ impl SymbolicContext {
             iterations += 1;
 
             peak = peak.max(self.manager().live_node_count());
-            if self.manager().live_node_count() > options.gc_threshold {
+            if self.manager().should_collect() {
                 self.manager_mut().collect_garbage();
+                // Collections rebuild the tables in place, so running one is
+                // cheap — but a collection that reclaims almost nothing means
+                // the working set has outgrown the threshold; double it.
+                let threshold = self.manager().gc_threshold();
+                if self.manager().live_node_count() * 2 > threshold {
+                    self.manager_mut().set_gc_threshold(threshold * 2);
+                }
             }
             if let SiftPolicy::EveryIterations(n) = options.sift {
                 if n > 0 && iterations.is_multiple_of(n) {

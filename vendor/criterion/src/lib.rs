@@ -227,8 +227,18 @@ where
     let total: Duration = b.samples.iter().sum();
     let mean = total / b.samples.len() as u32;
     let best = b.samples.iter().min().copied().unwrap_or_default();
+    let median = {
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2
+        } else {
+            sorted[mid]
+        }
+    };
     println!(
-        "{label}: mean {mean:?}, best {best:?} over {} sample(s)",
+        "{label}: median {median:?}, mean {mean:?}, best {best:?} over {} sample(s)",
         b.samples.len()
     );
 }
