@@ -124,7 +124,8 @@ pub struct ManagerStats {
     pub gc_runs: usize,
     /// Cumulative number of nodes reclaimed by garbage collection.
     pub gc_reclaimed: usize,
-    /// Peak number of live nodes observed at garbage-collection points.
+    /// Exact high-water mark of the live-node count, updated on every
+    /// allocation (see [`BddManager::peak_live_nodes`]).
     pub peak_live_nodes: usize,
     /// Entries across all per-level unique tables (live internal nodes).
     pub unique_entries: usize,
@@ -409,7 +410,7 @@ impl BddManager {
     fn alloc(&mut self, level: u32, low: u32, high: u32) -> u32 {
         self.nodes[low as usize].refcount = self.nodes[low as usize].refcount.saturating_add(1);
         self.nodes[high as usize].refcount = self.nodes[high as usize].refcount.saturating_add(1);
-        if let Some(idx) = self.free_list.pop() {
+        let idx = if let Some(idx) = self.free_list.pop() {
             self.nodes[idx as usize] = Node {
                 level,
                 low,
@@ -435,7 +436,15 @@ impl BddManager {
             // working set thrashes (see ComputedCache).
             self.cache.ensure_covers(2 * self.nodes.len());
             idx
+        };
+        // Every allocation grows the live set by exactly one node, so the
+        // high-water mark is exact here — sampling it between operations
+        // (as the traversal loop once did) misses intra-image peaks.
+        let live = self.nodes.len() - self.free_list.len();
+        if live > self.peak_live {
+            self.peak_live = live;
         }
+        idx
     }
 
     /// Protects `f` (and implicitly every node reachable from it) from
@@ -462,6 +471,14 @@ impl BddManager {
         self.nodes.len() - self.free_list.len()
     }
 
+    /// Exact high-water mark of the live-node count over the manager's
+    /// lifetime, maintained on every allocation (so peaks *inside* one
+    /// image computation are captured, not only those visible between
+    /// operations).
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live.max(self.live_node_count())
+    }
+
     /// Whether the number of live nodes has crossed the advisory GC threshold.
     pub fn should_collect(&self) -> bool {
         self.live_node_count() >= self.gc_hint_threshold
@@ -486,7 +503,7 @@ impl BddManager {
             num_vars: self.num_vars(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
-            peak_live_nodes: self.peak_live.max(self.live_node_count()),
+            peak_live_nodes: self.peak_live_nodes(),
             unique_entries: self.unique.iter().map(|t| t.len()).sum(),
             unique_capacity: self.unique.iter().map(|t| t.capacity()).sum(),
             cache_capacity: self.cache.capacity(),
@@ -511,7 +528,6 @@ impl BddManager {
     /// generation counter, so a collection costs one pass over the arena and
     /// nothing else. Unprotected `Ref`s held by the caller are invalidated.
     pub fn collect_garbage(&mut self) {
-        self.peak_live = self.peak_live.max(self.live_node_count());
         // Mark phase.
         let roots: Vec<u32> = self.protected.keys().copied().collect();
         for r in roots {

@@ -8,27 +8,49 @@
 //! experiments fig2                     encoding / toggling comparison (Figure 2, Section 3)
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
+//! experiments strategies               Bfs vs Chaining fixpoint strategies per net
 //! experiments all [--paper-scale]      everything above
 //! experiments smoke                    fast kernel sanity run on the two smallest nets (CI)
 //! ```
 //!
 //! Run with `cargo run --release -p pnsym-bench --bin experiments -- all`.
 //!
+//! `--strategy=bfs|bfs-full|chaining|chaining-index` selects the fixpoint
+//! strategy used by the table3/table4/smoke analyses (default `bfs`); the
+//! `strategies` command always compares Bfs against Chaining per net.
+//!
 //! Passing `--json[=PATH]` additionally writes the per-net timings, node
-//! counts and kernel statistics of the table3/table4 runs as JSON (default
-//! path `BENCH.json`); the committed `BENCH_*.json` snapshots tracking the
-//! performance trajectory across PRs are produced this way.
+//! counts and kernel statistics of the table3/table4/strategies runs as
+//! JSON (default path `BENCH.json`); the committed `BENCH_*.json` snapshots
+//! tracking the performance trajectory across PRs are produced this way.
 
 use pnsym_bench::json::Value;
 use pnsym_bench::{table3_workloads, table4_workloads, Scale, Workload};
 use pnsym_core::{
-    analyze, analyze_zdd, toggling_activity, toggling_of_state_codes, AnalysisOptions,
-    AnalysisReport, AssignmentStrategy, Encoding, SymbolicContext, ZddAnalysisReport,
+    analyze, analyze_zdd_with, toggling_activity, toggling_of_state_codes, AnalysisOptions,
+    AnalysisReport, AssignmentStrategy, ChainingOrder, Encoding, FixpointStrategy, SymbolicContext,
+    ZddAnalysisReport,
 };
 use pnsym_net::nets::{figure1, philosophers};
 use pnsym_net::Marking;
 use pnsym_structural::{find_smcs, select_smc_cover, CoverStrategy};
 use std::time::Instant;
+
+fn parse_strategy(name: &str) -> Option<FixpointStrategy> {
+    match name {
+        "bfs" => Some(FixpointStrategy::Bfs { use_frontier: true }),
+        "bfs-full" => Some(FixpointStrategy::Bfs {
+            use_frontier: false,
+        }),
+        "chaining" => Some(FixpointStrategy::Chaining {
+            order: ChainingOrder::Structural,
+        }),
+        "chaining-index" => Some(FixpointStrategy::Chaining {
+            order: ChainingOrder::Index,
+        }),
+        _ => None,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +67,13 @@ fn main() {
             a.strip_prefix("--json=").map(str::to_string)
         }
     });
+    let strategy = match args.iter().find_map(|a| a.strip_prefix("--strategy=")) {
+        None => FixpointStrategy::default(),
+        Some(name) => parse_strategy(name).unwrap_or_else(|| {
+            eprintln!("unknown strategy `{name}` (expected bfs|bfs-full|chaining|chaining-index)");
+            std::process::exit(2);
+        }),
+    };
     let command = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -52,23 +81,26 @@ fn main() {
 
     let mut records: Vec<Value> = Vec::new();
     match command {
-        Some("table3") => table3(scale, &mut records),
-        Some("table4") => table4(scale, &mut records),
+        Some("table3") => table3(scale, strategy, &mut records),
+        Some("table4") => table4(scale, strategy, &mut records),
         Some("fig2") => figure2(),
         Some("table1") => table1(),
         Some("ablation") => ablation(),
-        Some("smoke") => smoke(&mut records),
+        Some("strategies") => strategies(scale, &mut records),
+        Some("smoke") => smoke(strategy, &mut records),
         Some("all") | None => {
             figure2();
             table1();
-            table3(scale, &mut records);
-            table4(scale, &mut records);
+            table3(scale, strategy, &mut records);
+            table4(scale, strategy, &mut records);
+            strategies(scale, &mut records);
             ablation();
         }
         Some(other) => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "usage: experiments [table3|table4|fig2|table1|ablation|smoke|all] [--paper-scale] [--json[=PATH]]"
+                "usage: experiments [table3|table4|fig2|table1|ablation|strategies|smoke|all] \
+                 [--paper-scale] [--strategy=NAME] [--json[=PATH]]"
             );
             std::process::exit(2);
         }
@@ -107,6 +139,7 @@ fn bdd_record(experiment: &str, net: &str, scheme: &str, r: &AnalysisReport) -> 
         ("experiment", Value::Str(experiment.into())),
         ("net", Value::Str(net.into())),
         ("scheme", Value::Str(scheme.into())),
+        ("strategy", Value::Str(r.strategy.to_string())),
         ("variables", Value::UInt(r.num_variables as u64)),
         ("markings", Value::Float(r.num_markings)),
         ("bdd_nodes", Value::UInt(r.bdd_nodes as u64)),
@@ -139,6 +172,7 @@ fn zdd_record(experiment: &str, net: &str, r: &ZddAnalysisReport) -> Value {
         ("experiment", Value::Str(experiment.into())),
         ("net", Value::Str(net.into())),
         ("scheme", Value::Str("zdd-sparse".into())),
+        ("strategy", Value::Str(r.strategy.to_string())),
         ("variables", Value::UInt(r.num_variables as u64)),
         ("markings", Value::Float(r.num_markings)),
         ("zdd_nodes", Value::UInt(r.zdd_nodes as u64)),
@@ -174,8 +208,8 @@ fn fmt_report(name: &str, r: &AnalysisReport) -> String {
 
 /// Table 3: sparse (one variable per place) vs dense (improved SMC)
 /// encoding on the Muller pipeline, dining philosophers and slotted ring.
-fn table3(scale: Scale, records: &mut Vec<Value>) {
-    println!("\n== Table 3: sparse vs dense encoding ==============================");
+fn table3(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+    println!("\n== Table 3: sparse vs dense encoding ({strategy}) =================");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
         "PN", "markings", "V", "BDD", "CPU(s)", "V", "BDD", "CPU(s)"
@@ -186,8 +220,8 @@ fn table3(scale: Scale, records: &mut Vec<Value>) {
     );
     for Workload { name, net } in table3_workloads(scale) {
         let start = Instant::now();
-        let sparse = analyze(&net, &AnalysisOptions::sparse());
-        let dense = analyze(&net, &AnalysisOptions::dense());
+        let sparse = analyze(&net, &AnalysisOptions::sparse().with_strategy(strategy));
+        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy));
         match (sparse, dense) {
             (Ok(s), Ok(d)) => {
                 assert_eq!(s.num_markings, d.num_markings, "{name}: engines disagree");
@@ -215,8 +249,8 @@ fn table3(scale: Scale, records: &mut Vec<Value>) {
 
 /// Table 4: the ZDD-based sparse representation (Yoneda et al.) vs the dense
 /// BDD encoding on the DME and JJreg-style nets.
-fn table4(scale: Scale, records: &mut Vec<Value>) {
-    println!("\n== Table 4: ZDD compaction vs dense encoding ======================");
+fn table4(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+    println!("\n== Table 4: ZDD compaction vs dense encoding ({strategy}) =========");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
         "PN", "markings", "V", "ZDD", "CPU(s)", "V", "BDD", "CPU(s)"
@@ -226,8 +260,8 @@ fn table4(scale: Scale, records: &mut Vec<Value>) {
         "", "", "ZDD (sparse)", "dense encoding"
     );
     for Workload { name, net } in table4_workloads(scale) {
-        let zdd = analyze_zdd(&net);
-        let dense = analyze(&net, &AnalysisOptions::dense());
+        let zdd = analyze_zdd_with(&net, strategy);
+        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy));
         match dense {
             Ok(d) => {
                 assert_eq!(zdd.num_markings, d.num_markings, "{name}: engines disagree");
@@ -375,15 +409,17 @@ fn table1() {
 /// smallest table-3 nets, cross-checked against explicit exploration, so a
 /// kernel regression (wrong counts or a pathological slowdown) surfaces
 /// without a full criterion sweep.
-fn smoke(records: &mut Vec<Value>) {
-    println!("\n== Smoke: kernel sanity on the two smallest nets ==================");
+fn smoke(strategy: FixpointStrategy, records: &mut Vec<Value>) {
+    println!("\n== Smoke: kernel sanity on the two smallest nets ({strategy}) =====");
     let mut workloads = table3_workloads(Scale::Default);
     workloads.sort_by_key(|w| w.net.num_places());
     for Workload { name, net } in workloads.into_iter().take(2) {
         let expected = net.explore().expect("smoke nets are tiny").num_markings() as f64;
         let start = Instant::now();
-        let sparse = analyze(&net, &AnalysisOptions::sparse()).expect("sparse analysis");
-        let dense = analyze(&net, &AnalysisOptions::dense()).expect("dense analysis");
+        let sparse = analyze(&net, &AnalysisOptions::sparse().with_strategy(strategy))
+            .expect("sparse analysis");
+        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy))
+            .expect("dense analysis");
         assert_eq!(
             sparse.num_markings, expected,
             "{name}: sparse disagrees with explicit exploration"
@@ -403,6 +439,88 @@ fn smoke(records: &mut Vec<Value>) {
         records.push(bdd_record("smoke", &name, "improved-dense", &dense));
     }
     println!("smoke OK");
+}
+
+/// Bfs vs Chaining comparison per net: the dense analysis of every table-3
+/// and table-4 workload under both strategies, medians over several runs.
+/// The marking counts must agree (the strategies compute the same
+/// fixpoint); what differs is the number of iterations/passes, the peak
+/// node pressure, and the traversal time.
+fn strategies(scale: Scale, records: &mut Vec<Value>) {
+    const SAMPLES: usize = 5;
+    println!("\n== Strategies: Bfs vs Chaining (dense encoding, median of {SAMPLES}) ====");
+    println!(
+        "{:<12} {:>12} | {:>6} {:>9} {:>10} | {:>6} {:>9} {:>10} | {:>7}",
+        "PN", "markings", "iters", "peak", "trav(ms)", "passes", "peak", "trav(ms)", "speedup"
+    );
+    println!(
+        "{:<12} {:>12} | {:^27} | {:^27} |",
+        "", "", "bfs (frontier)", "chaining (structural)"
+    );
+    let compared = [
+        FixpointStrategy::Bfs { use_frontier: true },
+        FixpointStrategy::Chaining {
+            order: ChainingOrder::Structural,
+        },
+    ];
+    let mut workloads = table3_workloads(scale);
+    workloads.extend(table4_workloads(scale));
+    for Workload { name, net } in workloads {
+        // One report (median traversal time over SAMPLES runs) per strategy.
+        let mut rows: Vec<(AnalysisReport, f64)> = Vec::new();
+        let mut failed = false;
+        for strategy in compared {
+            let options = AnalysisOptions::dense().with_strategy(strategy);
+            let mut runs: Vec<AnalysisReport> = Vec::new();
+            for _ in 0..SAMPLES {
+                match analyze(&net, &options) {
+                    Ok(r) => runs.push(r),
+                    Err(e) => {
+                        println!("{name:<12} {strategy} analysis failed: {e}");
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                break;
+            }
+            runs.sort_by_key(|a| a.traversal_time);
+            let median_ms = runs[runs.len() / 2].traversal_time.as_secs_f64() * 1e3;
+            let representative = runs.swap_remove(runs.len() / 2);
+            rows.push((representative, median_ms));
+        }
+        if failed {
+            continue;
+        }
+        let (bfs, bfs_ms) = &rows[0];
+        let (chained, chain_ms) = &rows[1];
+        assert_eq!(
+            bfs.num_markings, chained.num_markings,
+            "{name}: strategies disagree on the fixpoint"
+        );
+        println!(
+            "{:<12} {:>12.3e} | {:>6} {:>9} {:>10.3} | {:>6} {:>9} {:>10.3} | {:>6.2}x",
+            name,
+            bfs.num_markings,
+            bfs.iterations,
+            bfs.peak_live_nodes,
+            bfs_ms,
+            chained.iterations,
+            chained.peak_live_nodes,
+            chain_ms,
+            bfs_ms / chain_ms
+        );
+        for (report, median_ms) in &rows {
+            let mut record = bdd_record("strategies", &name, "improved-dense", report);
+            if let Value::Object(fields) = &mut record {
+                fields.push(("median_traversal_ms".to_string(), Value::Float(*median_ms)));
+                fields.push(("samples".to_string(), Value::UInt(SAMPLES as u64)));
+            }
+            records.push(record);
+        }
+    }
+    println!("(chaining must match bfs markings exactly; fewer passes on pipelined nets)");
 }
 
 /// Ablations: Gray vs binary code assignment, basic vs improved scheme,

@@ -3,7 +3,7 @@
 
 use crate::context::SymbolicContext;
 use crate::encoding::{AssignmentStrategy, Encoding, SchemeKind};
-use crate::traverse::TraversalOptions;
+use crate::traverse::{FixpointStrategy, TraversalOptions};
 use crate::zdd_reach::ZddContext;
 use pnsym_net::PetriNet;
 use pnsym_structural::{find_smcs_with, CoverStrategy, InvariantError, InvariantOptions};
@@ -50,6 +50,12 @@ impl AnalysisOptions {
     pub fn dense() -> Self {
         AnalysisOptions::default()
     }
+
+    /// The same options with the given traversal strategy.
+    pub fn with_strategy(mut self, strategy: FixpointStrategy) -> Self {
+        self.traversal.strategy = strategy;
+        self
+    }
 }
 
 /// The statistics of one analysis run — one row of the paper's tables.
@@ -71,8 +77,10 @@ pub struct AnalysisReport {
     pub bdd_nodes: usize,
     /// Peak live BDD nodes during the traversal.
     pub peak_live_nodes: usize,
-    /// Breadth-first iterations to the fixpoint.
+    /// Fixpoint iterations (BFS steps or chaining passes) to convergence.
     pub iterations: usize,
+    /// The traversal strategy used.
+    pub strategy: FixpointStrategy,
     /// Number of reachable deadlocked markings.
     pub num_deadlocks: f64,
     /// Time spent computing invariants, SMCs and the encoding.
@@ -190,6 +198,7 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
         bdd_nodes: result.bdd_nodes,
         peak_live_nodes: result.peak_live_nodes,
         iterations: result.iterations,
+        strategy: result.strategy,
         num_deadlocks,
         encoding_time,
         traversal_time: result.duration,
@@ -210,24 +219,33 @@ pub struct ZddAnalysisReport {
     pub num_markings: f64,
     /// ZDD node count of the reached family.
     pub zdd_nodes: usize,
-    /// Breadth-first iterations to the fixpoint.
+    /// Fixpoint iterations (BFS steps or chaining passes) to convergence.
     pub iterations: usize,
+    /// The traversal strategy used.
+    pub strategy: FixpointStrategy,
     /// Total wall-clock time.
     pub total_time: Duration,
 }
 
 /// Runs the ZDD-based sparse analysis of `net` (Yoneda et al.'s
-/// representation).
+/// representation) with the default breadth-first strategy.
 pub fn analyze_zdd(net: &PetriNet) -> ZddAnalysisReport {
+    analyze_zdd_with(net, FixpointStrategy::default())
+}
+
+/// Runs the ZDD-based sparse analysis of `net` under the given traversal
+/// strategy (the ZDD engine shares the fixpoint driver of the BDD engine).
+pub fn analyze_zdd_with(net: &PetriNet, strategy: FixpointStrategy) -> ZddAnalysisReport {
     let start = Instant::now();
     let mut ctx = ZddContext::new(net);
-    let result = ctx.reachable_markings();
+    let result = ctx.reachable_markings_with(strategy);
     ZddAnalysisReport {
         net_name: net.name().to_string(),
         num_variables: net.num_places(),
         num_markings: result.num_markings,
         zdd_nodes: result.zdd_nodes,
         iterations: result.iterations,
+        strategy,
         total_time: start.elapsed(),
     }
 }

@@ -3,8 +3,11 @@
 //! enabling functions (Section 5.3) and the encoded initial marking.
 
 use crate::encoding::{Block, Encoding};
+use crate::image::TransitionEffect;
+use crate::plan::ImagePlan;
 use pnsym_bdd::{BddManager, ManagerStats, Ref, VarId};
 use pnsym_net::{Marking, PetriNet, PlaceId, TransitionId};
+use std::rc::Rc;
 
 /// A symbolic analysis context for one net and one encoding.
 ///
@@ -33,6 +36,10 @@ pub struct SymbolicContext {
     chi: Vec<Ref>,
     enabling: Vec<Ref>,
     initial: Ref,
+    /// Memoized constant effects (eq. 6), one per transition.
+    effects: Vec<TransitionEffect>,
+    /// The precomputed image plan, built lazily on first image computation.
+    plan: Option<Rc<ImagePlan>>,
 }
 
 impl std::fmt::Debug for SymbolicContext {
@@ -95,6 +102,14 @@ impl SymbolicContext {
         let initial = manager.cube(&lits);
         manager.protect(initial);
 
+        // Memoize the constant effect of every transition (eq. 6): it is
+        // pure combinational data, and the image machinery consults it on
+        // every firing of every iteration.
+        let effects = net
+            .transitions()
+            .map(|t| crate::image::compute_transition_effect(net, &encoding, t))
+            .collect();
+
         SymbolicContext {
             net: net.clone(),
             encoding,
@@ -104,7 +119,28 @@ impl SymbolicContext {
             chi,
             enabling,
             initial,
+            effects,
+            plan: None,
         }
+    }
+
+    /// The memoized constant effect of `t` on the state variables (eq. 6).
+    pub fn transition_effect(&self, t: TransitionId) -> &TransitionEffect {
+        &self.effects[t.index()]
+    }
+
+    /// The precomputed [`ImagePlan`] of this context, built on first use.
+    ///
+    /// The plan's BDDs (enabling functions, quantification cubes, target
+    /// cubes) are protected in the manager, so the plan stays valid across
+    /// garbage collection and reordering for the context's lifetime. The
+    /// returned handle is cheap to clone and does not borrow the context.
+    pub fn image_plan(&mut self) -> Rc<ImagePlan> {
+        if self.plan.is_none() {
+            let plan = ImagePlan::build(self);
+            self.plan = Some(Rc::new(plan));
+        }
+        Rc::clone(self.plan.as_ref().expect("plan just built"))
     }
 
     /// The analysed net.

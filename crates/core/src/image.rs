@@ -6,13 +6,16 @@
 //! inside the component (eq. 6). The efficient image computation therefore
 //! quantifies the changed variables out of `S ∧ E_t` and conjoins the target
 //! constants — the symbolic counterpart of the "toggle" updates the paper
-//! describes. The explicit two-vocabulary transition relations `R_t(P, Q)`
-//! (eq. 3) are also provided, mainly for cross-validation.
+//! describes. The per-transition artefacts (enabling function,
+//! quantification cube, target cube) are precomputed once per context by
+//! the [`ImagePlan`](crate::plan::ImagePlan) and reused by every call. The
+//! explicit two-vocabulary transition relations `R_t(P, Q)` (eq. 3) are
+//! also provided, mainly for cross-validation.
 
 use crate::context::SymbolicContext;
-use crate::encoding::Block;
+use crate::encoding::{Block, Encoding};
 use pnsym_bdd::{Ref, VarId};
-use pnsym_net::TransitionId;
+use pnsym_net::{PetriNet, TransitionId};
 
 /// The effect of one transition on the state variables: which variables
 /// change and the constant values they take.
@@ -31,90 +34,107 @@ impl TransitionEffect {
     }
 }
 
-impl SymbolicContext {
-    /// Computes the constant effect of `t` on the state variables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the encoding's block index is inconsistent (a covered SMC
-    /// without an output place for `t`), which would indicate a bug in the
-    /// SMC extraction.
-    pub fn transition_effect(&self, t: TransitionId) -> TransitionEffect {
-        let net = self.net();
-        let encoding = self.encoding();
-        let mut assignments = Vec::new();
-        for &bi in encoding.blocks_of_transition(t) {
-            match &encoding.blocks()[bi] {
-                Block::Place { place, var } => {
-                    let produces = net.post_set(t).contains(place);
-                    let consumes = net.pre_set(t).contains(place);
-                    if produces {
-                        assignments.push((*var, true));
-                    } else if consumes {
-                        assignments.push((*var, false));
-                    }
+/// Computes the constant effect of `t` on the state variables of
+/// `encoding`. Pure combinational data; memoized per context by
+/// [`SymbolicContext::new`].
+///
+/// # Panics
+///
+/// Panics if the encoding's block index is inconsistent (a covered SMC
+/// without an output place for `t`), which would indicate a bug in the
+/// SMC extraction.
+pub(crate) fn compute_transition_effect(
+    net: &PetriNet,
+    encoding: &Encoding,
+    t: TransitionId,
+) -> TransitionEffect {
+    let mut assignments = Vec::new();
+    for &bi in encoding.blocks_of_transition(t) {
+        match &encoding.blocks()[bi] {
+            Block::Place { place, var } => {
+                let produces = net.post_set(t).contains(place);
+                let consumes = net.pre_set(t).contains(place);
+                if produces {
+                    assignments.push((*var, true));
+                } else if consumes {
+                    assignments.push((*var, false));
                 }
-                Block::Smc {
-                    places,
-                    codes,
-                    vars,
-                    ..
-                } => {
-                    let out = net
-                        .post_set(t)
-                        .iter()
-                        .copied()
-                        .find(|p| places.contains(p))
-                        .expect("a covered SMC always has an output place for the transition");
-                    let j = places
-                        .iter()
-                        .position(|&p| p == out)
-                        .expect("out in places");
-                    let code = codes[j];
-                    for (b, &v) in vars.iter().enumerate() {
-                        assignments.push((v, code & (1 << b) != 0));
-                    }
+            }
+            Block::Smc {
+                places,
+                codes,
+                vars,
+                ..
+            } => {
+                let out = net
+                    .post_set(t)
+                    .iter()
+                    .copied()
+                    .find(|p| places.contains(p))
+                    .expect("a covered SMC always has an output place for the transition");
+                let j = places
+                    .iter()
+                    .position(|&p| p == out)
+                    .expect("out in places");
+                let code = codes[j];
+                for (b, &v) in vars.iter().enumerate() {
+                    assignments.push((v, code & (1 << b) != 0));
                 }
             }
         }
-        assignments.sort_unstable();
-        assignments.dedup();
-        TransitionEffect {
-            transition: t,
-            assignments,
-        }
     }
+    assignments.sort_unstable();
+    assignments.dedup();
+    TransitionEffect {
+        transition: t,
+        assignments,
+    }
+}
 
+impl SymbolicContext {
     /// The set of markings reached by firing `t` once from some marking in
     /// `from` (the image of `from` under `t`), over the current variables.
+    ///
+    /// Uses the precomputed [`ImagePlan`](crate::plan::ImagePlan): the
+    /// enabling function, quantification cube and target cube of `t` are
+    /// built once per context, not per call.
     pub fn image(&mut self, from: Ref, t: TransitionId) -> Ref {
-        let effect = self.transition_effect(t);
-        let enabled = self.enabling_fn(t);
-        let current: Vec<VarId> = effect
-            .assignments
-            .iter()
-            .map(|&(i, _)| self.current_vars()[i])
-            .collect();
-        let lits: Vec<(VarId, bool)> = effect
-            .assignments
-            .iter()
-            .map(|&(i, value)| (self.current_vars()[i], value))
-            .collect();
+        let plan = self.image_plan();
+        let (cluster, planned) = plan.planned(t);
         let m = self.manager_mut();
-        let quantified = m.and_exists(from, enabled, &current);
+        let quantified = m.and_exists_cube(from, planned.enabling, cluster.quant_cube);
         if quantified == m.zero() {
             return quantified;
         }
-        let target = m.cube(&lits);
-        m.and(quantified, target)
+        m.and(quantified, planned.target)
+    }
+
+    /// The image of `from` under every transition of one plan cluster: the
+    /// shared quantification cube is walked once per member, and the
+    /// members' partial images are OR-folded.
+    pub fn cluster_image(&mut self, cluster: usize, from: Ref) -> Ref {
+        let plan = self.image_plan();
+        let c = &plan.clusters()[cluster];
+        let mut acc = self.manager().zero();
+        for member in &c.members {
+            let m = self.manager_mut();
+            let quantified = m.and_exists_cube(from, member.enabling, c.quant_cube);
+            if quantified == m.zero() {
+                continue;
+            }
+            let img = m.and(quantified, member.target);
+            acc = m.or(acc, img);
+        }
+        acc
     }
 
     /// The image of `from` under *all* transitions: one symbolic step of the
     /// breadth-first traversal.
     pub fn image_all(&mut self, from: Ref) -> Ref {
+        let plan = self.image_plan();
         let mut acc = self.manager().zero();
-        for t in self.net().transitions().collect::<Vec<_>>() {
-            let img = self.image(from, t);
+        for cluster in 0..plan.num_clusters() {
+            let img = self.cluster_image(cluster, from);
             acc = self.manager_mut().or(acc, img);
         }
         acc
@@ -126,9 +146,9 @@ impl SymbolicContext {
     /// constrained (they are handled as "unchanged" by
     /// [`SymbolicContext::image_via_relation`]).
     pub fn transition_relation(&mut self, t: TransitionId) -> Ref {
-        let effect = self.transition_effect(t);
         let enabled = self.enabling_fn(t);
-        let lits: Vec<(VarId, bool)> = effect
+        let lits: Vec<(VarId, bool)> = self
+            .transition_effect(t)
             .assignments
             .iter()
             .map(|&(i, value)| (self.next_vars()[i], value))
@@ -144,8 +164,12 @@ impl SymbolicContext {
     /// nets.
     pub fn monolithic_transition_relation(&mut self, t: TransitionId) -> Ref {
         let mut rel = self.transition_relation(t);
-        let effect = self.transition_effect(t);
-        let written: Vec<usize> = effect.assignments.iter().map(|&(i, _)| i).collect();
+        let written: Vec<usize> = self
+            .transition_effect(t)
+            .assignments
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
         for i in 0..self.encoding().num_vars() {
             if written.contains(&i) {
                 continue;
@@ -165,8 +189,8 @@ impl SymbolicContext {
     /// full `R(P, Q)` of eq. (3). Only suitable for small nets.
     pub fn monolithic_relation(&mut self) -> Ref {
         let mut acc = self.manager().zero();
-        for t in self.net().transitions().collect::<Vec<_>>() {
-            let r = self.monolithic_transition_relation(t);
+        for ti in 0..self.net().num_transitions() {
+            let r = self.monolithic_transition_relation(TransitionId(ti as u32));
             acc = self.manager_mut().or(acc, r);
         }
         acc
@@ -247,6 +271,22 @@ mod tests {
             for s in &successors {
                 assert!(ctx.set_contains(img, s));
             }
+        }
+    }
+
+    #[test]
+    fn cluster_images_union_to_image_all() {
+        let net = philosophers(2);
+        for mut ctx in contexts(&net) {
+            let init = ctx.initial_set();
+            let full = ctx.image_all(init);
+            let plan = ctx.image_plan();
+            let mut acc = ctx.manager().zero();
+            for cluster in 0..plan.num_clusters() {
+                let img = ctx.cluster_image(cluster, init);
+                acc = ctx.manager_mut().or(acc, img);
+            }
+            assert_eq!(acc, full, "scheme {:?}", ctx.encoding().scheme());
         }
     }
 

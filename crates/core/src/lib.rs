@@ -16,9 +16,14 @@
 //!   characteristic functions of places (eq. 4), enabling functions
 //!   (eq. 5), per-transition constant effects (eq. 6), image computation and
 //!   explicit transition relations.
-//! * Traversal ([`TraversalOptions`], [`ReachabilityResult`]) and the
-//!   high-level [`analyze`] / [`analyze_zdd`] entry points producing the
-//!   rows of the paper's tables.
+//! * [`ImagePlan`] — the per-context precomputed image artefacts (enabling
+//!   functions, quantification and target cubes), clustered by written
+//!   variable set and protected across garbage collection.
+//! * The pluggable fixpoint engine ([`FixpointStrategy`],
+//!   [`TraversalOptions`], [`ReachabilityResult`]): one generic driver
+//!   shared by the BDD and ZDD backends, with breadth-first and chained
+//!   exploration, and the high-level [`analyze`] / [`analyze_zdd`] entry
+//!   points producing the rows of the paper's tables.
 //! * [`Property`] and the CTL fixpoint operators (`EX`, `EF`, `EG`, `AG`,
 //!   `AF`) for symbolic model checking over the reached state space.
 //! * [`toggling`] — toggling-activity metrics (Figure 2, Section 5.2).
@@ -47,20 +52,24 @@ mod context;
 pub mod encoding;
 mod image;
 mod mc;
+pub mod plan;
 pub mod toggling;
 mod trace;
 mod traverse;
 mod zdd_reach;
 
 pub use analysis::{
-    analyze, analyze_zdd, build_encoding, AnalysisError, AnalysisOptions, AnalysisReport,
-    ZddAnalysisReport,
+    analyze, analyze_zdd, analyze_zdd_with, build_encoding, AnalysisError, AnalysisOptions,
+    AnalysisReport, ZddAnalysisReport,
 };
 pub use context::SymbolicContext;
 pub use encoding::{AssignmentStrategy, Block, Encoding, SchemeKind};
 pub use image::TransitionEffect;
 pub use mc::Property;
+pub use plan::{ImageCluster, ImagePlan, PlannedTransition};
 pub use toggling::{toggling_activity, toggling_of_state_codes, TogglingReport};
 pub use trace::WitnessTrace;
-pub use traverse::{ReachabilityResult, SiftPolicy, TraversalOptions};
+pub use traverse::{
+    ChainingOrder, FixpointStrategy, ReachabilityResult, SiftPolicy, TraversalOptions,
+};
 pub use zdd_reach::{ZddContext, ZddReachabilityResult};

@@ -99,9 +99,9 @@ impl SymbolicContext {
     /// The pre-image of `target` under transition `t`: the markings that
     /// enable `t` and reach a marking of `target` by firing it.
     pub fn pre_image(&mut self, target: Ref, t: TransitionId) -> Ref {
-        let effect = self.transition_effect(t);
         let enabled = self.enabling_fn(t);
-        let lits: Vec<(VarId, bool)> = effect
+        let lits: Vec<(VarId, bool)> = self
+            .transition_effect(t)
             .assignments
             .iter()
             .map(|&(i, value)| (self.current_vars()[i], value))
@@ -117,8 +117,8 @@ impl SymbolicContext {
     /// The pre-image of `target` under all transitions (one backward step).
     pub fn pre_image_all(&mut self, target: Ref) -> Ref {
         let mut acc = self.manager().zero();
-        for t in self.net().transitions().collect::<Vec<_>>() {
-            let pre = self.pre_image(target, t);
+        for ti in 0..self.net().num_transitions() {
+            let pre = self.pre_image(target, TransitionId(ti as u32));
             acc = self.manager_mut().or(acc, pre);
         }
         acc

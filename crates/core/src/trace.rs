@@ -80,7 +80,13 @@ impl SymbolicContext {
             let image = self.image_all(frontier);
             let new = self.manager_mut().diff(image, reached);
             if new == zero {
+                // Release everything the forward pass protected — the ring
+                // protections too, or each unreachable query would pin its
+                // whole fixpoint in the manager for the context's lifetime.
                 self.manager_mut().unprotect(reached);
+                for &ring in rings.iter().skip(1) {
+                    self.manager_mut().unprotect(ring);
+                }
                 return None;
             }
             let next_reached = self.manager_mut().or(reached, new);
@@ -107,7 +113,8 @@ impl SymbolicContext {
             let prev_ring = rings[ring_index - 1];
             let current_cube = self.marking_to_bdd(&current);
             let mut found = None;
-            for t in self.net().transitions().collect::<Vec<_>>() {
+            for ti in 0..self.net().num_transitions() {
+                let t = TransitionId(ti as u32);
                 let pre = self.pre_image(current_cube, t);
                 let candidates = self.manager_mut().and(pre, prev_ring);
                 if candidates != zero {
@@ -284,6 +291,30 @@ mod tests {
             // => 3 firings minimum.
             assert_eq!(trace.len(), 3);
         }
+    }
+
+    #[test]
+    fn unreachable_witness_releases_all_protections() {
+        // The forward pass protects one ring per BFS level; the
+        // unreachable-target early return must release them all, or every
+        // failed query would pin its whole fixpoint in the manager.
+        let net = figure1();
+        let mut ctx = SymbolicContext::new(&net, crate::encoding::Encoding::sparse(&net));
+        let p2 = net.place_by_name("p2").unwrap();
+        let p4 = net.place_by_name("p4").unwrap();
+        let prop = Property::all_marked(&[p2, p4]);
+        let target = ctx.property_set(&prop);
+        ctx.manager_mut().protect(target);
+        assert!(ctx.witness_trace(target).is_none());
+        ctx.manager_mut().collect_garbage();
+        let live = ctx.manager().live_node_count();
+        assert!(ctx.witness_trace(target).is_none());
+        ctx.manager_mut().collect_garbage();
+        assert_eq!(
+            ctx.manager().live_node_count(),
+            live,
+            "a failed witness query must not leave protections behind"
+        );
     }
 
     #[test]

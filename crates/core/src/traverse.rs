@@ -1,7 +1,27 @@
-//! Symbolic breadth-first reachability traversal.
+//! The pluggable symbolic fixpoint engine.
+//!
+//! One generic driver ([`run_fixpoint`]) computes the reachable-marking
+//! fixpoint for *any* backend implementing the small [`FixpointKernel`]
+//! trait — the BDD engine of [`SymbolicContext`] and the ZDD engine of
+//! [`ZddContext`](crate::ZddContext) both run on it, so garbage-collection
+//! adaptation, peak tracking, iteration accounting and truncation live in
+//! exactly one place.
+//!
+//! Two exploration strategies are provided ([`FixpointStrategy`]):
+//!
+//! * **Breadth-first** — the classic loop: one full image of the frontier
+//!   (or of the whole reached set) per iteration.
+//! * **Chaining** — transitions are fired one cluster at a time and each
+//!   partial image is folded into the reached set *within* a pass, so a
+//!   token can travel many steps per pass. With the static structural
+//!   order of the [`ImagePlan`](crate::plan::ImagePlan) this reaches the
+//!   fixpoint in far fewer passes than BFS needs iterations on pipelined
+//!   nets, the behaviour mature Petri-net model checkers exploit.
 
 use crate::context::SymbolicContext;
+use crate::plan::ImagePlan;
 use pnsym_bdd::{Ref, SiftConfig};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// When to run dynamic variable reordering during traversal.
@@ -15,12 +35,68 @@ pub enum SiftPolicy {
     EveryIterations(usize),
 }
 
+/// The static transition order used by the chained strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainingOrder {
+    /// Clusters sorted by structural rank: breadth-first distance of each
+    /// transition's pre-set from the initially marked places (see
+    /// [`structural_transition_ranks`](crate::plan::structural_transition_ranks)).
+    /// Approximates the firing order, so a pass propagates tokens along the
+    /// net's flow.
+    #[default]
+    Structural,
+    /// Clusters in ascending first-member transition index order.
+    Index,
+}
+
+/// How the fixpoint driver explores the state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixpointStrategy {
+    /// Breadth-first: one full image per iteration.
+    Bfs {
+        /// Compute images from the newly discovered frontier only (true)
+        /// or from the whole reached set (false).
+        use_frontier: bool,
+    },
+    /// Chained firing: clusters are fired in a static order and each
+    /// partial image is folded into the reached set within the pass.
+    /// Reaches the same fixpoint as BFS (images of reachable markings are
+    /// reachable, and every enabled firing is eventually applied), usually
+    /// in far fewer passes.
+    Chaining {
+        /// The static cluster order of a pass.
+        order: ChainingOrder,
+    },
+}
+
+impl Default for FixpointStrategy {
+    fn default() -> Self {
+        FixpointStrategy::Bfs { use_frontier: true }
+    }
+}
+
+impl std::fmt::Display for FixpointStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixpointStrategy::Bfs { use_frontier: true } => write!(f, "bfs"),
+            FixpointStrategy::Bfs {
+                use_frontier: false,
+            } => write!(f, "bfs-full"),
+            FixpointStrategy::Chaining {
+                order: ChainingOrder::Structural,
+            } => write!(f, "chaining"),
+            FixpointStrategy::Chaining {
+                order: ChainingOrder::Index,
+            } => write!(f, "chaining-index"),
+        }
+    }
+}
+
 /// Options controlling the symbolic traversal.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraversalOptions {
-    /// Compute images from the newly discovered frontier only (true) or from
-    /// the whole reached set (false).
-    pub use_frontier: bool,
+    /// The exploration strategy of the fixpoint driver.
+    pub strategy: FixpointStrategy,
     /// Initial live-node threshold above which garbage collection runs
     /// between iterations. The threshold adapts upwards: when a collection
     /// leaves more than half the threshold live (the working set genuinely
@@ -36,10 +112,20 @@ pub struct TraversalOptions {
 impl Default for TraversalOptions {
     fn default() -> Self {
         TraversalOptions {
-            use_frontier: true,
+            strategy: FixpointStrategy::default(),
             gc_threshold: 500_000,
             sift: SiftPolicy::Never,
             max_iterations: None,
+        }
+    }
+}
+
+impl TraversalOptions {
+    /// Default options with the given strategy.
+    pub fn with_strategy(strategy: FixpointStrategy) -> Self {
+        TraversalOptions {
+            strategy,
+            ..TraversalOptions::default()
         }
     }
 }
@@ -51,102 +137,285 @@ pub struct ReachabilityResult {
     pub reached: Ref,
     /// Number of reachable markings (exact below 2^53).
     pub num_markings: f64,
-    /// Number of breadth-first iterations until the fixpoint.
+    /// Number of fixpoint iterations: breadth-first steps under
+    /// [`FixpointStrategy::Bfs`], productive passes under
+    /// [`FixpointStrategy::Chaining`].
     pub iterations: usize,
     /// BDD node count of the final reached set.
     pub bdd_nodes: usize,
-    /// Peak live-node count of the manager observed during the traversal.
+    /// Exact peak live-node count of the manager up to the end of the
+    /// traversal (high-water mark maintained on every allocation, so peaks
+    /// *inside* an image computation are captured).
     pub peak_live_nodes: usize,
     /// Wall-clock time of the traversal.
     pub duration: Duration,
     /// Whether the traversal stopped early because of
     /// [`TraversalOptions::max_iterations`].
     pub truncated: bool,
+    /// The strategy that produced this result.
+    pub strategy: FixpointStrategy,
+}
+
+/// The raw outcome of the generic driver, before backend-specific
+/// statistics are attached.
+pub(crate) struct FixpointRun<S> {
+    /// The reached set (protected in the backend's manager where
+    /// applicable).
+    pub reached: S,
+    /// Iterations (BFS steps or productive chaining passes).
+    pub iterations: usize,
+    /// Whether the iteration limit truncated the run.
+    pub truncated: bool,
+}
+
+/// The minimal backend surface the generic fixpoint driver needs: set
+/// algebra, per-cluster images, and optional protection/maintenance hooks.
+///
+/// Implemented by the BDD engine (over [`SymbolicContext`] and its
+/// [`ImagePlan`]) and the ZDD engine.
+pub(crate) trait FixpointKernel {
+    /// A handle to a set of markings in the backend's manager.
+    type Set: Copy + PartialEq;
+
+    /// The empty set.
+    fn empty(&self) -> Self::Set;
+    /// The singleton set of the initial marking.
+    fn initial(&mut self) -> Self::Set;
+    /// Number of transition clusters.
+    fn num_clusters(&self) -> usize;
+    /// The cluster visit sequence of one chaining pass.
+    fn cluster_sequence(&self, order: ChainingOrder) -> Vec<usize>;
+    /// The image of `from` under every transition of `cluster`.
+    fn cluster_image(&mut self, cluster: usize, from: Self::Set) -> Self::Set;
+    /// Set union.
+    fn union(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+    /// Set difference `a \ b`.
+    fn diff(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+    /// Protects `s` from backend garbage collection (no-op by default).
+    fn protect(&mut self, _s: Self::Set) {}
+    /// Releases one protection of `s` (no-op by default).
+    fn unprotect(&mut self, _s: Self::Set) {}
+    /// Between-iteration maintenance: garbage collection, reordering.
+    /// Called only when every live root is protected.
+    fn maintain(&mut self, _iteration: usize) {}
+}
+
+/// Runs the fixpoint under the given strategy. On return the reached set
+/// carries one protection in the backend (for backends with GC); every
+/// intermediate protection has been released.
+pub(crate) fn run_fixpoint<K: FixpointKernel>(
+    kernel: &mut K,
+    strategy: FixpointStrategy,
+    max_iterations: Option<usize>,
+) -> FixpointRun<K::Set> {
+    match strategy {
+        FixpointStrategy::Bfs { use_frontier } => bfs(kernel, use_frontier, max_iterations),
+        FixpointStrategy::Chaining { order } => chaining(kernel, order, max_iterations),
+    }
+}
+
+fn bfs<K: FixpointKernel>(
+    kernel: &mut K,
+    use_frontier: bool,
+    max_iterations: Option<usize>,
+) -> FixpointRun<K::Set> {
+    let empty = kernel.empty();
+    let mut reached = kernel.initial();
+    let mut frontier = reached;
+    kernel.protect(reached);
+    kernel.protect(frontier);
+
+    let mut iterations = 0usize;
+    let mut truncated = false;
+    loop {
+        if let Some(limit) = max_iterations {
+            if iterations >= limit {
+                truncated = true;
+                break;
+            }
+        }
+        let source = if use_frontier { frontier } else { reached };
+        let mut image = empty;
+        for cluster in 0..kernel.num_clusters() {
+            let img = kernel.cluster_image(cluster, source);
+            image = kernel.union(image, img);
+        }
+        let new = kernel.diff(image, reached);
+        if new == empty {
+            break;
+        }
+        let next_reached = kernel.union(reached, new);
+
+        // Re-protect the updated sets and release the previous ones.
+        kernel.protect(next_reached);
+        kernel.protect(new);
+        kernel.unprotect(reached);
+        kernel.unprotect(frontier);
+        reached = next_reached;
+        frontier = new;
+        iterations += 1;
+        kernel.maintain(iterations);
+    }
+
+    kernel.unprotect(frontier);
+    FixpointRun {
+        reached,
+        iterations,
+        truncated,
+    }
+}
+
+fn chaining<K: FixpointKernel>(
+    kernel: &mut K,
+    order: ChainingOrder,
+    max_iterations: Option<usize>,
+) -> FixpointRun<K::Set> {
+    let empty = kernel.empty();
+    let sequence = kernel.cluster_sequence(order);
+    let mut reached = kernel.initial();
+    kernel.protect(reached);
+
+    let mut iterations = 0usize;
+    let mut truncated = false;
+    loop {
+        if let Some(limit) = max_iterations {
+            if iterations >= limit {
+                truncated = true;
+                break;
+            }
+        }
+        let mut changed = false;
+        for &cluster in &sequence {
+            let img = kernel.cluster_image(cluster, reached);
+            let new = kernel.diff(img, reached);
+            if new == empty {
+                continue;
+            }
+            let next_reached = kernel.union(reached, new);
+            kernel.protect(next_reached);
+            kernel.unprotect(reached);
+            reached = next_reached;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+        iterations += 1;
+        kernel.maintain(iterations);
+    }
+
+    FixpointRun {
+        reached,
+        iterations,
+        truncated,
+    }
+}
+
+/// The BDD backend of the generic driver: cluster images through the
+/// context's [`ImagePlan`], manager protection, adaptive GC and sifting.
+struct BddFixpointKernel<'a> {
+    ctx: &'a mut SymbolicContext,
+    plan: Rc<ImagePlan>,
+    sift: SiftPolicy,
+}
+
+impl FixpointKernel for BddFixpointKernel<'_> {
+    type Set = Ref;
+
+    fn empty(&self) -> Ref {
+        self.ctx.manager().zero()
+    }
+
+    fn initial(&mut self) -> Ref {
+        self.ctx.initial_set()
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.plan.num_clusters()
+    }
+
+    fn cluster_sequence(&self, order: ChainingOrder) -> Vec<usize> {
+        match order {
+            ChainingOrder::Structural => self.plan.structural_order().to_vec(),
+            ChainingOrder::Index => (0..self.plan.num_clusters()).collect(),
+        }
+    }
+
+    fn cluster_image(&mut self, cluster: usize, from: Ref) -> Ref {
+        self.ctx.cluster_image(cluster, from)
+    }
+
+    fn union(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ctx.manager_mut().or(a, b)
+    }
+
+    fn diff(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ctx.manager_mut().diff(a, b)
+    }
+
+    fn protect(&mut self, s: Ref) {
+        self.ctx.manager_mut().protect(s);
+    }
+
+    fn unprotect(&mut self, s: Ref) {
+        self.ctx.manager_mut().unprotect(s);
+    }
+
+    fn maintain(&mut self, iteration: usize) {
+        if self.ctx.manager().should_collect() {
+            self.ctx.manager_mut().collect_garbage();
+            // Collections rebuild the tables in place, so running one is
+            // cheap — but a collection that reclaims almost nothing means
+            // the working set has outgrown the threshold; double it.
+            let threshold = self.ctx.manager().gc_threshold();
+            if self.ctx.manager().live_node_count() * 2 > threshold {
+                self.ctx.manager_mut().set_gc_threshold(threshold * 2);
+            }
+        }
+        if let SiftPolicy::EveryIterations(n) = self.sift {
+            if n > 0 && iteration.is_multiple_of(n) {
+                self.ctx.manager_mut().sift_with(SiftConfig::default());
+            }
+        }
+    }
 }
 
 impl SymbolicContext {
-    /// Computes the set of reachable markings by breadth-first symbolic
-    /// traversal with default [`TraversalOptions`].
+    /// Computes the set of reachable markings with default
+    /// [`TraversalOptions`] (breadth-first from the frontier).
     pub fn reachable_markings(&mut self) -> ReachabilityResult {
         self.reachable_markings_with(TraversalOptions::default())
     }
 
-    /// Computes the set of reachable markings by breadth-first symbolic
-    /// traversal.
+    /// Computes the set of reachable markings under the strategy and
+    /// policies of `options`, through the shared fixpoint driver.
     ///
     /// The returned [`ReachabilityResult::reached`] BDD is protected in the
     /// context's manager and remains valid until the context is dropped.
     pub fn reachable_markings_with(&mut self, options: TraversalOptions) -> ReachabilityResult {
         let start = Instant::now();
         // The manager's advisory threshold is the single source of truth for
-        // the adaptive GC policy below.
+        // the adaptive GC policy in the kernel's maintenance hook.
         self.manager_mut().set_gc_threshold(options.gc_threshold);
-        let mut peak = self.manager().live_node_count();
-        let mut reached = self.initial_set();
-        let mut frontier = reached;
-        self.manager_mut().protect(reached);
-        self.manager_mut().protect(frontier);
+        let plan = self.image_plan();
+        let mut kernel = BddFixpointKernel {
+            ctx: self,
+            plan,
+            sift: options.sift,
+        };
+        let run = run_fixpoint(&mut kernel, options.strategy, options.max_iterations);
 
-        let mut iterations = 0usize;
-        let mut truncated = false;
-        loop {
-            if let Some(limit) = options.max_iterations {
-                if iterations >= limit {
-                    truncated = true;
-                    break;
-                }
-            }
-            let source = if options.use_frontier {
-                frontier
-            } else {
-                reached
-            };
-            let image = self.image_all(source);
-            let new = self.manager_mut().diff(image, reached);
-            if new == self.manager().zero() {
-                break;
-            }
-            let next_reached = self.manager_mut().or(reached, new);
-
-            // Re-protect the updated sets and release the previous ones.
-            self.manager_mut().protect(next_reached);
-            self.manager_mut().protect(new);
-            self.manager_mut().unprotect(reached);
-            self.manager_mut().unprotect(frontier);
-            reached = next_reached;
-            frontier = new;
-            iterations += 1;
-
-            peak = peak.max(self.manager().live_node_count());
-            if self.manager().should_collect() {
-                self.manager_mut().collect_garbage();
-                // Collections rebuild the tables in place, so running one is
-                // cheap — but a collection that reclaims almost nothing means
-                // the working set has outgrown the threshold; double it.
-                let threshold = self.manager().gc_threshold();
-                if self.manager().live_node_count() * 2 > threshold {
-                    self.manager_mut().set_gc_threshold(threshold * 2);
-                }
-            }
-            if let SiftPolicy::EveryIterations(n) = options.sift {
-                if n > 0 && iterations.is_multiple_of(n) {
-                    self.manager_mut().sift_with(SiftConfig::default());
-                }
-            }
-        }
-
-        self.manager_mut().unprotect(frontier);
-        peak = peak.max(self.manager().live_node_count());
-        let num_markings = self.count_markings(reached);
-        let bdd_nodes = self.bdd_size(reached);
+        let num_markings = self.count_markings(run.reached);
+        let bdd_nodes = self.bdd_size(run.reached);
         ReachabilityResult {
-            reached,
+            reached: run.reached,
             num_markings,
-            iterations,
+            iterations: run.iterations,
             bdd_nodes,
-            peak_live_nodes: peak,
+            peak_live_nodes: self.manager().peak_live_nodes(),
             duration: start.elapsed(),
-            truncated,
+            truncated: run.truncated,
+            strategy: options.strategy,
         }
     }
 
@@ -175,6 +444,21 @@ mod tests {
             Encoding::sparse(net),
             Encoding::dense(net, &smcs, CoverStrategy::Greedy, AssignmentStrategy::Gray),
             Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+        ]
+    }
+
+    fn all_strategies() -> [FixpointStrategy; 4] {
+        [
+            FixpointStrategy::Bfs { use_frontier: true },
+            FixpointStrategy::Bfs {
+                use_frontier: false,
+            },
+            FixpointStrategy::Chaining {
+                order: ChainingOrder::Structural,
+            },
+            FixpointStrategy::Chaining {
+                order: ChainingOrder::Index,
+            },
         ]
     }
 
@@ -208,6 +492,60 @@ mod tests {
     }
 
     #[test]
+    fn every_strategy_reaches_the_same_fixpoint() {
+        for net in [figure1(), philosophers(3), muller(4), slotted_ring(3)] {
+            let expected = net.explore().unwrap().num_markings() as f64;
+            for enc in schemes(&net) {
+                for strategy in all_strategies() {
+                    let mut ctx = SymbolicContext::new(&net, enc.clone());
+                    let result =
+                        ctx.reachable_markings_with(TraversalOptions::with_strategy(strategy));
+                    assert_eq!(
+                        result.num_markings,
+                        expected,
+                        "{} under {:?} with {}",
+                        net.name(),
+                        enc.scheme(),
+                        strategy
+                    );
+                    assert_eq!(result.strategy, strategy);
+                    assert!(!result.truncated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaining_needs_fewer_passes_than_bfs_iterations() {
+        // The acceptance pin of the chained strategy: on pipelined nets one
+        // structural pass propagates a token many steps, so the pass count
+        // drops strictly below the BFS iteration count.
+        for net in [slotted_ring(3), dme(3, DmeStyle::Spec), muller(8)] {
+            let smcs = find_smcs(&net).unwrap();
+            let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+            let mut a = SymbolicContext::new(&net, enc.clone());
+            let mut b = SymbolicContext::new(&net, enc);
+            let bfs =
+                a.reachable_markings_with(TraversalOptions::with_strategy(FixpointStrategy::Bfs {
+                    use_frontier: true,
+                }));
+            let chained = b.reachable_markings_with(TraversalOptions::with_strategy(
+                FixpointStrategy::Chaining {
+                    order: ChainingOrder::Structural,
+                },
+            ));
+            assert_eq!(bfs.num_markings, chained.num_markings, "{}", net.name());
+            assert!(
+                chained.iterations < bfs.iterations,
+                "{}: chaining took {} passes vs {} BFS iterations",
+                net.name(),
+                chained.iterations,
+                bfs.iterations
+            );
+        }
+    }
+
+    #[test]
     fn every_explicit_marking_is_in_the_symbolic_set() {
         let net = philosophers(2);
         let rg = net.explore().unwrap();
@@ -227,14 +565,14 @@ mod tests {
         let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
         let mut a = SymbolicContext::new(&net, enc.clone());
         let mut b = SymbolicContext::new(&net, enc);
-        let ra = a.reachable_markings_with(TraversalOptions {
-            use_frontier: true,
-            ..TraversalOptions::default()
-        });
-        let rb = b.reachable_markings_with(TraversalOptions {
-            use_frontier: false,
-            ..TraversalOptions::default()
-        });
+        let ra =
+            a.reachable_markings_with(TraversalOptions::with_strategy(FixpointStrategy::Bfs {
+                use_frontier: true,
+            }));
+        let rb =
+            b.reachable_markings_with(TraversalOptions::with_strategy(FixpointStrategy::Bfs {
+                use_frontier: false,
+            }));
         assert_eq!(ra.num_markings, rb.num_markings);
     }
 
@@ -243,9 +581,11 @@ mod tests {
         let net = philosophers(3);
         let explicit = net.explore().unwrap().deadlocks(&net).len() as f64;
         for enc in schemes(&net) {
-            let mut ctx = SymbolicContext::new(&net, enc);
-            let (_, dead) = ctx.analyze_deadlocks(TraversalOptions::default());
-            assert_eq!(dead, explicit);
+            for strategy in all_strategies() {
+                let mut ctx = SymbolicContext::new(&net, enc.clone());
+                let (_, dead) = ctx.analyze_deadlocks(TraversalOptions::with_strategy(strategy));
+                assert_eq!(dead, explicit, "{strategy}");
+            }
         }
     }
 
@@ -265,15 +605,65 @@ mod tests {
     }
 
     #[test]
+    fn max_iterations_truncates_chaining_passes() {
+        let net = muller(6);
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let result = ctx.reachable_markings_with(TraversalOptions {
+            max_iterations: Some(1),
+            strategy: FixpointStrategy::Chaining {
+                order: ChainingOrder::Structural,
+            },
+            ..TraversalOptions::default()
+        });
+        assert!(result.truncated);
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
     fn sifting_during_traversal_preserves_the_answer() {
         let net = slotted_ring(3);
         let expected = net.explore().unwrap().num_markings() as f64;
+        for strategy in all_strategies() {
+            let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+            let result = ctx.reachable_markings_with(TraversalOptions {
+                sift: SiftPolicy::EveryIterations(2),
+                strategy,
+                ..TraversalOptions::default()
+            });
+            assert_eq!(result.num_markings, expected, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn gc_during_traversal_preserves_the_answer() {
+        // A tiny threshold forces collections after nearly every iteration,
+        // exercising protection of the plan's cubes under both strategies.
+        let net = slotted_ring(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        for strategy in all_strategies() {
+            let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+            let result = ctx.reachable_markings_with(TraversalOptions {
+                gc_threshold: 64,
+                strategy,
+                ..TraversalOptions::default()
+            });
+            assert_eq!(result.num_markings, expected, "{strategy}");
+            assert!(ctx.manager().stats().gc_runs > 0);
+        }
+    }
+
+    #[test]
+    fn peak_live_nodes_is_a_true_high_water_mark() {
+        let net = muller(6);
         let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
-        let result = ctx.reachable_markings_with(TraversalOptions {
-            sift: SiftPolicy::EveryIterations(2),
-            ..TraversalOptions::default()
-        });
-        assert_eq!(result.num_markings, expected);
+        let before = ctx.manager().live_node_count();
+        let result = ctx.reachable_markings();
+        assert!(result.peak_live_nodes >= before);
+        assert!(result.peak_live_nodes >= result.bdd_nodes);
+        // The exact counter can only grow and never under-reports the
+        // currently live set.
+        assert!(result.peak_live_nodes >= ctx.manager().live_node_count());
+        assert_eq!(result.peak_live_nodes, ctx.manager().peak_live_nodes());
     }
 
     #[test]

@@ -7,7 +7,14 @@
 //! family `S` is the set-algebraic update
 //! `change(t•, subset1(•t, S))`: keep the markings containing every input
 //! place, strip the input places, then add the output places.
+//!
+//! The engine runs on the same generic fixpoint driver as the BDD engine
+//! (see [`crate::traverse`]), so it supports the same
+//! [`FixpointStrategy`] selection — each transition forms its own cluster,
+//! with the pre/post place-index lists precomputed once per context.
 
+use crate::plan::structural_transition_ranks;
+use crate::traverse::{run_fixpoint, ChainingOrder, FixpointKernel, FixpointStrategy};
 use pnsym_bdd::{ZddManager, ZddRef};
 use pnsym_net::{PetriNet, TransitionId};
 use std::time::{Duration, Instant};
@@ -19,7 +26,9 @@ pub struct ZddReachabilityResult {
     pub reached: ZddRef,
     /// Number of reachable markings.
     pub num_markings: f64,
-    /// Number of breadth-first iterations until the fixpoint.
+    /// Number of fixpoint iterations: breadth-first steps under
+    /// [`FixpointStrategy::Bfs`], productive passes under
+    /// [`FixpointStrategy::Chaining`].
     pub iterations: usize,
     /// ZDD node count of the final reached family.
     pub zdd_nodes: usize,
@@ -27,6 +36,20 @@ pub struct ZddReachabilityResult {
     pub total_nodes: usize,
     /// Wall-clock time of the traversal.
     pub duration: Duration,
+    /// Whether an iteration limit truncated the run (never, for the
+    /// entry points currently exposed; kept for parity with
+    /// [`ReachabilityResult`](crate::ReachabilityResult)).
+    pub truncated: bool,
+    /// The strategy that produced this result.
+    pub strategy: FixpointStrategy,
+}
+
+/// One transition's precomputed set-algebraic update: the place indices it
+/// consumes and produces.
+#[derive(Debug, Clone)]
+struct ZddTransitionOp {
+    pre: Vec<usize>,
+    post: Vec<usize>,
 }
 
 /// A ZDD-based symbolic engine over the sparse marking representation.
@@ -35,10 +58,16 @@ pub struct ZddContext {
     net: PetriNet,
     manager: ZddManager,
     initial: ZddRef,
+    /// Per-transition pre/post index lists, built once.
+    ops: Vec<ZddTransitionOp>,
+    /// Transition indices sorted by structural rank (the chaining order).
+    structural_order: Vec<usize>,
 }
 
 impl ZddContext {
-    /// Builds the ZDD context for a net: one ZDD element per place.
+    /// Builds the ZDD context for a net: one ZDD element per place, with
+    /// the per-transition update lists and the static chaining order
+    /// precomputed.
     pub fn new(net: &PetriNet) -> Self {
         let mut manager = ZddManager::new(net.num_places());
         let marked: Vec<usize> = net
@@ -48,10 +77,22 @@ impl ZddContext {
             .map(|p| p.index())
             .collect();
         let initial = manager.single_set(&marked);
+        let ops = net
+            .transitions()
+            .map(|t| ZddTransitionOp {
+                pre: net.pre_set(t).iter().map(|p| p.index()).collect(),
+                post: net.post_set(t).iter().map(|p| p.index()).collect(),
+            })
+            .collect();
+        let ranks = structural_transition_ranks(net);
+        let mut structural_order: Vec<usize> = (0..net.num_transitions()).collect();
+        structural_order.sort_by_key(|&t| (ranks[t], t));
         ZddContext {
             net: net.clone(),
             manager,
             initial,
+            ops,
+            structural_order,
         }
     }
 
@@ -77,13 +118,19 @@ impl ZddContext {
 
     /// The image of the family `from` under transition `t`.
     pub fn image(&mut self, from: ZddRef, t: TransitionId) -> ZddRef {
-        let pre: Vec<usize> = self.net.pre_set(t).iter().map(|p| p.index()).collect();
-        let post: Vec<usize> = self.net.post_set(t).iter().map(|p| p.index()).collect();
+        self.image_of(t.index(), from)
+    }
+
+    fn image_of(&mut self, ti: usize, from: ZddRef) -> ZddRef {
         let mut acc = from;
-        for &p in &pre {
+        // The op lists live in `self`, so index rather than borrow across
+        // the manager calls.
+        for i in 0..self.ops[ti].pre.len() {
+            let p = self.ops[ti].pre[i];
             acc = self.manager.subset1(acc, p);
         }
-        for &p in &post {
+        for i in 0..self.ops[ti].post.len() {
+            let p = self.ops[ti].post[i];
             acc = self.manager.change(acc, p);
         }
         acc
@@ -93,37 +140,77 @@ impl ZddContext {
     /// images.
     pub fn image_all(&mut self, from: ZddRef) -> ZddRef {
         let mut acc = self.manager.empty();
-        for t in self.net.transitions().collect::<Vec<_>>() {
-            let img = self.image(from, t);
+        for ti in 0..self.ops.len() {
+            let img = self.image_of(ti, from);
             acc = self.manager.union(acc, img);
         }
         acc
     }
 
-    /// Computes the set of reachable markings.
+    /// Computes the set of reachable markings with the default
+    /// breadth-first strategy.
     pub fn reachable_markings(&mut self) -> ZddReachabilityResult {
+        self.reachable_markings_with(FixpointStrategy::default())
+    }
+
+    /// Computes the set of reachable markings under `strategy`, through the
+    /// same generic fixpoint driver as the BDD engine.
+    pub fn reachable_markings_with(&mut self, strategy: FixpointStrategy) -> ZddReachabilityResult {
         let start = Instant::now();
-        let mut reached = self.initial;
-        let mut frontier = reached;
-        let mut iterations = 0usize;
-        loop {
-            let image = self.image_all(frontier);
-            let new = self.manager.diff(image, reached);
-            if new == self.manager.empty() {
-                break;
-            }
-            reached = self.manager.union(reached, new);
-            frontier = new;
-            iterations += 1;
-        }
+        let mut kernel = ZddFixpointKernel { ctx: self };
+        let run = run_fixpoint(&mut kernel, strategy, None);
         ZddReachabilityResult {
-            reached,
-            num_markings: self.manager.count(reached),
-            iterations,
-            zdd_nodes: self.manager.node_count(reached),
+            reached: run.reached,
+            num_markings: self.manager.count(run.reached),
+            iterations: run.iterations,
+            zdd_nodes: self.manager.node_count(run.reached),
             total_nodes: self.manager.total_nodes(),
             duration: start.elapsed(),
+            truncated: run.truncated,
+            strategy,
         }
+    }
+}
+
+/// The ZDD backend of the generic driver: one cluster per transition, no
+/// garbage collection (the ZDD manager never frees nodes), so the
+/// protection and maintenance hooks stay no-ops.
+struct ZddFixpointKernel<'a> {
+    ctx: &'a mut ZddContext,
+}
+
+impl FixpointKernel for ZddFixpointKernel<'_> {
+    type Set = ZddRef;
+
+    fn empty(&self) -> ZddRef {
+        self.ctx.manager.empty()
+    }
+
+    fn initial(&mut self) -> ZddRef {
+        self.ctx.initial
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.ctx.ops.len()
+    }
+
+    fn cluster_sequence(&self, order: ChainingOrder) -> Vec<usize> {
+        match order {
+            ChainingOrder::Structural => self.ctx.structural_order.clone(),
+            ChainingOrder::Index => (0..self.ctx.ops.len()).collect(),
+        }
+    }
+
+    fn cluster_image(&mut self, cluster: usize, from: ZddRef) -> ZddRef {
+        self.ctx.image_of(cluster, from)
+    }
+
+    fn union(&mut self, a: ZddRef, b: ZddRef) -> ZddRef {
+        self.ctx.manager.union(a, b)
+    }
+
+    fn diff(&mut self, a: ZddRef, b: ZddRef) -> ZddRef {
+        self.ctx.manager.diff(a, b)
     }
 }
 
@@ -149,6 +236,54 @@ mod tests {
             assert_eq!(result.num_markings, expected, "{}", net.name());
             assert!(result.zdd_nodes > 0);
         }
+    }
+
+    #[test]
+    fn zdd_strategies_agree_on_the_fixpoint() {
+        for net in [figure1(), philosophers(3), slotted_ring(3)] {
+            let expected = net.explore().unwrap().num_markings() as f64;
+            for strategy in [
+                FixpointStrategy::Bfs { use_frontier: true },
+                FixpointStrategy::Bfs {
+                    use_frontier: false,
+                },
+                FixpointStrategy::Chaining {
+                    order: ChainingOrder::Structural,
+                },
+                FixpointStrategy::Chaining {
+                    order: ChainingOrder::Index,
+                },
+            ] {
+                let mut ctx = ZddContext::new(&net);
+                let result = ctx.reachable_markings_with(strategy);
+                assert_eq!(
+                    result.num_markings,
+                    expected,
+                    "{} under {}",
+                    net.name(),
+                    strategy
+                );
+                assert!(!result.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn zdd_chaining_needs_fewer_passes() {
+        let net = slotted_ring(3);
+        let mut a = ZddContext::new(&net);
+        let mut b = ZddContext::new(&net);
+        let bfs = a.reachable_markings_with(FixpointStrategy::Bfs { use_frontier: true });
+        let chained = b.reachable_markings_with(FixpointStrategy::Chaining {
+            order: ChainingOrder::Structural,
+        });
+        assert_eq!(bfs.num_markings, chained.num_markings);
+        assert!(
+            chained.iterations < bfs.iterations,
+            "chaining took {} passes vs {} BFS iterations",
+            chained.iterations,
+            bfs.iterations
+        );
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub use pnsym_net as net;
 pub use pnsym_structural as structural;
 
 pub use pnsym_core::{
-    analyze, analyze_zdd, build_encoding, toggling_activity, toggling_of_state_codes,
-    AnalysisError, AnalysisOptions, AnalysisReport, AssignmentStrategy, Block, Encoding, Property,
+    analyze, analyze_zdd, analyze_zdd_with, build_encoding, toggling_activity,
+    toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport, AssignmentStrategy,
+    Block, ChainingOrder, Encoding, FixpointStrategy, ImageCluster, ImagePlan, Property,
     ReachabilityResult, SchemeKind, SiftPolicy, SymbolicContext, TogglingReport, TransitionEffect,
     TraversalOptions, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
 };
@@ -63,7 +64,7 @@ pub mod prelude {
         find_smcs, minimal_invariants, select_smc_cover, CoverStrategy, Smc,
     };
     pub use crate::{
-        analyze, analyze_zdd, AnalysisOptions, AssignmentStrategy, Encoding, SchemeKind,
-        SymbolicContext, TraversalOptions,
+        analyze, analyze_zdd, AnalysisOptions, AssignmentStrategy, ChainingOrder, Encoding,
+        FixpointStrategy, SchemeKind, SymbolicContext, TraversalOptions,
     };
 }

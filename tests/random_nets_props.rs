@@ -8,8 +8,27 @@
 
 use pnsym::net::{NetBuilder, PetriNet};
 use pnsym::structural::{find_smcs, minimal_invariants, CoverStrategy};
-use pnsym::{analyze_zdd, AssignmentStrategy, Encoding, SymbolicContext};
+use pnsym::{
+    analyze_zdd_with, AssignmentStrategy, ChainingOrder, Encoding, FixpointStrategy,
+    SymbolicContext, TraversalOptions, ZddContext,
+};
 use proptest::prelude::*;
+
+/// Every fixpoint strategy of the shared driver.
+fn all_strategies() -> [FixpointStrategy; 4] {
+    [
+        FixpointStrategy::Bfs { use_frontier: true },
+        FixpointStrategy::Bfs {
+            use_frontier: false,
+        },
+        FixpointStrategy::Chaining {
+            order: ChainingOrder::Structural,
+        },
+        FixpointStrategy::Chaining {
+            order: ChainingOrder::Index,
+        },
+    ]
+}
 
 /// Description of one random net: a list of state-machine component sizes
 /// plus synchronisation pairs (component, component) joined at a shared
@@ -86,9 +105,12 @@ proptest! {
 
     #[test]
     fn symbolic_engines_agree_with_explicit_enumeration(spec in arb_spec()) {
+        // Every strategy × encoding pair (including the ZDD engine, which
+        // shares the fixpoint driver) must agree with explicit exploration.
         let net = build_net(&spec);
         let rg = net.explore().expect("composed state machines are safe");
         let expected = rg.num_markings() as f64;
+        let explicit_deadlocks = rg.deadlocks(&net).len() as f64;
 
         let smcs = find_smcs(&net).expect("small nets");
         let encodings = vec![
@@ -100,12 +122,44 @@ proptest! {
             let scheme = enc.scheme();
             let vars = enc.num_vars();
             prop_assert!(vars <= net.num_places());
-            let mut ctx = SymbolicContext::new(&net, enc);
-            let result = ctx.reachable_markings();
-            prop_assert_eq!(result.num_markings, expected, "scheme {:?}", scheme);
+            for strategy in all_strategies() {
+                let mut ctx = SymbolicContext::new(&net, enc.clone());
+                let (result, deadlocks) =
+                    ctx.analyze_deadlocks(TraversalOptions::with_strategy(strategy));
+                prop_assert_eq!(
+                    result.num_markings, expected,
+                    "scheme {:?} under {}", scheme, strategy
+                );
+                prop_assert_eq!(
+                    deadlocks, explicit_deadlocks,
+                    "scheme {:?} under {}: deadlock count", scheme, strategy
+                );
+            }
         }
-        let zdd = analyze_zdd(&net);
-        prop_assert_eq!(zdd.num_markings, expected);
+        for strategy in all_strategies() {
+            let zdd = analyze_zdd_with(&net, strategy);
+            prop_assert_eq!(zdd.num_markings, expected, "zdd under {}", strategy);
+        }
+    }
+
+    #[test]
+    fn chaining_never_needs_more_passes_than_bfs_iterations(spec in arb_spec()) {
+        // Chaining folds partial images within a pass, so a pass subsumes at
+        // least one full breadth-first step; the pass count can never exceed
+        // the BFS iteration count on the same net.
+        let net = build_net(&spec);
+        let mut bfs_ctx = ZddContext::new(&net);
+        let mut chain_ctx = ZddContext::new(&net);
+        let bfs = bfs_ctx.reachable_markings_with(
+            FixpointStrategy::Bfs { use_frontier: true });
+        let chained = chain_ctx.reachable_markings_with(
+            FixpointStrategy::Chaining { order: ChainingOrder::Structural });
+        prop_assert_eq!(bfs.num_markings, chained.num_markings);
+        prop_assert!(
+            chained.iterations <= bfs.iterations,
+            "chaining took {} passes vs {} BFS iterations",
+            chained.iterations, bfs.iterations
+        );
     }
 
     #[test]
