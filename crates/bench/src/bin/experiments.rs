@@ -9,30 +9,50 @@
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
 //! experiments strategies               Bfs vs Chaining fixpoint strategies per net
-//! experiments all [--paper-scale]      everything above
+//! experiments properties               CTL property suites of the bundled nets
+//! experiments check <props-file>       run a property file against its nets (or --check=FILE)
+//! experiments all [--paper-scale]      everything above except `check`
 //! experiments smoke                    fast kernel sanity run on the two smallest nets (CI)
 //! ```
 //!
 //! Run with `cargo run --release -p pnsym-bench --bin experiments -- all`.
 //!
 //! `--strategy=bfs|bfs-full|chaining|chaining-index` selects the fixpoint
-//! strategy used by the table3/table4/smoke analyses (default `bfs`); the
-//! `strategies` command always compares Bfs against Chaining per net.
+//! strategy used by the table3/table4/smoke/properties/check analyses
+//! (default `bfs`); the `strategies` command always compares Bfs against
+//! Chaining per net.
 //!
 //! Passing `--json[=PATH]` additionally writes the per-net timings, node
-//! counts and kernel statistics of the table3/table4/strategies runs as
-//! JSON (default path `BENCH.json`); the committed `BENCH_*.json` snapshots
-//! tracking the performance trajectory across PRs are produced this way.
+//! counts and kernel statistics of the table3/table4/strategies/properties
+//! runs as JSON (default path `BENCH.json`); the committed `BENCH_*.json`
+//! snapshots tracking the performance trajectory across PRs are produced
+//! this way.
+//!
+//! # Property files
+//!
+//! A property file (see `crates/bench/props/`) interleaves `net` directives
+//! with named CTL queries in the textual property language; `#` starts a
+//! comment. Each query carries its expected verdict (`holds`, `fails`, or
+//! `?` for informational queries); `check` exits non-zero when an
+//! expectation is violated, so CI can run a suite in release mode.
+//!
+//! ```text
+//! net philosophers(3)
+//! can-eat:            holds  EF eating.0
+//! eating-not-fated:   fails  AF eating.0
+//! ```
 
 use pnsym_bench::json::Value;
-use pnsym_bench::{table3_workloads, table4_workloads, Scale, Workload};
+use pnsym_bench::{net_by_spec, table3_workloads, table4_workloads, Scale, Workload};
 use pnsym_core::{
     analyze, analyze_zdd_with, toggling_activity, toggling_of_state_codes, AnalysisOptions,
-    AnalysisReport, AssignmentStrategy, ChainingOrder, Encoding, FixpointStrategy, SymbolicContext,
-    ZddAnalysisReport,
+    AnalysisReport, AssignmentStrategy, ChainingOrder, Encoding, FixpointStrategy, Property,
+    SymbolicContext, TraversalOptions, ZddAnalysisReport,
 };
-use pnsym_net::nets::{figure1, philosophers};
-use pnsym_net::Marking;
+use pnsym_net::nets::{
+    dme, figure1, muller, philosophers, property_suite, slotted_ring, DmeStyle, PropertySpec,
+};
+use pnsym_net::{Marking, PetriNet};
 use pnsym_structural::{find_smcs, select_smc_cover, CoverStrategy};
 use std::time::Instant;
 
@@ -74,10 +94,15 @@ fn main() {
             std::process::exit(2);
         }),
     };
-    let command = args
+    let check_path: Option<String> = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str);
+        .find_map(|a| a.strip_prefix("--check=").map(str::to_string));
+    let non_flags: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let command = non_flags.first().copied();
 
     let mut records: Vec<Value> = Vec::new();
     match command {
@@ -87,20 +112,34 @@ fn main() {
         Some("table1") => table1(),
         Some("ablation") => ablation(),
         Some("strategies") => strategies(scale, &mut records),
+        Some("properties") => properties(strategy, &mut records),
         Some("smoke") => smoke(strategy, &mut records),
+        Some("check") => {
+            let path = non_flags.get(1).map(|s| s.to_string()).or(check_path);
+            let Some(path) = path else {
+                eprintln!("usage: experiments check <props-file> (or --check=FILE)");
+                std::process::exit(2);
+            };
+            check(&path, strategy, &mut records);
+        }
+        None if check_path.is_some() => {
+            check(&check_path.expect("just tested"), strategy, &mut records);
+        }
         Some("all") | None => {
             figure2();
             table1();
             table3(scale, strategy, &mut records);
             table4(scale, strategy, &mut records);
             strategies(scale, &mut records);
+            properties(strategy, &mut records);
             ablation();
         }
         Some(other) => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "usage: experiments [table3|table4|fig2|table1|ablation|strategies|smoke|all] \
-                 [--paper-scale] [--strategy=NAME] [--json[=PATH]]"
+                "usage: experiments \
+                 [table3|table4|fig2|table1|ablation|strategies|properties|check|smoke|all] \
+                 [--paper-scale] [--strategy=NAME] [--json[=PATH]] [--check=FILE]"
             );
             std::process::exit(2);
         }
@@ -521,6 +560,179 @@ fn strategies(scale: Scale, records: &mut Vec<Value>) {
         }
     }
     println!("(chaining must match bfs markings exactly; fewer passes on pipelined nets)");
+}
+
+/// The symbolic context used by the property runner: the improved dense
+/// encoding when the structural phase succeeds, sparse otherwise.
+fn property_context(net: &PetriNet) -> SymbolicContext {
+    match find_smcs(net) {
+        Ok(smcs) => SymbolicContext::new(
+            net,
+            Encoding::improved(net, &smcs, AssignmentStrategy::Gray),
+        ),
+        Err(_) => SymbolicContext::new(net, Encoding::sparse(net)),
+    }
+}
+
+/// Checks one suite against one net, printing the per-property table rows.
+/// Returns whether every recorded expectation was met.
+fn run_property_suite(
+    net: &PetriNet,
+    queries: &[PropertySpec],
+    strategy: FixpointStrategy,
+    records: &mut Vec<Value>,
+) -> bool {
+    println!(
+        "\n-- {} ({} queries, {strategy})",
+        net.name(),
+        queries.len()
+    );
+    println!(
+        "   {:<20} {:>7} {:>7} {:>12} {:>8} {:>9}  formula",
+        "property", "verdict", "expect", "sat/reached", "witness", "time(ms)"
+    );
+    let mut ctx = property_context(net);
+    let mut all_met = true;
+    for query in queries {
+        let prop = match Property::parse(&query.formula, net) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("   {:<20} PARSE ERROR {e}  {}", query.name, query.formula);
+                all_met = false;
+                continue;
+            }
+        };
+        let report = ctx.check_property_with(&prop, TraversalOptions::with_strategy(strategy));
+        let verdict = if report.holds { "holds" } else { "fails" };
+        let expect = match query.expect {
+            Some(true) => "holds",
+            Some(false) => "fails",
+            None => "?",
+        };
+        let met = query.expect.is_none_or(|e| e == report.holds);
+        all_met &= met;
+        let witness = report
+            .trace
+            .as_ref()
+            .map_or("-".to_string(), |t| t.len().to_string());
+        let ms = report.duration.as_secs_f64() * 1e3;
+        println!(
+            "   {:<20} {:>7} {:>7} {:>12} {:>8} {:>9.2}  {}{}",
+            query.name,
+            verdict,
+            expect,
+            format!("{}/{}", report.sat_markings, report.reached_markings),
+            witness,
+            ms,
+            query.formula,
+            if met { "" } else { "  <-- MISMATCH" }
+        );
+        records.push(Value::object(vec![
+            ("experiment", Value::Str("properties".into())),
+            ("net", Value::Str(net.name().into())),
+            ("property", Value::Str(query.name.clone())),
+            ("formula", Value::Str(query.formula.clone())),
+            ("strategy", Value::Str(strategy.to_string())),
+            ("holds", Value::Str(verdict.into())),
+            ("expected", Value::Str(expect.into())),
+            ("sat_markings", Value::Float(report.sat_markings)),
+            ("reached_markings", Value::Float(report.reached_markings)),
+            (
+                "witness_len",
+                Value::Int(report.trace.as_ref().map_or(-1, |t| t.len() as i64)),
+            ),
+            ("check_ms", Value::Float(ms)),
+        ]));
+    }
+    all_met
+}
+
+/// The bundled per-net CTL property suites (mutual exclusion, liveness,
+/// deadlock, ordering) on a representative instance of every family.
+fn properties(strategy: FixpointStrategy, records: &mut Vec<Value>) {
+    println!("\n== Properties: bundled CTL suites ({strategy}) ====================");
+    let nets = [
+        figure1(),
+        philosophers(3),
+        muller(6),
+        slotted_ring(3),
+        dme(3, DmeStyle::Spec),
+    ];
+    let mut all_met = true;
+    for net in nets {
+        let suite = property_suite(&net);
+        all_met &= run_property_suite(&net, &suite, strategy, records);
+    }
+    assert!(all_met, "a bundled property suite missed its expectation");
+    println!("(verdicts are pinned against the explicit-state checker by tests/ctl_props.rs)");
+}
+
+/// Parses a property file: `net <spec>` directives followed by
+/// `name: holds|fails|? formula` lines; `#` starts a comment.
+fn parse_props_file(text: &str) -> Result<Vec<(PetriNet, Vec<PropertySpec>)>, String> {
+    let mut suites: Vec<(PetriNet, Vec<PropertySpec>)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(spec) = line.strip_prefix("net ") {
+            let net = net_by_spec(spec)
+                .ok_or_else(|| err(format!("unknown net specifier `{}`", spec.trim())))?;
+            suites.push((net, Vec::new()));
+            continue;
+        }
+        let (name, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err("expected `name: verdict formula`".into()))?;
+        let rest = rest.trim();
+        let (verdict, formula) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err("expected a formula after the verdict".into()))?;
+        let expect = match verdict {
+            "holds" => Some(true),
+            "fails" => Some(false),
+            "?" => None,
+            other => {
+                return Err(err(format!(
+                    "unknown verdict `{other}` (expected holds|fails|?)"
+                )))
+            }
+        };
+        let suite = suites
+            .last_mut()
+            .ok_or_else(|| err("property before any `net` directive".into()))?;
+        suite.1.push(PropertySpec {
+            name: name.trim().to_string(),
+            formula: formula.trim().to_string(),
+            expect,
+        });
+    }
+    Ok(suites)
+}
+
+/// `experiments check <file>`: run every suite of a property file and exit
+/// non-zero when a recorded expectation is violated.
+fn check(path: &str, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let suites = parse_props_file(&text).unwrap_or_else(|e| {
+        eprintln!("check: {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("\n== Check: {path} ({strategy}) =====================================");
+    let mut all_met = true;
+    for (net, queries) in &suites {
+        all_met &= run_property_suite(net, queries, strategy, records);
+    }
+    if !all_met {
+        eprintln!("check: expectation mismatches in {path}");
+        std::process::exit(1);
+    }
+    println!("check OK ({} suites)", suites.len());
 }
 
 /// Ablations: Gray vs binary code assignment, basic vs improved scheme,

@@ -12,7 +12,9 @@
 //! instance names of the original tables (run with
 //! `cargo run --release -p pnsym-bench --bin experiments -- table3 --paper-scale`).
 
-use pnsym_net::nets::{dme, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant};
+use pnsym_net::nets::{
+    dme, figure1, jjreg, muller, philosophers, slotted_ring, DmeStyle, JjregVariant,
+};
 use pnsym_net::PetriNet;
 
 pub mod json;
@@ -88,6 +90,84 @@ pub fn table4_workloads(scale: Scale) -> Vec<Workload> {
     out
 }
 
+/// Resolves a textual net specifier — as used by the property files of
+/// `experiments check` — to a generated net.
+///
+/// Accepted forms are the generator call syntax and the generated net
+/// names:
+///
+/// * `figure1`
+/// * `philosophers(4)` or `phil-4`
+/// * `muller(8)` or `muller-8`
+/// * `slotted_ring(3)` or `slot-3`
+/// * `dme(3)`, `dme(3,spec)`, `dme(3,circuit)`, `dme-spec-3`, `dme-cir-3`
+/// * `jjreg(a)`, `jjreg(b)`, `jjreg-a`, `jjreg-b`
+///
+/// Returns `None` for anything else.
+pub fn net_by_spec(spec: &str) -> Option<PetriNet> {
+    let spec = spec.trim();
+    // Split `name(arg1,arg2)` into name + args; `name-arg` is normalised to
+    // the same shape below.
+    let (name, args): (&str, Vec<&str>) = match spec.find('(') {
+        Some(open) if spec.ends_with(')') => (
+            &spec[..open],
+            spec[open + 1..spec.len() - 1]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect(),
+        ),
+        Some(_) => return None,
+        None => (spec, Vec::new()),
+    };
+    let size = |args: &[&str], at: usize| args.get(at).and_then(|s| s.parse::<usize>().ok());
+    match (name, args.as_slice()) {
+        ("figure1", []) => Some(figure1()),
+        ("philosophers" | "phil", [_]) => Some(philosophers(size(&args, 0)?)),
+        ("muller", [_]) => Some(muller(size(&args, 0)?)),
+        ("slotted_ring" | "slot", [_]) => Some(slotted_ring(size(&args, 0)?)),
+        ("dme", [_]) => Some(dme(size(&args, 0)?, DmeStyle::Spec)),
+        ("dme", [_, style]) => {
+            let style = match *style {
+                "spec" => DmeStyle::Spec,
+                "circuit" | "cir" => DmeStyle::Circuit,
+                _ => return None,
+            };
+            Some(dme(size(&args, 0)?, style))
+        }
+        ("jjreg", [variant]) => match *variant {
+            "a" => Some(jjreg(JjregVariant::A)),
+            "b" => Some(jjreg(JjregVariant::B)),
+            _ => None,
+        },
+        (_, []) => {
+            // Generated-name forms: `phil-4`, `muller-8`, `slot-3`,
+            // `dme-spec-3`, `dme-cir-3`, `jjreg-a`.
+            if let Some(rest) = name.strip_prefix("phil-") {
+                return Some(philosophers(rest.parse().ok()?));
+            }
+            if let Some(rest) = name.strip_prefix("muller-") {
+                return Some(muller(rest.parse().ok()?));
+            }
+            if let Some(rest) = name.strip_prefix("slot-") {
+                return Some(slotted_ring(rest.parse().ok()?));
+            }
+            if let Some(rest) = name.strip_prefix("dme-spec-") {
+                return Some(dme(rest.parse().ok()?, DmeStyle::Spec));
+            }
+            if let Some(rest) = name.strip_prefix("dme-cir-") {
+                return Some(dme(rest.parse().ok()?, DmeStyle::Circuit));
+            }
+            match name {
+                "jjreg-a" => Some(jjreg(JjregVariant::A)),
+                "jjreg-b" => Some(jjreg(JjregVariant::B)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +179,35 @@ mod tests {
         }
         assert_eq!(table3_workloads(Scale::Default).len(), 9);
         assert_eq!(table4_workloads(Scale::Default).len(), 6);
+    }
+
+    #[test]
+    fn net_specs_resolve_in_both_syntaxes() {
+        for (call, generated) in [
+            ("philosophers(3)", "phil-3"),
+            ("muller(8)", "muller-8"),
+            ("slotted_ring(3)", "slot-3"),
+            ("dme(3,spec)", "dme-spec-3"),
+            ("dme(2,circuit)", "dme-cir-2"),
+            ("jjreg(a)", "jjreg-a"),
+        ] {
+            let a = net_by_spec(call).unwrap_or_else(|| panic!("{call} resolves"));
+            let b = net_by_spec(generated).unwrap_or_else(|| panic!("{generated} resolves"));
+            assert_eq!(a.name(), b.name(), "{call} == {generated}");
+        }
+        assert_eq!(net_by_spec("figure1").unwrap().name(), "figure1");
+        assert_eq!(net_by_spec("dme(3)").unwrap().name(), "dme-spec-3");
+        assert_eq!(net_by_spec(" phil-4 ").unwrap().name(), "phil-4");
+        for bad in [
+            "nonsuch",
+            "phil",
+            "phil()",
+            "phil(x)",
+            "dme(3,weird)",
+            "muller(3",
+        ] {
+            assert!(net_by_spec(bad).is_none(), "{bad} must not resolve");
+        }
     }
 
     #[test]

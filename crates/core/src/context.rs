@@ -5,6 +5,7 @@
 use crate::encoding::{Block, Encoding};
 use crate::image::TransitionEffect;
 use crate::plan::ImagePlan;
+use crate::preplan::PreImagePlan;
 use pnsym_bdd::{BddManager, ManagerStats, Ref, VarId};
 use pnsym_net::{Marking, PetriNet, PlaceId, TransitionId};
 use std::rc::Rc;
@@ -40,6 +41,8 @@ pub struct SymbolicContext {
     effects: Vec<TransitionEffect>,
     /// The precomputed image plan, built lazily on first image computation.
     plan: Option<Rc<ImagePlan>>,
+    /// The precomputed pre-image plan, built lazily on first backward step.
+    pre_plan: Option<Rc<PreImagePlan>>,
 }
 
 impl std::fmt::Debug for SymbolicContext {
@@ -121,6 +124,7 @@ impl SymbolicContext {
             initial,
             effects,
             plan: None,
+            pre_plan: None,
         }
     }
 
@@ -141,6 +145,21 @@ impl SymbolicContext {
             self.plan = Some(Rc::new(plan));
         }
         Rc::clone(self.plan.as_ref().expect("plan just built"))
+    }
+
+    /// The precomputed [`PreImagePlan`] of this context, built on first use
+    /// (typically by a CTL fixpoint or a witness reconstruction).
+    ///
+    /// Like the forward [`ImagePlan`], the plan's BDDs are protected in the
+    /// manager, so the plan stays valid across garbage collection and
+    /// reordering for the context's lifetime. The returned handle is cheap
+    /// to clone and does not borrow the context.
+    pub fn pre_image_plan(&mut self) -> Rc<PreImagePlan> {
+        if self.pre_plan.is_none() {
+            let plan = PreImagePlan::build(self);
+            self.pre_plan = Some(Rc::new(plan));
+        }
+        Rc::clone(self.pre_plan.as_ref().expect("pre-plan just built"))
     }
 
     /// The analysed net.

@@ -1,0 +1,271 @@
+//! An explicit-state CTL checker over the enumerated reachability graph —
+//! the oracle the symbolic engine is validated against.
+//!
+//! The checker labels every reachable marking with the subformulas it
+//! satisfies, using the textbook fixpoint characterisations on the explicit
+//! successor lists. It implements exactly the path semantics of
+//! [`crate::mc`] (infinite-path `EG`, vacuous universal quantifiers at
+//! deadlocks), so on any net small enough to enumerate,
+//! [`ExplicitChecker::sat`] and
+//! [`SymbolicContext::sat_set`](crate::SymbolicContext::sat_set) over the
+//! reached set must agree state for state — the property suites pin this on
+//! random nets across every encoding × strategy combination.
+
+use crate::property::Property;
+use pnsym_net::{PetriNet, ReachabilityGraph};
+
+/// An explicit-state CTL checker for one net and its enumerated
+/// reachability graph.
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_core::{ExplicitChecker, Property};
+/// use pnsym_net::nets::philosophers;
+///
+/// let net = philosophers(2);
+/// let rg = net.explore().unwrap();
+/// let checker = ExplicitChecker::new(&net, &rg);
+/// // The classic deadlock is reachable…
+/// let deadlock = Property::parse("EF !EX true", &net).unwrap();
+/// assert!(checker.holds(&deadlock));
+/// // …so eating is not inevitable.
+/// let fated = Property::parse("AF eating.0", &net).unwrap();
+/// assert!(!checker.holds(&fated));
+/// ```
+pub struct ExplicitChecker<'a> {
+    net: &'a PetriNet,
+    rg: &'a ReachabilityGraph,
+    /// Successor state indices, per state.
+    successors: Vec<Vec<usize>>,
+    /// Index of the initial marking in the graph.
+    initial: usize,
+}
+
+impl<'a> ExplicitChecker<'a> {
+    /// Builds the checker, indexing the graph's edges into per-state
+    /// successor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rg` was not produced by exploring `net` (its initial
+    /// marking is absent from the graph).
+    pub fn new(net: &'a PetriNet, rg: &'a ReachabilityGraph) -> Self {
+        let mut successors = vec![Vec::new(); rg.num_markings()];
+        for &(from, _, to) in rg.edges() {
+            successors[from].push(to);
+        }
+        let initial = rg
+            .index_of(net.initial_marking())
+            .expect("the graph contains the initial marking");
+        ExplicitChecker {
+            net,
+            rg,
+            successors,
+            initial,
+        }
+    }
+
+    /// The satisfaction vector of `property`: one boolean per marking of
+    /// the graph, indexed like [`ReachabilityGraph::markings`].
+    pub fn sat(&self, property: &Property) -> Vec<bool> {
+        let n = self.rg.num_markings();
+        match property {
+            Property::True => vec![true; n],
+            Property::False => vec![false; n],
+            Property::Place(p) => self.rg.markings().iter().map(|m| m.is_marked(*p)).collect(),
+            Property::Not(a) => self.sat(a).into_iter().map(|b| !b).collect(),
+            Property::And(a, b) => {
+                let fa = self.sat(a);
+                let fb = self.sat(b);
+                fa.into_iter().zip(fb).map(|(x, y)| x && y).collect()
+            }
+            Property::Or(a, b) => {
+                let fa = self.sat(a);
+                let fb = self.sat(b);
+                fa.into_iter().zip(fb).map(|(x, y)| x || y).collect()
+            }
+            Property::Ex(a) => {
+                let fa = self.sat(a);
+                self.ex(&fa)
+            }
+            Property::Ax(a) => {
+                let fa = self.sat(a);
+                self.ax(&fa)
+            }
+            Property::Ef(a) => {
+                let fa = self.sat(a);
+                self.eu(&vec![true; n], &fa)
+            }
+            Property::Af(a) => {
+                let fa = self.sat(a);
+                self.au(&vec![true; n], &fa)
+            }
+            Property::Eg(a) => {
+                let fa = self.sat(a);
+                self.eg(&fa)
+            }
+            Property::Ag(a) => {
+                // AG a = ¬EF ¬a.
+                let not_a: Vec<bool> = self.sat(a).into_iter().map(|b| !b).collect();
+                let ef = self.eu(&vec![true; n], &not_a);
+                ef.into_iter().map(|b| !b).collect()
+            }
+            Property::Eu(a, b) => {
+                let fa = self.sat(a);
+                let fb = self.sat(b);
+                self.eu(&fa, &fb)
+            }
+            Property::Au(a, b) => {
+                let fa = self.sat(a);
+                let fb = self.sat(b);
+                self.au(&fa, &fb)
+            }
+        }
+    }
+
+    /// Whether the initial marking satisfies `property`.
+    pub fn holds(&self, property: &Property) -> bool {
+        self.sat(property)[self.initial]
+    }
+
+    /// The index of the initial marking in the graph.
+    pub fn initial_index(&self) -> usize {
+        self.initial
+    }
+
+    /// The analysed net.
+    pub fn net(&self) -> &PetriNet {
+        self.net
+    }
+
+    /// `EX`: some successor satisfies.
+    fn ex(&self, target: &[bool]) -> Vec<bool> {
+        self.successors
+            .iter()
+            .map(|succ| succ.iter().any(|&s| target[s]))
+            .collect()
+    }
+
+    /// `AX`: every successor satisfies (vacuously true at deadlocks).
+    fn ax(&self, target: &[bool]) -> Vec<bool> {
+        self.successors
+            .iter()
+            .map(|succ| succ.iter().all(|&s| target[s]))
+            .collect()
+    }
+
+    /// `E[hold U until]`: least fixpoint of `until ∨ (hold ∧ EX Z)`.
+    fn eu(&self, hold: &[bool], until: &[bool]) -> Vec<bool> {
+        let mut z = until.to_vec();
+        loop {
+            let mut changed = false;
+            for s in 0..z.len() {
+                if !z[s] && hold[s] && self.successors[s].iter().any(|&t| z[t]) {
+                    z[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return z;
+            }
+        }
+    }
+
+    /// `A[hold U until]`: least fixpoint of `until ∨ (hold ∧ AX Z)` — a
+    /// deadlocked `hold`-state satisfies it vacuously.
+    fn au(&self, hold: &[bool], until: &[bool]) -> Vec<bool> {
+        let mut z = until.to_vec();
+        loop {
+            let mut changed = false;
+            for s in 0..z.len() {
+                if !z[s] && hold[s] && self.successors[s].iter().all(|&t| z[t]) {
+                    z[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return z;
+            }
+        }
+    }
+
+    /// `EG`: greatest fixpoint of `target ∧ EX Z` — deadlocked states drop
+    /// out (infinite-path semantics).
+    fn eg(&self, target: &[bool]) -> Vec<bool> {
+        let mut z = target.to_vec();
+        loop {
+            let mut changed = false;
+            for s in 0..z.len() {
+                if z[s] && !self.successors[s].iter().any(|&t| z[t]) {
+                    z[s] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return z;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnsym_net::nets::{figure1, philosophers};
+
+    #[test]
+    fn boolean_and_temporal_basics_on_figure1() {
+        let net = figure1();
+        let rg = net.explore().unwrap();
+        let checker = ExplicitChecker::new(&net, &rg);
+        let p = |text: &str| Property::parse(text, &net).unwrap();
+        assert!(checker.holds(&p("p1")));
+        assert!(checker.holds(&p("EF (p6 & p7)")));
+        assert!(checker.holds(&p("AG !(p2 & p4)")));
+        assert!(checker.holds(&p("AG EX true")), "figure1 is deadlock-free");
+        assert!(!checker.holds(&p("EF (p2 & p4)")));
+        // Every state satisfies EF p1 (the net's behaviour is reversible).
+        assert!(checker.sat(&p("EF p1")).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deadlock_semantics_on_philosophers() {
+        let net = philosophers(2);
+        let rg = net.explore().unwrap();
+        let checker = ExplicitChecker::new(&net, &rg);
+        let p = |text: &str| Property::parse(text, &net).unwrap();
+        // The deadlock is reachable and expressible as !EX true.
+        assert!(checker.holds(&p("EF !EX true")));
+        // Vacuous universal quantification at deadlocks: AX false and
+        // AF false hold exactly at the deadlocked states.
+        let ax_false = checker.sat(&p("AX false"));
+        let af_false = checker.sat(&p("AF false"));
+        assert_eq!(ax_false, af_false);
+        let num_dead = ax_false.iter().filter(|&&b| b).count();
+        assert_eq!(num_dead, rg.deadlocks(&net).len());
+        // EG true excludes exactly the deadlocks.
+        let eg_true = checker.sat(&p("EG true"));
+        assert!(eg_true.iter().zip(&ax_false).all(|(&eg, &dead)| eg != dead));
+    }
+
+    #[test]
+    fn until_operators_match_their_unrollings() {
+        let net = philosophers(2);
+        let rg = net.explore().unwrap();
+        let checker = ExplicitChecker::new(&net, &rg);
+        let p = |text: &str| Property::parse(text, &net).unwrap();
+        assert_eq!(
+            checker.sat(&p("E[true U eating.0]")),
+            checker.sat(&p("EF eating.0"))
+        );
+        assert_eq!(
+            checker.sat(&p("A[true U eating.0]")),
+            checker.sat(&p("AF eating.0"))
+        );
+        // The AU duality under the vacuous-deadlock convention.
+        let au = checker.sat(&p("A[idle.0 U eating.1]"));
+        let dual = checker.sat(&p("!(E[!eating.1 U !idle.0 & !eating.1] | EG !eating.1)"));
+        assert_eq!(au, dual);
+    }
+}

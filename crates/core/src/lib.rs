@@ -24,8 +24,12 @@
 //!   shared by the BDD and ZDD backends, with breadth-first and chained
 //!   exploration, and the high-level [`analyze`] / [`analyze_zdd`] entry
 //!   points producing the rows of the paper's tables.
-//! * [`Property`] and the CTL fixpoint operators (`EX`, `EF`, `EG`, `AG`,
-//!   `AF`) for symbolic model checking over the reached state space.
+//! * The CTL model checker: the [`Property`] language (combinators and a
+//!   textual syntax via [`Property::parse`]), the full operator set
+//!   (`EX EF EG AX AF AG EU AU`) as backward fixpoints over a precomputed
+//!   [`PreImagePlan`], witness/counterexample extraction
+//!   ([`SymbolicContext::check_property`], [`WitnessTrace`]) and the
+//!   explicit-state oracle ([`ExplicitChecker`]).
 //! * [`toggling`] — toggling-activity metrics (Figure 2, Section 5.2).
 //!
 //! ## Quick start
@@ -50,9 +54,12 @@
 mod analysis;
 mod context;
 pub mod encoding;
+mod explicit;
 mod image;
 mod mc;
 pub mod plan;
+pub mod preplan;
+mod property;
 pub mod toggling;
 mod trace;
 mod traverse;
@@ -64,9 +71,12 @@ pub use analysis::{
 };
 pub use context::SymbolicContext;
 pub use encoding::{AssignmentStrategy, Block, Encoding, SchemeKind};
+pub use explicit::ExplicitChecker;
 pub use image::TransitionEffect;
-pub use mc::Property;
+pub use mc::{CheckReport, TraceKind};
 pub use plan::{ImageCluster, ImagePlan, PlannedTransition};
+pub use preplan::{PreImageCluster, PreImagePlan, PrePlannedTransition};
+pub use property::{Property, PropertyParseError};
 pub use toggling::{toggling_activity, toggling_of_state_codes, TogglingReport};
 pub use trace::WitnessTrace;
 pub use traverse::{

@@ -1,124 +1,225 @@
-//! Symbolic model checking on top of the encodings (Section 5 of the
-//! paper): pre-image computation and the standard CTL fixpoint operators,
-//! evaluated over the reachable state space.
+//! Symbolic CTL model checking on top of the encodings (Section 5 of the
+//! paper): pre-image computation through the precomputed
+//! [`PreImagePlan`](crate::preplan::PreImagePlan), the full set of CTL
+//! fixpoint operators (`EX EF EG AX AF AG EU AU`), and the
+//! [`SymbolicContext::check_property`] entry point producing a verdict plus
+//! a concrete witness or counterexample firing sequence.
 //!
-//! Properties are boolean combinations of place predicates
-//! ([`Property::place`]), so typical Petri-net questions — mutual exclusion,
-//! reachability of a partial marking, inevitability of progress — can be
-//! phrased directly against the paper's encodings.
+//! Properties come from the [`Property`](crate::Property) language (built
+//! programmatically or parsed from text); atomic propositions are place
+//! markings, so typical Petri-net questions — mutual exclusion,
+//! reachability of a partial marking, inevitability of progress, absence of
+//! deadlock (`AG EX true`) — can be phrased directly against the paper's
+//! encodings.
+//!
+//! # Path semantics at deadlocks
+//!
+//! Safe Petri nets can deadlock, so the transition relation is not total
+//! and the usual CTL path quantifiers need a convention. This module (and
+//! the explicit-state oracle in [`crate::explicit`]) uses the standard
+//! *infinite-path* semantics: `EG φ` demands an infinite run staying in
+//! `φ`, so a deadlocked state never satisfies it, and dually every
+//! universally quantified formula (`AX`, `AF`, `AG φ` over successors,
+//! `A[φ U ψ]`) holds **vacuously** at a deadlocked state. The classical
+//! dualities (`AF φ = ¬EG ¬φ`, `A[φ U ψ] = ¬(E[¬ψ U ¬φ∧¬ψ] ∨ EG ¬ψ)`) are
+//! preserved under this convention and pinned by the test suite. A
+//! deadlock itself is expressible inside the language as `!EX true`.
 
 use crate::context::SymbolicContext;
-use pnsym_bdd::{Ref, VarId};
-use pnsym_net::{PlaceId, TransitionId};
+use crate::property::Property;
+use crate::trace::WitnessTrace;
+use crate::traverse::TraversalOptions;
+use pnsym_bdd::Ref;
+use pnsym_net::TransitionId;
+use std::time::{Duration, Instant};
 
-/// A state predicate built from place markings.
-///
-/// # Examples
-///
-/// ```
-/// use pnsym_core::{Encoding, Property, SymbolicContext};
-/// use pnsym_net::nets::figure1;
-///
-/// let net = figure1();
-/// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
-/// let p2 = net.place_by_name("p2").unwrap();
-/// let p3 = net.place_by_name("p3").unwrap();
-/// // "p2 and p3 marked together" is reachable in Figure 1 (marking M1).
-/// let both = Property::place(p2).and(Property::place(p3));
-/// assert!(ctx.check_reachable(&both));
-/// ```
-#[derive(Debug, Clone)]
-pub enum Property {
-    /// The given place is marked.
-    Place(PlaceId),
-    /// Boolean negation.
-    Not(Box<Property>),
-    /// Boolean conjunction.
-    And(Box<Property>, Box<Property>),
-    /// Boolean disjunction.
-    Or(Box<Property>, Box<Property>),
-    /// The constant true predicate.
-    True,
+/// What the optional trace attached to a [`CheckReport`] demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The trace demonstrates that the property *holds*: a firing sequence
+    /// into a target state (`EF`, `EU`, `EX`) or a lasso staying in the
+    /// target set (`EG`).
+    Witness,
+    /// The trace demonstrates that the property *fails*: a firing sequence
+    /// into a violating state (`AG`, `AX`, the finite branch of `AU`) or a
+    /// lasso avoiding the target forever (`AF`, the infinite branch of
+    /// `AU`).
+    Counterexample,
 }
 
-impl Property {
-    /// The predicate "place `p` is marked".
-    pub fn place(p: PlaceId) -> Property {
-        Property::Place(p)
-    }
-
-    /// Negation of the predicate.
-    #[allow(clippy::should_implement_trait)]
-    pub fn not(self) -> Property {
-        Property::Not(Box::new(self))
-    }
-
-    /// Conjunction with another predicate.
-    pub fn and(self, other: Property) -> Property {
-        Property::And(Box::new(self), Box::new(other))
-    }
-
-    /// Disjunction with another predicate.
-    pub fn or(self, other: Property) -> Property {
-        Property::Or(Box::new(self), Box::new(other))
-    }
-
-    /// Conjunction of "marked" predicates over a set of places (a partial
-    /// marking).
-    pub fn all_marked(places: &[PlaceId]) -> Property {
-        places
-            .iter()
-            .fold(Property::True, |acc, &p| acc.and(Property::place(p)))
-    }
+/// The outcome of one [`SymbolicContext::check_property`] query.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Whether the initial marking satisfies the property.
+    pub holds: bool,
+    /// Number of reachable markings satisfying the property.
+    pub sat_markings: f64,
+    /// Number of reachable markings (the model the property was evaluated
+    /// over).
+    pub reached_markings: f64,
+    /// A concrete firing sequence explaining the verdict, when the
+    /// top-level operator admits one (see [`TraceKind`]); validated against
+    /// the token game by the test suite.
+    pub trace: Option<WitnessTrace>,
+    /// What [`CheckReport::trace`] demonstrates; `None` iff `trace` is.
+    pub trace_kind: Option<TraceKind>,
+    /// Wall-clock time of the query (including the reachability fixpoint).
+    pub duration: Duration,
 }
 
 impl SymbolicContext {
-    /// Translates a [`Property`] into a BDD over the current state
-    /// variables.
+    /// Translates a [`Property`] into the BDD of its satisfying markings.
+    ///
+    /// Purely boolean formulas are translated over the whole encoded space
+    /// (no reachability fixpoint is run); temporal formulas are evaluated
+    /// over the reachable state space, i.e. this is
+    /// [`SymbolicContext::sat_set`] with the reached set as the model.
     pub fn property_set(&mut self, property: &Property) -> Ref {
+        if property.is_boolean() {
+            return self.boolean_set(property);
+        }
+        let reached = self.reachable_markings().reached;
+        self.sat_set(property, reached)
+    }
+
+    /// Translates a boolean (non-temporal) formula over the whole encoded
+    /// space. Temporal subformulas panic; callers dispatch on
+    /// [`Property::is_boolean`] first.
+    fn boolean_set(&mut self, property: &Property) -> Ref {
         match property {
             Property::Place(p) => self.place_fn(*p),
             Property::True => self.manager().one(),
+            Property::False => self.manager().zero(),
             Property::Not(a) => {
-                let fa = self.property_set(a);
+                let fa = self.boolean_set(a);
                 self.manager_mut().not(fa)
             }
             Property::And(a, b) => {
-                let fa = self.property_set(a);
-                let fb = self.property_set(b);
+                let fa = self.boolean_set(a);
+                let fb = self.boolean_set(b);
                 self.manager_mut().and(fa, fb)
             }
             Property::Or(a, b) => {
-                let fa = self.property_set(a);
-                let fb = self.property_set(b);
+                let fa = self.boolean_set(a);
+                let fb = self.boolean_set(b);
                 self.manager_mut().or(fa, fb)
+            }
+            _ => unreachable!("boolean_set is only called on boolean formulas"),
+        }
+    }
+
+    /// The set of markings of `within` satisfying the CTL formula
+    /// `property`, computed by bottom-up fixpoint evaluation.
+    ///
+    /// `within` is the model: the set the path quantifiers range over,
+    /// typically the reached set of
+    /// [`SymbolicContext::reachable_markings`]. It must be closed under
+    /// successors for the universal operators to be meaningful (the
+    /// reached set is). The result is always a subset of `within`.
+    pub fn sat_set(&mut self, property: &Property, within: Ref) -> Ref {
+        match property {
+            Property::Place(p) => {
+                let chi = self.place_fn(*p);
+                self.manager_mut().and(chi, within)
+            }
+            Property::True => within,
+            Property::False => self.manager().zero(),
+            Property::Not(a) => {
+                let fa = self.sat_set(a, within);
+                self.manager_mut().diff(within, fa)
+            }
+            Property::And(a, b) => {
+                let fa = self.sat_set(a, within);
+                let fb = self.sat_set(b, within);
+                self.manager_mut().and(fa, fb)
+            }
+            Property::Or(a, b) => {
+                let fa = self.sat_set(a, within);
+                let fb = self.sat_set(b, within);
+                self.manager_mut().or(fa, fb)
+            }
+            Property::Ex(a) => {
+                let fa = self.sat_set(a, within);
+                self.ex(fa, within)
+            }
+            Property::Ef(a) => {
+                let fa = self.sat_set(a, within);
+                self.ef(fa, within)
+            }
+            Property::Eg(a) => {
+                let fa = self.sat_set(a, within);
+                self.eg(fa, within)
+            }
+            Property::Ax(a) => {
+                let fa = self.sat_set(a, within);
+                self.ax(fa, within)
+            }
+            Property::Af(a) => {
+                let fa = self.sat_set(a, within);
+                self.af(fa, within)
+            }
+            Property::Ag(a) => {
+                let fa = self.sat_set(a, within);
+                self.ag(fa, within)
+            }
+            Property::Eu(a, b) => {
+                let fa = self.sat_set(a, within);
+                let fb = self.sat_set(b, within);
+                self.eu(fa, fb, within)
+            }
+            Property::Au(a, b) => {
+                let fa = self.sat_set(a, within);
+                let fb = self.sat_set(b, within);
+                self.au(fa, fb, within)
             }
         }
     }
 
     /// The pre-image of `target` under transition `t`: the markings that
     /// enable `t` and reach a marking of `target` by firing it.
+    ///
+    /// Uses the precomputed
+    /// [`PreImagePlan`](crate::preplan::PreImagePlan): the enabling
+    /// function, target cube and quantification cube of `t` are built once
+    /// per context, not per call.
     pub fn pre_image(&mut self, target: Ref, t: TransitionId) -> Ref {
-        let enabled = self.enabling_fn(t);
-        let lits: Vec<(VarId, bool)> = self
-            .transition_effect(t)
-            .assignments
-            .iter()
-            .map(|&(i, value)| (self.current_vars()[i], value))
-            .collect();
-        let changed: Vec<VarId> = lits.iter().map(|&(v, _)| v).collect();
+        let plan = self.pre_image_plan();
+        let (cluster, planned) = plan.planned(t);
         let m = self.manager_mut();
-        let consts = m.cube(&lits);
-        // target[changed := consts] = ∃ changed. (target ∧ consts)
-        let substituted = m.and_exists(target, consts, &changed);
-        m.and(enabled, substituted)
+        // target[W_t := T_t] = ∃W_t. (target ∧ T_t)
+        let substituted = m.and_exists_cube(target, planned.target, cluster.quant_cube);
+        if substituted == m.zero() {
+            return substituted;
+        }
+        m.and(planned.enabling, substituted)
     }
 
-    /// The pre-image of `target` under all transitions (one backward step).
-    pub fn pre_image_all(&mut self, target: Ref) -> Ref {
+    /// The pre-image of `target` under every transition of one pre-plan
+    /// cluster: the shared quantification cube is walked once per member
+    /// and the members' partial pre-images are OR-folded.
+    pub fn cluster_pre_image(&mut self, cluster: usize, target: Ref) -> Ref {
+        let plan = self.pre_image_plan();
+        let c = &plan.clusters()[cluster];
         let mut acc = self.manager().zero();
-        for ti in 0..self.net().num_transitions() {
-            let pre = self.pre_image(target, TransitionId(ti as u32));
+        for member in &c.members {
+            let m = self.manager_mut();
+            let substituted = m.and_exists_cube(target, member.target, c.quant_cube);
+            if substituted == m.zero() {
+                continue;
+            }
+            let pre = m.and(member.enabling, substituted);
+            acc = m.or(acc, pre);
+        }
+        acc
+    }
+
+    /// The pre-image of `target` under all transitions (one backward step),
+    /// folded cluster by cluster in the plan's backward order.
+    pub fn pre_image_all(&mut self, target: Ref) -> Ref {
+        let plan = self.pre_image_plan();
+        let mut acc = self.manager().zero();
+        for &cluster in plan.backward_order() {
+            let pre = self.cluster_pre_image(cluster, target);
             acc = self.manager_mut().or(acc, pre);
         }
         acc
@@ -129,6 +230,14 @@ impl SymbolicContext {
     pub fn ex(&mut self, target: Ref, within: Ref) -> Ref {
         let pre = self.pre_image_all(target);
         self.manager_mut().and(pre, within)
+    }
+
+    /// CTL `AX target` restricted to `within`: states of `within` all of
+    /// whose successors lie in `target` (vacuously including deadlocks).
+    pub fn ax(&mut self, target: Ref, within: Ref) -> Ref {
+        let not_target = self.manager_mut().diff(within, target);
+        let ex_not = self.ex(not_target, within);
+        self.manager_mut().diff(within, ex_not)
     }
 
     /// CTL `EF target` restricted to `within` (least fixpoint of
@@ -147,8 +256,9 @@ impl SymbolicContext {
     }
 
     /// CTL `EG target` restricted to `within` (greatest fixpoint of
-    /// `target ∧ EX Z`): states from which some infinite (or
-    /// deadlock-free-prefix) path stays in `target`.
+    /// `target ∧ EX Z`): states from which some infinite path stays in
+    /// `target` forever. Deadlocked states drop out of the fixpoint, per
+    /// the module's path semantics.
     pub fn eg(&mut self, target: Ref, within: Ref) -> Ref {
         let mut z = self.manager_mut().and(target, within);
         loop {
@@ -168,29 +278,197 @@ impl SymbolicContext {
         self.manager_mut().diff(within, bad)
     }
 
-    /// CTL `AF target` restricted to `within`: `¬ EG ¬target`.
+    /// CTL `AF target` restricted to `within`: `¬ EG ¬target`. Deadlocked
+    /// states satisfy it vacuously, per the module's path semantics.
     pub fn af(&mut self, target: Ref, within: Ref) -> Ref {
         let not_target = self.manager_mut().not(target);
         let avoid = self.eg(not_target, within);
         self.manager_mut().diff(within, avoid)
     }
 
+    /// CTL `E[hold U until]` restricted to `within` (least fixpoint of
+    /// `until ∨ (hold ∧ EX Z)`): states with a path satisfying `hold` at
+    /// every step until a state of `until` is reached.
+    pub fn eu(&mut self, hold: Ref, until: Ref, within: Ref) -> Ref {
+        let hold_w = self.manager_mut().and(hold, within);
+        let mut z = self.manager_mut().and(until, within);
+        loop {
+            let pre = self.pre_image_all(z);
+            let step = self.manager_mut().and(hold_w, pre);
+            let next = self.manager_mut().or(z, step);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    /// CTL `A[hold U until]` restricted to `within` (least fixpoint of
+    /// `until ∨ (hold ∧ AX Z)`): states all of whose paths satisfy `hold`
+    /// until they reach `until`. Deadlocked `hold`-states satisfy it
+    /// vacuously, per the module's path semantics; the classical duality
+    /// `A[p U q] = ¬(E[¬q U ¬p∧¬q] ∨ EG ¬q)` is preserved (and pinned by
+    /// the tests).
+    pub fn au(&mut self, hold: Ref, until: Ref, within: Ref) -> Ref {
+        let hold_w = self.manager_mut().and(hold, within);
+        let until_w = self.manager_mut().and(until, within);
+        let mut z = until_w;
+        loop {
+            let ax_z = self.ax(z, within);
+            let step = self.manager_mut().and(hold_w, ax_z);
+            let next = self.manager_mut().or(until_w, step);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
     /// Whether some reachable marking satisfies `property`
     /// (`EF property` from the initial marking).
     pub fn check_reachable(&mut self, property: &Property) -> bool {
         let reached = self.reachable_markings().reached;
-        let target = self.property_set(property);
-        let hit = self.manager_mut().and(reached, target);
-        hit != self.manager().zero()
+        let sat = self.sat_set(property, reached);
+        sat != self.manager().zero()
     }
 
     /// Whether every reachable marking satisfies `property`
     /// (`AG property` from the initial marking).
     pub fn check_invariant(&mut self, property: &Property) -> bool {
         let reached = self.reachable_markings().reached;
-        let target = self.property_set(property);
-        let bad = self.manager_mut().diff(reached, target);
-        bad == self.manager().zero()
+        let sat = self.sat_set(property, reached);
+        sat == reached
+    }
+
+    /// Checks `property` at the initial marking over the reachable state
+    /// space and, where the top-level operator admits one, extracts a
+    /// concrete witness or counterexample firing sequence.
+    ///
+    /// Traces are produced for: `EF`/`EU`/`EX` witnesses (a path into the
+    /// target), `EG` witnesses (a lasso staying in the target set),
+    /// `AG`/`AX` counterexamples (a path to a violating state), `AF`
+    /// counterexamples (a lasso avoiding the target) and `AU`
+    /// counterexamples (a finite `¬until` path into `¬hold ∧ ¬until`, or a
+    /// `¬until` lasso). For other shapes `trace` is `None`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::{Encoding, Property, SymbolicContext};
+    /// use pnsym_net::nets::philosophers;
+    ///
+    /// let net = philosophers(2);
+    /// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+    /// // The classic deadlock is reachable; the report carries a witness.
+    /// let prop = Property::parse("EF !EX true", &net).unwrap();
+    /// let report = ctx.check_property(&prop);
+    /// assert!(report.holds);
+    /// let trace = report.trace.unwrap();
+    /// assert!(trace.validate(&net));
+    /// assert!(net.enabled_transitions(trace.witness()).is_empty());
+    /// ```
+    pub fn check_property(&mut self, property: &Property) -> CheckReport {
+        self.check_property_with(property, TraversalOptions::default())
+    }
+
+    /// [`SymbolicContext::check_property`] with explicit traversal options
+    /// for the underlying reachability fixpoint (strategy, GC threshold,
+    /// sifting policy).
+    pub fn check_property_with(
+        &mut self,
+        property: &Property,
+        options: TraversalOptions,
+    ) -> CheckReport {
+        let start = Instant::now();
+        let reached = self.reachable_markings_with(options).reached;
+        let sat = self.sat_set(property, reached);
+        let init = self.initial_set();
+        let init_sat = self.manager_mut().and(init, sat);
+        let holds = init_sat != self.manager().zero();
+        let explained = self.explain(property, holds, sat, reached);
+        let (trace, trace_kind) = match explained {
+            Some((trace, kind)) => (Some(trace), Some(kind)),
+            None => (None, None),
+        };
+        CheckReport {
+            holds,
+            sat_markings: self.count_markings(sat),
+            reached_markings: self.count_markings(reached),
+            trace,
+            trace_kind,
+            duration: start.elapsed(),
+        }
+    }
+
+    /// Extracts the trace of a [`CheckReport`], dispatching on the
+    /// top-level operator and the verdict. `sat` is the already-computed
+    /// satisfaction set of `property`, reused where the trace needs exactly
+    /// that fixpoint (the `EG` core, or its complement for failed `AF`).
+    fn explain(
+        &mut self,
+        property: &Property,
+        holds: bool,
+        sat: Ref,
+        reached: Ref,
+    ) -> Option<(WitnessTrace, TraceKind)> {
+        let zero = self.manager().zero();
+        match (holds, property) {
+            (true, Property::Ef(a)) => {
+                let target = self.sat_set(a, reached);
+                Some((self.witness_trace(target)?, TraceKind::Witness))
+            }
+            (true, Property::Eu(a, b)) => {
+                let hold = self.sat_set(a, reached);
+                let until = self.sat_set(b, reached);
+                Some((self.witness_trace_in(until, hold)?, TraceKind::Witness))
+            }
+            (true, Property::Ex(a)) => {
+                let fa = self.sat_set(a, reached);
+                Some((self.one_step_trace(fa)?, TraceKind::Witness))
+            }
+            (true, Property::Eg(_)) => {
+                // `sat` is the EG core itself.
+                Some((self.lasso_from_initial(sat)?, TraceKind::Witness))
+            }
+            (false, Property::Ag(a)) => {
+                let fa = self.sat_set(a, reached);
+                let bad = self.manager_mut().diff(reached, fa);
+                Some((self.witness_trace(bad)?, TraceKind::Counterexample))
+            }
+            (false, Property::Ax(a)) => {
+                let fa = self.sat_set(a, reached);
+                let not_fa = self.manager_mut().diff(reached, fa);
+                Some((self.one_step_trace(not_fa)?, TraceKind::Counterexample))
+            }
+            (false, Property::Af(_)) => {
+                // AF φ = reached \ EG ¬φ, so the EG ¬φ core is the
+                // complement of `sat`.
+                let core = self.manager_mut().diff(reached, sat);
+                Some((self.lasso_from_initial(core)?, TraceKind::Counterexample))
+            }
+            (false, Property::Au(a, b)) => {
+                // ¬A[a U b] = E[¬b U ¬a∧¬b] ∨ EG ¬b: prefer the finite
+                // branch (a ¬b-path into a state violating both), fall back
+                // to a ¬b-lasso.
+                let fa = self.sat_set(a, reached);
+                let fb = self.sat_set(b, reached);
+                let not_b = self.manager_mut().diff(reached, fb);
+                let not_ab = self.manager_mut().diff(not_b, fa);
+                let finite = self.eu(not_b, not_ab, reached);
+                let init = self.initial_set();
+                let init_in_finite = self.manager_mut().and(init, finite);
+                if init_in_finite != zero {
+                    Some((
+                        self.witness_trace_in(not_ab, not_b)?,
+                        TraceKind::Counterexample,
+                    ))
+                } else {
+                    let core = self.eg(not_b, reached);
+                    Some((self.lasso_from_initial(core)?, TraceKind::Counterexample))
+                }
+            }
+            _ => None,
+        }
     }
 }
 
@@ -199,7 +477,7 @@ mod tests {
     use super::*;
     use crate::encoding::{AssignmentStrategy, Encoding};
     use pnsym_net::nets::{dme, figure1, philosophers, DmeStyle};
-    use pnsym_net::PetriNet;
+    use pnsym_net::{PetriNet, PlaceId};
     use pnsym_structural::find_smcs;
 
     fn dense_ctx(net: &PetriNet) -> SymbolicContext {
@@ -227,6 +505,32 @@ mod tests {
                 let missing = ctx.manager_mut().diff(firing_states, back);
                 assert_eq!(missing, ctx.manager().zero());
             }
+        }
+    }
+
+    #[test]
+    fn pre_image_all_unions_the_per_transition_pre_images() {
+        let net = philosophers(2);
+        for mut ctx in [
+            SymbolicContext::new(&net, Encoding::sparse(&net)),
+            dense_ctx(&net),
+        ] {
+            let reached = ctx.reachable_markings().reached;
+            let full = ctx.pre_image_all(reached);
+            let mut acc = ctx.manager().zero();
+            for t in net.transitions() {
+                let pre = ctx.pre_image(reached, t);
+                acc = ctx.manager_mut().or(acc, pre);
+            }
+            assert_eq!(full, acc);
+            // Cluster pre-images union to the same set.
+            let plan = ctx.pre_image_plan();
+            let mut by_cluster = ctx.manager().zero();
+            for c in 0..plan.num_clusters() {
+                let pre = ctx.cluster_pre_image(c, reached);
+                by_cluster = ctx.manager_mut().or(by_cluster, pre);
+            }
+            assert_eq!(full, by_cluster);
         }
     }
 
@@ -297,5 +601,142 @@ mod tests {
         let reached = ctx.reachable_markings().reached;
         let eg = ctx.eg(ctx.manager().one(), reached);
         assert_eq!(eg, reached);
+    }
+
+    #[test]
+    fn until_operators_satisfy_the_classical_identities() {
+        for net in [figure1(), philosophers(2), dme(3, DmeStyle::Spec)] {
+            let mut ctx = dense_ctx(&net);
+            let reached = ctx.reachable_markings().reached;
+            let target = {
+                let p = net.places().next().unwrap();
+                let chi = ctx.place_fn(p);
+                ctx.manager_mut().and(chi, reached)
+            };
+            let one = ctx.manager().one();
+            // EF p = E[true U p] and AF p = A[true U p].
+            let ef = ctx.ef(target, reached);
+            let eu = ctx.eu(one, target, reached);
+            assert_eq!(ef, eu, "{}: EF = E[true U .]", net.name());
+            let af = ctx.af(target, reached);
+            let au = ctx.au(one, target, reached);
+            assert_eq!(af, au, "{}: AF = A[true U .]", net.name());
+        }
+    }
+
+    #[test]
+    fn au_duality_holds_with_deadlocks() {
+        // A[p U q] = ¬(E[¬q U ¬p∧¬q] ∨ EG ¬q) must hold under the vacuous
+        // deadlock convention; philosophers(2) has reachable deadlocks, so
+        // this exercises the non-total relation case.
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let reached = ctx.reachable_markings().reached;
+        let p = {
+            let chi = ctx.place_fn(net.place_by_name("idle.0").unwrap());
+            ctx.manager_mut().and(chi, reached)
+        };
+        let q = {
+            let chi = ctx.place_fn(net.place_by_name("eating.1").unwrap());
+            ctx.manager_mut().and(chi, reached)
+        };
+        let au = ctx.au(p, q, reached);
+        let not_q = ctx.manager_mut().diff(reached, q);
+        let not_pq = ctx.manager_mut().diff(not_q, p);
+        let finite = ctx.eu(not_q, not_pq, reached);
+        let infinite = ctx.eg(not_q, reached);
+        let bad = ctx.manager_mut().or(finite, infinite);
+        let dual = ctx.manager_mut().diff(reached, bad);
+        assert_eq!(au, dual);
+    }
+
+    #[test]
+    fn ax_is_vacuous_at_deadlocks() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let reached = ctx.reachable_markings().reached;
+        let dead = ctx.deadlocks_in(reached);
+        assert_ne!(dead, ctx.manager().zero());
+        // AX false holds exactly at the deadlocked states.
+        let ax_false = ctx.ax(ctx.manager().zero(), reached);
+        assert_eq!(ax_false, dead);
+        // EX true is its complement within the reached set.
+        let ex_true = ctx.ex(reached, reached);
+        let live = ctx.manager_mut().diff(reached, dead);
+        assert_eq!(ex_true, live);
+    }
+
+    #[test]
+    fn check_property_reports_witnesses_and_counterexamples() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+
+        // Witness: the deadlock is reachable.
+        let deadlock = Property::parse("EF !EX true", &net).unwrap();
+        let report = ctx.check_property(&deadlock);
+        assert!(report.holds);
+        assert_eq!(report.trace_kind, Some(TraceKind::Witness));
+        let trace = report.trace.expect("EF witness");
+        assert!(trace.validate(&net));
+        assert!(net.enabled_transitions(trace.witness()).is_empty());
+
+        // Counterexample: "no one ever holds their left fork" is violated.
+        let inv = Property::parse("AG !hasl.0", &net).unwrap();
+        let report = ctx.check_property(&inv);
+        assert!(!report.holds);
+        assert_eq!(report.trace_kind, Some(TraceKind::Counterexample));
+        let trace = report.trace.expect("AG counterexample");
+        assert!(trace.validate(&net));
+        assert!(trace
+            .witness()
+            .is_marked(net.place_by_name("hasl.0").unwrap()));
+
+        // AF counterexample is a lasso avoiding the target.
+        let fated = Property::parse("AF eating.0", &net).unwrap();
+        let report = ctx.check_property(&fated);
+        assert!(!report.holds);
+        let trace = report.trace.expect("AF counterexample");
+        assert!(trace.validate(&net));
+        assert!(trace.is_lasso().is_some(), "AF counterexample is a lasso");
+        let eating0 = net.place_by_name("eating.0").unwrap();
+        assert!(trace.markings.iter().all(|m| !m.is_marked(eating0)));
+
+        // EG witness: an infinite run (philosopher 1 eating forever) on
+        // which philosopher 0 never eats.
+        let spin = Property::parse("EG !eating.0", &net).unwrap();
+        let report = ctx.check_property(&spin);
+        assert!(report.holds);
+        let trace = report.trace.expect("EG witness");
+        assert!(trace.validate(&net));
+        assert!(trace.is_lasso().is_some());
+        assert!(trace.markings.iter().all(|m| !m.is_marked(eating0)));
+    }
+
+    #[test]
+    fn check_property_eu_and_au_traces() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+
+        // EU witness stays in the hold set until the target.
+        let prop = Property::parse("E[!eating.1 U eating.0]", &net).unwrap();
+        let report = ctx.check_property(&prop);
+        assert!(report.holds);
+        let trace = report.trace.expect("EU witness");
+        assert!(trace.validate(&net));
+        let eating0 = net.place_by_name("eating.0").unwrap();
+        let eating1 = net.place_by_name("eating.1").unwrap();
+        assert!(trace.witness().is_marked(eating0));
+        for m in &trace.markings[..trace.markings.len() - 1] {
+            assert!(!m.is_marked(eating1));
+        }
+
+        // AU fails: a path can avoid eating.0 forever (the deadlock); the
+        // counterexample is a ¬eating.0 trace.
+        let prop = Property::parse("A[true U eating.0]", &net).unwrap();
+        let report = ctx.check_property(&prop);
+        assert!(!report.holds);
+        let trace = report.trace.expect("AU counterexample");
+        assert!(trace.validate(&net));
+        assert!(trace.markings.iter().all(|m| !m.is_marked(eating0)));
     }
 }

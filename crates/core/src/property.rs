@@ -1,0 +1,903 @@
+//! The CTL property language: an AST of state predicates and temporal
+//! operators, plus a hand-rolled parser resolving place names against a net.
+//!
+//! Atomic propositions are place markings ("place `p` holds a token"), so
+//! typical Petri-net questions — mutual exclusion, reachability of a partial
+//! marking, inevitability of progress, absence of deadlock — can be phrased
+//! directly against the paper's encodings and checked by the symbolic engine
+//! of [`crate::SymbolicContext`].
+//!
+//! # Concrete syntax
+//!
+//! ```text
+//! formula  := or ( "->" formula )?          right-associative implication
+//! or       := and ( ("|" | "||") and )*
+//! and      := unary ( ("&" | "&&") unary )*
+//! unary    := "!" unary
+//!           | ("EX"|"EF"|"EG"|"AX"|"AF"|"AG") unary
+//!           | "E" "[" formula "U" formula "]"
+//!           | "A" "[" formula "U" formula "]"
+//!           | "true" | "false" | "(" formula ")" | place-name
+//! ```
+//!
+//! Place names are identifiers over `[A-Za-z0-9_.]` starting with a letter
+//! or underscore (the bundled generators use names like `eating.0` or
+//! `token_at.2`); the operator words `EX EF EG AX AF AG E A U true false`
+//! are reserved. Implication `p -> q` is desugared to `!p | q` during
+//! parsing, so the AST stays minimal.
+
+use pnsym_net::{PetriNet, PlaceId};
+use std::fmt;
+
+/// A CTL state formula over place predicates.
+///
+/// Boolean combinators ([`Property::and`], [`Property::or`],
+/// [`Property::not`]) build plain state predicates; the temporal
+/// constructors ([`Property::ex`], [`Property::ef`], [`Property::eg`],
+/// [`Property::ax`], [`Property::af`], [`Property::ag`], [`Property::eu`],
+/// [`Property::au`]) quantify over the firing sequences of the net.
+/// Formulas can also be parsed from text with [`Property::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use pnsym_core::{Encoding, Property, SymbolicContext};
+/// use pnsym_net::nets::figure1;
+///
+/// let net = figure1();
+/// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+/// let p2 = net.place_by_name("p2").unwrap();
+/// let p3 = net.place_by_name("p3").unwrap();
+/// // "p2 and p3 marked together" is reachable in Figure 1 (marking M1).
+/// let both = Property::place(p2).and(Property::place(p3));
+/// assert!(ctx.check_reachable(&both));
+/// // The same query in the textual language:
+/// let parsed = Property::parse("EF (p2 & p3)", &net).unwrap();
+/// assert!(ctx.check_property(&parsed).holds);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Property {
+    /// The given place is marked.
+    Place(PlaceId),
+    /// Boolean negation.
+    Not(Box<Property>),
+    /// Boolean conjunction.
+    And(Box<Property>, Box<Property>),
+    /// Boolean disjunction.
+    Or(Box<Property>, Box<Property>),
+    /// The constant true predicate.
+    True,
+    /// The constant false predicate.
+    False,
+    /// CTL `EX φ`: some successor satisfies `φ`.
+    Ex(Box<Property>),
+    /// CTL `EF φ`: some path reaches a state satisfying `φ`.
+    Ef(Box<Property>),
+    /// CTL `EG φ`: some infinite path stays in `φ` forever.
+    Eg(Box<Property>),
+    /// CTL `AX φ`: every successor satisfies `φ` (vacuously true at
+    /// deadlocked states).
+    Ax(Box<Property>),
+    /// CTL `AF φ`: every infinite path eventually reaches `φ`.
+    Af(Box<Property>),
+    /// CTL `AG φ`: every reachable state satisfies `φ`.
+    Ag(Box<Property>),
+    /// CTL `E[φ U ψ]`: some path satisfies `φ` until it reaches `ψ`.
+    Eu(Box<Property>, Box<Property>),
+    /// CTL `A[φ U ψ]`: every path satisfies `φ` until it reaches `ψ`.
+    Au(Box<Property>, Box<Property>),
+}
+
+impl Property {
+    /// The predicate "place `p` is marked".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p1 = net.place_by_name("p1").unwrap();
+    /// assert_eq!(Property::place(p1), Property::Place(p1));
+    /// ```
+    pub fn place(p: PlaceId) -> Property {
+        Property::Place(p)
+    }
+
+    /// Negation of the predicate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p = Property::place(net.place_by_name("p1").unwrap());
+    /// assert_eq!(p.clone().not(), Property::parse("!p1", &net).unwrap());
+    /// ```
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Property {
+        Property::Not(Box::new(self))
+    }
+
+    /// Conjunction with another predicate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p3 = Property::place(net.place_by_name("p3").unwrap());
+    /// assert_eq!(p2.and(p3), Property::parse("p2 & p3", &net).unwrap());
+    /// ```
+    pub fn and(self, other: Property) -> Property {
+        Property::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with another predicate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p3 = Property::place(net.place_by_name("p3").unwrap());
+    /// assert_eq!(p2.or(p3), Property::parse("p2 | p3", &net).unwrap());
+    /// ```
+    pub fn or(self, other: Property) -> Property {
+        Property::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication `self -> other`, desugared to `!self | other` (the same
+    /// desugaring the parser applies to `->`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p3 = Property::place(net.place_by_name("p3").unwrap());
+    /// assert_eq!(p2.implies(p3), Property::parse("p2 -> p3", &net).unwrap());
+    /// ```
+    pub fn implies(self, other: Property) -> Property {
+        self.not().or(other)
+    }
+
+    /// Conjunction of "marked" predicates over a set of places (a partial
+    /// marking).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p6 = net.place_by_name("p6").unwrap();
+    /// let p7 = net.place_by_name("p7").unwrap();
+    /// let both = Property::all_marked(&[p6, p7]);
+    /// assert_eq!(both.display(&net), "true & p6 & p7");
+    /// ```
+    pub fn all_marked(places: &[PlaceId]) -> Property {
+        places
+            .iter()
+            .fold(Property::True, |acc, &p| acc.and(Property::place(p)))
+    }
+
+    /// CTL `EX φ`: some successor satisfies `φ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// assert_eq!(Property::ex(p2), Property::parse("EX p2", &net).unwrap());
+    /// ```
+    pub fn ex(inner: Property) -> Property {
+        Property::Ex(Box::new(inner))
+    }
+
+    /// CTL `EF φ`: some firing sequence reaches a state satisfying `φ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p6 = Property::place(net.place_by_name("p6").unwrap());
+    /// assert_eq!(Property::ef(p6), Property::parse("EF p6", &net).unwrap());
+    /// ```
+    pub fn ef(inner: Property) -> Property {
+        Property::Ef(Box::new(inner))
+    }
+
+    /// CTL `EG φ`: some infinite firing sequence stays in `φ` forever.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p1 = Property::place(net.place_by_name("p1").unwrap());
+    /// assert_eq!(
+    ///     Property::eg(p1.not()),
+    ///     Property::parse("EG !p1", &net).unwrap()
+    /// );
+    /// ```
+    pub fn eg(inner: Property) -> Property {
+        Property::Eg(Box::new(inner))
+    }
+
+    /// CTL `AX φ`: every successor satisfies `φ`. Vacuously true at a
+    /// deadlocked state (which has no successors).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// assert_eq!(Property::ax(p2), Property::parse("AX p2", &net).unwrap());
+    /// ```
+    pub fn ax(inner: Property) -> Property {
+        Property::Ax(Box::new(inner))
+    }
+
+    /// CTL `AF φ`: every infinite firing sequence eventually reaches `φ`
+    /// (deadlocked states satisfy it vacuously; see
+    /// [`SymbolicContext::af`](crate::SymbolicContext::af)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p6 = Property::place(net.place_by_name("p6").unwrap());
+    /// assert_eq!(Property::af(p6), Property::parse("AF p6", &net).unwrap());
+    /// ```
+    pub fn af(inner: Property) -> Property {
+        Property::Af(Box::new(inner))
+    }
+
+    /// CTL `AG φ`: every reachable state satisfies `φ` (an invariant).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p4 = Property::place(net.place_by_name("p4").unwrap());
+    /// assert_eq!(
+    ///     Property::ag(p2.and(p4).not()),
+    ///     Property::parse("AG !(p2 & p4)", &net).unwrap()
+    /// );
+    /// ```
+    pub fn ag(inner: Property) -> Property {
+        Property::Ag(Box::new(inner))
+    }
+
+    /// CTL `E[φ U ψ]`: some firing sequence satisfies `φ` at every state
+    /// until it reaches a state satisfying `ψ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p6 = Property::place(net.place_by_name("p6").unwrap());
+    /// assert_eq!(
+    ///     Property::eu(p2, p6),
+    ///     Property::parse("E[p2 U p6]", &net).unwrap()
+    /// );
+    /// ```
+    pub fn eu(hold: Property, until: Property) -> Property {
+        Property::Eu(Box::new(hold), Box::new(until))
+    }
+
+    /// CTL `A[φ U ψ]`: every firing sequence satisfies `φ` at every state
+    /// until it reaches a state satisfying `ψ` (deadlocked states satisfy
+    /// it vacuously; see [`SymbolicContext::au`](crate::SymbolicContext::au)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::figure1;
+    ///
+    /// let net = figure1();
+    /// let p2 = Property::place(net.place_by_name("p2").unwrap());
+    /// let p6 = Property::place(net.place_by_name("p6").unwrap());
+    /// assert_eq!(
+    ///     Property::au(p2, p6),
+    ///     Property::parse("A[p2 U p6]", &net).unwrap()
+    /// );
+    /// ```
+    pub fn au(hold: Property, until: Property) -> Property {
+        Property::Au(Box::new(hold), Box::new(until))
+    }
+
+    /// Whether the formula is purely boolean (no temporal operator), so it
+    /// denotes a set of markings independent of the transition relation.
+    pub fn is_boolean(&self) -> bool {
+        match self {
+            Property::Place(_) | Property::True | Property::False => true,
+            Property::Not(a) => a.is_boolean(),
+            Property::And(a, b) | Property::Or(a, b) => a.is_boolean() && b.is_boolean(),
+            Property::Ex(_)
+            | Property::Ef(_)
+            | Property::Eg(_)
+            | Property::Ax(_)
+            | Property::Af(_)
+            | Property::Ag(_)
+            | Property::Eu(_, _)
+            | Property::Au(_, _) => false,
+        }
+    }
+
+    /// Parses a formula of the concrete syntax, resolving place names
+    /// against `net`.
+    ///
+    /// The grammar (binding weakest to tightest):
+    ///
+    /// ```text
+    /// formula  := or ( "->" formula )?          right-associative implication
+    /// or       := and ( ("|" | "||") and )*
+    /// and      := unary ( ("&" | "&&") unary )*
+    /// unary    := "!" unary
+    ///           | ("EX"|"EF"|"EG"|"AX"|"AF"|"AG") unary
+    ///           | "E" "[" formula "U" formula "]"
+    ///           | "A" "[" formula "U" formula "]"
+    ///           | "true" | "false" | "(" formula ")" | place-name
+    /// ```
+    ///
+    /// Place names are identifiers over `[A-Za-z0-9_.]` starting with a
+    /// letter or underscore (the bundled generators use names like
+    /// `eating.0` or `token_at.2`); the operator words
+    /// `EX EF EG AX AF AG E A U true false` are reserved. Implication
+    /// `p -> q` is desugared to `!p | q` during parsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PropertyParseError`] with the byte offset of the problem
+    /// for syntax errors and unknown place names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::Property;
+    /// use pnsym_net::nets::{dme, DmeStyle};
+    ///
+    /// let net = dme(3, DmeStyle::Spec);
+    /// let mutex = Property::parse("AG !(critical.0 & critical.1)", &net).unwrap();
+    /// assert_eq!(mutex.display(&net), "AG !(critical.0 & critical.1)");
+    /// assert!(Property::parse("AG nonsuch", &net).is_err());
+    /// ```
+    pub fn parse(input: &str, net: &PetriNet) -> Result<Property, PropertyParseError> {
+        let mut parser = Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            net,
+            len: input.len(),
+        };
+        let formula = parser.formula()?;
+        match parser.peek() {
+            None => Ok(formula),
+            Some(t) => Err(PropertyParseError {
+                position: t.position,
+                message: format!("unexpected `{}` after the formula", t.kind.describe()),
+            }),
+        }
+    }
+
+    /// Renders the formula in the concrete syntax, using the place names of
+    /// `net`. The output round-trips through [`Property::parse`].
+    pub fn display(&self, net: &PetriNet) -> String {
+        let mut out = String::new();
+        self.write(net, &mut out, 0);
+        out
+    }
+
+    /// Writes `self` into `out`; `parent` is the binding strength of the
+    /// enclosing operator (0 = none, 1 = or, 2 = and), used to decide
+    /// parenthesisation.
+    fn write(&self, net: &PetriNet, out: &mut String, parent: u8) {
+        let needs_parens = |prec: u8| prec < parent;
+        match self {
+            Property::Place(p) => out.push_str(net.place_name(*p)),
+            Property::True => out.push_str("true"),
+            Property::False => out.push_str("false"),
+            Property::Not(a) => {
+                out.push('!');
+                if matches!(
+                    **a,
+                    Property::And(_, _) | Property::Or(_, _) | Property::Eu(_, _)
+                ) {
+                    out.push('(');
+                    a.write(net, out, 0);
+                    out.push(')');
+                } else {
+                    a.write(net, out, 3);
+                }
+            }
+            Property::And(a, b) => {
+                if needs_parens(2) {
+                    out.push('(');
+                    a.write(net, out, 2);
+                    out.push_str(" & ");
+                    b.write(net, out, 3);
+                    out.push(')');
+                } else {
+                    a.write(net, out, 2);
+                    out.push_str(" & ");
+                    b.write(net, out, 3);
+                }
+            }
+            Property::Or(a, b) => {
+                if needs_parens(1) {
+                    out.push('(');
+                    a.write(net, out, 1);
+                    out.push_str(" | ");
+                    b.write(net, out, 2);
+                    out.push(')');
+                } else {
+                    a.write(net, out, 1);
+                    out.push_str(" | ");
+                    b.write(net, out, 2);
+                }
+            }
+            Property::Ex(a) => Self::write_prefix("EX", a, net, out, parent),
+            Property::Ef(a) => Self::write_prefix("EF", a, net, out, parent),
+            Property::Eg(a) => Self::write_prefix("EG", a, net, out, parent),
+            Property::Ax(a) => Self::write_prefix("AX", a, net, out, parent),
+            Property::Af(a) => Self::write_prefix("AF", a, net, out, parent),
+            Property::Ag(a) => Self::write_prefix("AG", a, net, out, parent),
+            Property::Eu(a, b) => Self::write_until('E', a, b, net, out),
+            Property::Au(a, b) => Self::write_until('A', a, b, net, out),
+        }
+    }
+
+    fn write_prefix(op: &str, inner: &Property, net: &PetriNet, out: &mut String, parent: u8) {
+        // A prefix operator binds like unary negation; its argument is
+        // parenthesised whenever it is a binary boolean formula.
+        let _ = parent;
+        out.push_str(op);
+        out.push(' ');
+        if matches!(inner, Property::And(_, _) | Property::Or(_, _)) {
+            out.push('(');
+            inner.write(net, out, 0);
+            out.push(')');
+        } else {
+            inner.write(net, out, 3);
+        }
+    }
+
+    fn write_until(path: char, a: &Property, b: &Property, net: &PetriNet, out: &mut String) {
+        out.push(path);
+        out.push('[');
+        a.write(net, out, 0);
+        out.push_str(" U ");
+        b.write(net, out, 0);
+        out.push(']');
+    }
+}
+
+/// A syntax or name-resolution error from [`Property::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for PropertyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PropertyParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+}
+
+impl TokenKind {
+    fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::Bang => "!".into(),
+            TokenKind::Amp => "&".into(),
+            TokenKind::Pipe => "|".into(),
+            TokenKind::Arrow => "->".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    position: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, PropertyParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let position = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
+            '(' => tokens.push(Token {
+                kind: TokenKind::LParen,
+                position,
+            }),
+            ')' => tokens.push(Token {
+                kind: TokenKind::RParen,
+                position,
+            }),
+            '[' => tokens.push(Token {
+                kind: TokenKind::LBracket,
+                position,
+            }),
+            ']' => tokens.push(Token {
+                kind: TokenKind::RBracket,
+                position,
+            }),
+            '!' => tokens.push(Token {
+                kind: TokenKind::Bang,
+                position,
+            }),
+            '&' => {
+                // `&&` is accepted as an alias of `&`.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Amp,
+                    position,
+                });
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    position,
+                });
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    i += 1;
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        position,
+                    });
+                } else {
+                    return Err(PropertyParseError {
+                        position,
+                        message: "expected `->` after `-`".into(),
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    position,
+                });
+                continue;
+            }
+            _ => {
+                return Err(PropertyParseError {
+                    position,
+                    message: format!("unexpected character `{c}`"),
+                });
+            }
+        }
+        i += 1;
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    net: &'a PetriNet,
+    len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> PropertyParseError {
+        PropertyParseError {
+            position: self.peek().map_or(self.len, |t| t.position),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), PropertyParseError> {
+        match self.peek() {
+            Some(t) if t.kind == *kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(PropertyParseError {
+                position: t.position,
+                message: format!(
+                    "expected `{}`, found `{}`",
+                    kind.describe(),
+                    t.kind.describe()
+                ),
+            }),
+            None => Err(self.error_here(format!("expected `{}` at end of input", kind.describe()))),
+        }
+    }
+
+    /// `formula := or ( "->" formula )?`, right-associative.
+    fn formula(&mut self) -> Result<Property, PropertyParseError> {
+        let left = self.or()?;
+        if matches!(self.peek(), Some(t) if t.kind == TokenKind::Arrow) {
+            self.pos += 1;
+            let right = self.formula()?;
+            return Ok(left.implies(right));
+        }
+        Ok(left)
+    }
+
+    fn or(&mut self) -> Result<Property, PropertyParseError> {
+        let mut acc = self.and()?;
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::Pipe) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn and(&mut self) -> Result<Property, PropertyParseError> {
+        let mut acc = self.unary()?;
+        while matches!(self.peek(), Some(t) if t.kind == TokenKind::Amp) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            acc = acc.and(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Property, PropertyParseError> {
+        let token = match self.next() {
+            Some(t) => t,
+            None => return Err(self.error_here("expected a formula, found end of input")),
+        };
+        match token.kind {
+            TokenKind::Bang => Ok(self.unary()?.not()),
+            TokenKind::LParen => {
+                let inner = self.formula()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(word) => self.ident(word, token.position),
+            other => Err(PropertyParseError {
+                position: token.position,
+                message: format!("expected a formula, found `{}`", other.describe()),
+            }),
+        }
+    }
+
+    fn ident(&mut self, word: String, position: usize) -> Result<Property, PropertyParseError> {
+        match word.as_str() {
+            "true" => Ok(Property::True),
+            "false" => Ok(Property::False),
+            "EX" => Ok(Property::ex(self.unary()?)),
+            "EF" => Ok(Property::ef(self.unary()?)),
+            "EG" => Ok(Property::eg(self.unary()?)),
+            "AX" => Ok(Property::ax(self.unary()?)),
+            "AF" => Ok(Property::af(self.unary()?)),
+            "AG" => Ok(Property::ag(self.unary()?)),
+            "E" | "A" => {
+                self.expect(&TokenKind::LBracket)?;
+                let hold = self.formula()?;
+                match self.next() {
+                    Some(t) if t.kind == TokenKind::Ident("U".into()) => {}
+                    Some(t) => {
+                        return Err(PropertyParseError {
+                            position: t.position,
+                            message: format!("expected `U`, found `{}`", t.kind.describe()),
+                        })
+                    }
+                    None => return Err(self.error_here("expected `U` before end of input")),
+                }
+                let until = self.formula()?;
+                self.expect(&TokenKind::RBracket)?;
+                Ok(if word == "E" {
+                    Property::eu(hold, until)
+                } else {
+                    Property::au(hold, until)
+                })
+            }
+            "U" => Err(PropertyParseError {
+                position,
+                message: "`U` is only valid inside `E[.. U ..]` / `A[.. U ..]`".into(),
+            }),
+            name => match self.net.place_by_name(name) {
+                Some(p) => Ok(Property::place(p)),
+                None => Err(PropertyParseError {
+                    position,
+                    message: format!("unknown place `{name}` in net `{}`", self.net.name()),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnsym_net::nets::{dme, figure1, philosophers, DmeStyle};
+
+    #[test]
+    fn parser_builds_the_expected_ast() {
+        let net = figure1();
+        let p = |n: &str| Property::place(net.place_by_name(n).unwrap());
+        assert_eq!(Property::parse("p1", &net).unwrap(), p("p1"));
+        assert_eq!(Property::parse("true", &net).unwrap(), Property::True);
+        assert_eq!(Property::parse("false", &net).unwrap(), Property::False);
+        assert_eq!(
+            Property::parse("p1 & p2 | p3", &net).unwrap(),
+            p("p1").and(p("p2")).or(p("p3")),
+            "& binds tighter than |"
+        );
+        assert_eq!(
+            Property::parse("!p1 & p2", &net).unwrap(),
+            p("p1").not().and(p("p2")),
+            "! binds tighter than &"
+        );
+        assert_eq!(
+            Property::parse("p1 -> p2 -> p3", &net).unwrap(),
+            p("p1").implies(p("p2").implies(p("p3"))),
+            "-> is right-associative"
+        );
+        assert_eq!(
+            Property::parse("AG EF p1", &net).unwrap(),
+            Property::ag(Property::ef(p("p1")))
+        );
+        assert_eq!(
+            Property::parse("E[p2 U p6 & p7]", &net).unwrap(),
+            Property::eu(p("p2"), p("p6").and(p("p7")))
+        );
+        assert_eq!(
+            Property::parse("A[!p2 U p6]", &net).unwrap(),
+            Property::au(p("p2").not(), p("p6"))
+        );
+        assert_eq!(
+            Property::parse("p1 && p2 || p3", &net).unwrap(),
+            Property::parse("p1 & p2 | p3", &net).unwrap(),
+            "doubled operators are aliases"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let net = figure1();
+        let err = Property::parse("AG nonsuch", &net).unwrap_err();
+        assert_eq!(err.position, 3);
+        assert!(err.message.contains("nonsuch"), "{err}");
+        let err = Property::parse("p1 &", &net).unwrap_err();
+        assert!(err.message.contains("end of input"), "{err}");
+        let err = Property::parse("E[p1 p2]", &net).unwrap_err();
+        assert!(err.message.contains("expected `U`"), "{err}");
+        let err = Property::parse("(p1", &net).unwrap_err();
+        assert!(err.message.contains("expected `)`"), "{err}");
+        let err = Property::parse("p1 p2", &net).unwrap_err();
+        assert!(err.message.contains("after the formula"), "{err}");
+        let err = Property::parse("p1 @ p2", &net).unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+        assert!(Property::parse("p1 - p2", &net).is_err());
+        assert!(Property::parse("U", &net).is_err());
+    }
+
+    #[test]
+    fn dotted_and_underscored_place_names_resolve() {
+        let net = dme(3, DmeStyle::Spec);
+        let prop = Property::parse("token_at.0 | token_held.2", &net).unwrap();
+        let at0 = Property::place(net.place_by_name("token_at.0").unwrap());
+        let held2 = Property::place(net.place_by_name("token_held.2").unwrap());
+        assert_eq!(prop, at0.or(held2));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let net = philosophers(2);
+        for text in [
+            "AG !(eating.0 & eating.1)",
+            "EF (hasl.0 & hasl.1)",
+            "E[!eating.1 U eating.0]",
+            "A[true U eating.0 | eating.1]",
+            "AG (hasl.0 -> !fork.0)",
+            "!(eating.0 | EG !eating.1)",
+            "AX (EX true | eating.0)",
+            "AG EF (idle.0 & idle.1)",
+        ] {
+            let parsed = Property::parse(text, &net).unwrap();
+            let rendered = parsed.display(&net);
+            let reparsed = Property::parse(&rendered, &net).unwrap();
+            assert_eq!(parsed, reparsed, "`{text}` -> `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn is_boolean_distinguishes_temporal_formulas() {
+        let net = figure1();
+        assert!(Property::parse("p1 & !p2 | true", &net)
+            .unwrap()
+            .is_boolean());
+        assert!(!Property::parse("EF p1", &net).unwrap().is_boolean());
+        assert!(!Property::parse("p1 & EX p2", &net).unwrap().is_boolean());
+    }
+}

@@ -4,12 +4,27 @@
 //! During the forward traversal the frontier "onion rings" are recorded;
 //! a witness is then rebuilt backwards, ring by ring, by asking which
 //! transition can step from the previous ring into the current prefix of
-//! the trace. The result is a list of `(transition, marking)` pairs that the
-//! token game of `pnsym-net` re-validates.
+//! the trace (a [`SymbolicContext::pre_image`] query through the
+//! precomputed pre-image plan). The result is a list of
+//! `(transition, marking)` pairs that the token game of `pnsym-net`
+//! re-validates.
+//!
+//! Three extraction modes serve the CTL checker
+//! ([`SymbolicContext::check_property`](crate::SymbolicContext::check_property)):
+//!
+//! * [`SymbolicContext::witness_trace`] — a shortest path into a target
+//!   set (`EF` witnesses, `AG` counterexamples);
+//! * [`SymbolicContext::witness_trace_in`] — the same, with every state
+//!   before the target confined to a constraint set (`EU` witnesses, the
+//!   finite branch of `AU` counterexamples);
+//! * [`SymbolicContext::lasso_from_initial`] — a path that closes a cycle
+//!   inside an `EG` core, demonstrating an infinite run (`EG` witnesses,
+//!   `AF`/`AU` counterexamples).
 
 use crate::context::SymbolicContext;
 use pnsym_bdd::Ref;
 use pnsym_net::{Marking, PlaceId, TransitionId};
+use std::collections::HashMap;
 
 /// A firing sequence witnessing the reachability of some target marking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +59,20 @@ impl WitnessTrace {
             .expect("trace contains the initial marking")
     }
 
+    /// If the trace closes a cycle — its final marking reappearing earlier
+    /// in the trace — returns the index of the first occurrence (the start
+    /// of the loop). Lasso-shaped traces demonstrate an *infinite* run:
+    /// `EG` witnesses and `AF` counterexamples have this shape.
+    pub fn is_lasso(&self) -> Option<usize> {
+        let last = self.markings.last()?;
+        if self.markings.len() < 2 {
+            return None;
+        }
+        self.markings[..self.markings.len() - 1]
+            .iter()
+            .position(|m| m == last)
+    }
+
     /// Validates the trace against the net's token game.
     pub fn validate(&self, net: &pnsym_net::PetriNet) -> bool {
         if self.markings.len() != self.transitions.len() + 1 {
@@ -68,17 +97,48 @@ impl SymbolicContext {
     /// typically obtained from [`SymbolicContext::property_set`] or by
     /// combining [`SymbolicContext::place_fn`]s.
     pub fn witness_trace(&mut self, target: Ref) -> Option<WitnessTrace> {
-        // Forward pass: record the frontier rings until the target is hit.
-        let zero = self.manager().zero();
-        let mut rings: Vec<Ref> = vec![self.initial_set()];
-        let mut reached = self.initial_set();
-        self.manager_mut().protect(reached);
-        let mut hit = self.manager_mut().and(reached, target);
+        let everything = self.manager().one();
+        self.witness_trace_in(target, everything)
+    }
 
-        while hit == zero {
+    /// Finds a shortest firing sequence from the initial marking to a
+    /// marking in `target` whose every marking *before* the target lies in
+    /// `within`, or `None` if no such sequence exists.
+    ///
+    /// This is the witness shape of `E[hold U until]`: pass the `hold` set
+    /// as `within` and the `until` set as `target`. The final marking does
+    /// not need to satisfy `within`; an initial marking already in `target`
+    /// yields the empty trace.
+    pub fn witness_trace_in(&mut self, target: Ref, within: Ref) -> Option<WitnessTrace> {
+        let zero = self.manager().zero();
+        let init = self.initial_set();
+        if self.manager_mut().and(init, target) != zero {
+            // The initial marking already satisfies the target.
+            return Some(WitnessTrace {
+                markings: vec![self.net().initial_marking().clone()],
+                transitions: Vec::new(),
+            });
+        }
+        if self.manager_mut().and(init, within) == zero {
+            return None;
+        }
+
+        // Forward pass: rings of newly discovered `within`-states, until
+        // the image of a ring hits the target.
+        let mut rings: Vec<Ref> = vec![init];
+        let mut reached = init;
+        self.manager_mut().protect(reached);
+        let hit;
+        loop {
             let frontier = *rings.last().expect("at least the initial ring");
             let image = self.image_all(frontier);
-            let new = self.manager_mut().diff(image, reached);
+            let in_target = self.manager_mut().and(image, target);
+            if in_target != zero {
+                hit = in_target;
+                break;
+            }
+            let constrained = self.manager_mut().and(image, within);
+            let new = self.manager_mut().diff(constrained, reached);
             if new == zero {
                 // Release everything the forward pass protected — the ring
                 // protections too, or each unreachable query would pin its
@@ -95,22 +155,20 @@ impl SymbolicContext {
             self.manager_mut().unprotect(reached);
             reached = next_reached;
             rings.push(new);
-            hit = self.manager_mut().and(new, target);
         }
 
-        // Pick one concrete target marking in the last ring.
+        // Pick one concrete target marking hit from the last ring.
         let mut current = self
             .pick_marking(hit)
             .expect("hit is non-empty, so a marking exists");
         let mut markings = vec![current.clone()];
         let mut transitions = Vec::new();
 
-        // Backward pass: for each ring boundary find a predecessor marking
-        // and the transition that was fired.
-        for ring_index in (1..rings.len()).rev() {
-            // `current` lives in rings[ring_index]; find (m, t) with
-            // m ∈ rings[ring_index - 1] and m [t> current.
-            let prev_ring = rings[ring_index - 1];
+        // Backward pass: for each ring find a predecessor marking and the
+        // transition that was fired; `current` starts one step beyond the
+        // last ring.
+        for ring_index in (0..rings.len()).rev() {
+            let prev_ring = rings[ring_index];
             let current_cube = self.marking_to_bdd(&current);
             let mut found = None;
             for ti in 0..self.net().num_transitions() {
@@ -141,6 +199,83 @@ impl SymbolicContext {
             markings,
             transitions,
         })
+    }
+
+    /// A single-firing trace from the initial marking to a successor in
+    /// `target`, or `None` if no enabled transition reaches one.
+    ///
+    /// This is the evidence shape of `EX` witnesses and `AX`
+    /// counterexamples: always exactly one firing, even when the initial
+    /// marking itself belongs to `target` (e.g. through a self-loop
+    /// transition), where the general ring search would return an empty
+    /// trace.
+    pub fn one_step_trace(&mut self, target: Ref) -> Option<WitnessTrace> {
+        let zero = self.manager().zero();
+        let init = self.initial_set();
+        for ti in 0..self.net().num_transitions() {
+            let t = TransitionId(ti as u32);
+            let img = self.image(init, t);
+            let hit = self.manager_mut().and(img, target);
+            if hit != zero {
+                let m = self.pick_marking(hit).expect("non-empty");
+                return Some(WitnessTrace {
+                    markings: vec![self.net().initial_marking().clone(), m],
+                    transitions: vec![t],
+                });
+            }
+        }
+        None
+    }
+
+    /// Extracts a lasso-shaped run from the initial marking through `set`:
+    /// a concrete firing sequence staying in `set` whose final marking
+    /// repeats an earlier one, demonstrating an infinite run.
+    ///
+    /// `set` is expected to be an `EG` core (a greatest fixpoint of
+    /// [`SymbolicContext::eg`] containing the initial marking), where every
+    /// state has a successor inside the set — the walk then always closes a
+    /// cycle. Returns `None` if the initial marking is not in `set` or the
+    /// walk falls out of it (a non-core input).
+    pub fn lasso_from_initial(&mut self, set: Ref) -> Option<WitnessTrace> {
+        let zero = self.manager().zero();
+        let init = self.initial_set();
+        if self.manager_mut().and(init, set) == zero {
+            return None;
+        }
+        let mut current = self.net().initial_marking().clone();
+        let mut markings = vec![current.clone()];
+        let mut transitions = Vec::new();
+        let mut seen: HashMap<Marking, usize> = HashMap::new();
+        seen.insert(current.clone(), 0);
+        // A cycle must close within |set| steps; the cap only guards
+        // against astronomically large cores.
+        const MAX_STEPS: usize = 100_000;
+        for _ in 0..MAX_STEPS {
+            let cube = self.marking_to_bdd(&current);
+            let mut found = None;
+            for ti in 0..self.net().num_transitions() {
+                let t = TransitionId(ti as u32);
+                let img = self.image(cube, t);
+                let staying = self.manager_mut().and(img, set);
+                if staying != zero {
+                    let m = self.pick_marking(staying).expect("non-empty");
+                    found = Some((t, m));
+                    break;
+                }
+            }
+            let (t, next) = found?;
+            transitions.push(t);
+            markings.push(next.clone());
+            if seen.contains_key(&next) {
+                return Some(WitnessTrace {
+                    markings,
+                    transitions,
+                });
+            }
+            seen.insert(next.clone(), markings.len() - 1);
+            current = next;
+        }
+        None
     }
 
     /// Extracts one concrete marking from a non-empty set of encoded
@@ -201,7 +336,7 @@ impl SymbolicContext {
 mod tests {
     use super::*;
     use crate::encoding::{AssignmentStrategy, Encoding};
-    use crate::mc::Property;
+    use crate::property::Property;
     use pnsym_net::nets::{dme, figure1, philosophers, DmeStyle};
     use pnsym_net::PetriNet;
     use pnsym_structural::find_smcs;
@@ -315,6 +450,36 @@ mod tests {
             live,
             "a failed witness query must not leave protections behind"
         );
+    }
+
+    #[test]
+    fn one_step_trace_fires_even_on_self_loops() {
+        // A transition mapping the initial marking to itself: EX evidence
+        // must still be one firing, where the ring search (whose shortest
+        // path is zero steps) would return the empty trace.
+        let mut b = pnsym_net::NetBuilder::new("selfloop");
+        let a = b.place_marked("a");
+        let c = b.place_marked("c");
+        let d = b.place("d");
+        b.transition("spin", &[a], &[a]);
+        b.transition("go", &[c], &[d]);
+        let net = b.build().unwrap();
+        let mut ctx = SymbolicContext::new(&net, crate::encoding::Encoding::sparse(&net));
+        let target = ctx.place_fn(a);
+        let trace = ctx.one_step_trace(target).expect("spin keeps `a` marked");
+        assert_eq!(trace.len(), 1);
+        assert!(trace.validate(&net));
+        assert_eq!(trace.witness(), net.initial_marking());
+        assert!(
+            ctx.witness_trace(target).unwrap().is_empty(),
+            "the ring search's shortest path is the empty trace here"
+        );
+        // Unreachable one-step targets yield no trace.
+        let never = ctx.place_fn(a);
+        let never = ctx.manager_mut().not(never);
+        let d_fn = ctx.place_fn(d);
+        let bad = ctx.manager_mut().and(never, d_fn);
+        assert!(ctx.one_step_trace(bad).is_none());
     }
 
     #[test]

@@ -147,6 +147,46 @@ impl ZddContext {
         acc
     }
 
+    /// The pre-image of the family `target` under transition `t`: the
+    /// markings that enable `t` and reach a marking of `target` by firing
+    /// it — the backward mirror of [`ZddContext::image`], used by the CTL
+    /// checker's cross-validation suites.
+    pub fn pre_image(&mut self, target: ZddRef, t: TransitionId) -> ZddRef {
+        self.pre_image_of(t.index(), target)
+    }
+
+    fn pre_image_of(&mut self, ti: usize, target: ZddRef) -> ZddRef {
+        // Invert the set-algebraic update: keep the markings containing
+        // every output place and strip those places, then restore the input
+        // places. A firing consumes every input place it does not also
+        // produce, so a target marking still containing such a place has no
+        // predecessor through this transition and is filtered out
+        // (`subset0`) before the place is re-added.
+        let mut acc = target;
+        for i in 0..self.ops[ti].post.len() {
+            let p = self.ops[ti].post[i];
+            acc = self.manager.subset1(acc, p);
+        }
+        for i in 0..self.ops[ti].pre.len() {
+            let p = self.ops[ti].pre[i];
+            if !self.ops[ti].post.contains(&p) {
+                acc = self.manager.subset0(acc, p);
+            }
+            acc = self.manager.change(acc, p);
+        }
+        acc
+    }
+
+    /// The pre-image of `target` under all transitions (one backward step).
+    pub fn pre_image_all(&mut self, target: ZddRef) -> ZddRef {
+        let mut acc = self.manager.empty();
+        for ti in 0..self.ops.len() {
+            let pre = self.pre_image_of(ti, target);
+            acc = self.manager.union(acc, pre);
+        }
+        acc
+    }
+
     /// Computes the set of reachable markings with the default
     /// breadth-first strategy.
     pub fn reachable_markings(&mut self) -> ZddReachabilityResult {
@@ -312,6 +352,97 @@ mod tests {
         // A disabled transition yields the empty family.
         let t7 = net.transition_by_name("t7").unwrap();
         assert_eq!(ctx.image(init, t7), ctx.manager().empty());
+    }
+
+    #[test]
+    fn pre_image_inverts_the_token_game() {
+        // Firing is deterministic, so the pre-image of a single marking
+        // under one transition is empty or a single marking that fires
+        // back onto it; every explicit edge must be recovered.
+        for net in [figure1(), philosophers(2), slotted_ring(2)] {
+            let rg = net.explore().unwrap();
+            let mut ctx = ZddContext::new(&net);
+            for m in rg.markings() {
+                let elements: Vec<usize> = m.marked_places().iter().map(|p| p.index()).collect();
+                let family = ctx.manager_mut().single_set(&elements);
+                for t in net.transitions() {
+                    let pre = ctx.pre_image(family, t);
+                    let count = ctx.manager().count(pre);
+                    assert!(count <= 1.0, "{}: firing is deterministic", net.name());
+                    for set in ctx.manager().sets(pre) {
+                        let mut pred = pnsym_net::Marking::empty(net.num_places());
+                        for e in set {
+                            pred.set(pnsym_net::PlaceId(e as u32), true);
+                        }
+                        let fired = net.fire(&pred, t).expect("pre-image enables t");
+                        assert_eq!(&fired, m, "{}: pre-image fires back", net.name());
+                    }
+                }
+            }
+            // Every explicit edge is recovered by the backward step.
+            for &(from, t, to) in rg.edges() {
+                let to_elements: Vec<usize> = rg
+                    .marking(to)
+                    .marked_places()
+                    .iter()
+                    .map(|p| p.index())
+                    .collect();
+                let family = ctx.manager_mut().single_set(&to_elements);
+                let pre = ctx.pre_image(family, t);
+                let from_elements: Vec<usize> = rg
+                    .marking(from)
+                    .marked_places()
+                    .iter()
+                    .map(|p| p.index())
+                    .collect();
+                assert!(
+                    ctx.manager().contains(pre, &from_elements),
+                    "{}: edge {}→{} via {} is in the pre-image",
+                    net.name(),
+                    from,
+                    to,
+                    net.transition_name(t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pre_image_filters_markings_without_predecessors() {
+        // In figure1, t1 consumes p1 and produces p2, p3: a "target"
+        // marking containing p1 alongside p2 and p3 cannot have been
+        // produced by t1, so its pre-image must be empty.
+        let net = figure1();
+        let mut ctx = ZddContext::new(&net);
+        let idx = |n: &str| net.place_by_name(n).unwrap().index();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let bogus = ctx
+            .manager_mut()
+            .single_set(&[idx("p1"), idx("p2"), idx("p3")]);
+        assert_eq!(ctx.pre_image(bogus, t1), ctx.manager().empty());
+        let genuine = ctx.manager_mut().single_set(&[idx("p2"), idx("p3")]);
+        let pre = ctx.pre_image(genuine, t1);
+        assert!(ctx.manager().contains(pre, &[idx("p1")]));
+    }
+
+    #[test]
+    fn pre_image_all_unions_per_transition_pre_images() {
+        let net = philosophers(2);
+        let mut ctx = ZddContext::new(&net);
+        let reached = ctx.reachable_markings().reached;
+        let full = ctx.pre_image_all(reached);
+        let mut acc = ctx.manager_mut().empty();
+        for t in net.transitions() {
+            let pre = ctx.pre_image(reached, t);
+            acc = ctx.manager_mut().union(acc, pre);
+        }
+        assert_eq!(full, acc);
+        // Every live reachable marking is its own backward-step witness:
+        // reached ∩ pre_image_all(reached) are exactly the non-deadlocks.
+        let live = ctx.manager_mut().intersect(reached, full);
+        let rg = net.explore().unwrap();
+        let expected = (rg.num_markings() - rg.deadlocks(&net).len()) as f64;
+        assert_eq!(ctx.manager().count(live), expected);
     }
 
     #[test]

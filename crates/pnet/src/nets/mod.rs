@@ -17,6 +17,7 @@ mod muller;
 mod philosophers;
 mod random;
 mod slotted_ring;
+mod suites;
 
 pub use dme::{dme, DmeStyle};
 pub use figure1::figure1;
@@ -25,3 +26,4 @@ pub use muller::muller;
 pub use philosophers::philosophers;
 pub use random::{random_composed, RandomNetConfig};
 pub use slotted_ring::slotted_ring;
+pub use suites::{property_suite, PropertySpec};

@@ -1,0 +1,175 @@
+//! Textual CTL property suites for the bundled benchmark nets.
+//!
+//! Each bundled generator family carries a suite of behavioural properties
+//! in the concrete syntax of `pnsym-core`'s property language (this crate
+//! only stores the *text*; the parser and checker live upstream). The
+//! suites cover the scenario axes a symbolic checker should answer —
+//! mutual exclusion, reachability of partial markings, inevitability,
+//! deadlock, and until-style ordering — with the expected verdict recorded,
+//! so the `experiments --check` harness and the CI smoke run can keep the
+//! checker honest against them.
+
+use crate::net::PetriNet;
+
+/// One named property of a suite: a formula in the textual CTL syntax plus
+/// the expected verdict at the initial marking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertySpec {
+    /// Short identifier used in reports and tables.
+    pub name: String,
+    /// The formula, in the concrete syntax of the upstream property
+    /// language (place names resolved against the net).
+    pub formula: String,
+    /// The expected verdict at the initial marking; `None` marks a query
+    /// whose outcome is informational only.
+    pub expect: Option<bool>,
+}
+
+impl PropertySpec {
+    fn new(name: &str, formula: impl Into<String>, expect: bool) -> PropertySpec {
+        PropertySpec {
+            name: name.to_string(),
+            formula: formula.into(),
+            expect: Some(expect),
+        }
+    }
+}
+
+/// The bundled property suite of `net`, keyed on the generator's net name
+/// (`figure1`, `phil-N`, `muller-N`, `slot-N`, `dme-spec-N`, `dme-cir-N`).
+/// Returns an empty suite for nets without one.
+///
+/// Every property references only the places of the smallest family member
+/// (indices 0 and 1), so one suite text works for every `N` of its family;
+/// the expected verdicts are size-independent and pinned against both the
+/// symbolic and the explicit-state checker by the test suites.
+pub fn property_suite(net: &PetriNet) -> Vec<PropertySpec> {
+    let name = net.name();
+    if name == "figure1" {
+        vec![
+            PropertySpec::new("m7-reachable", "EF (p6 & p7)", true),
+            PropertySpec::new("smc-exclusion", "AG !(p2 & p4)", true),
+            PropertySpec::new("deadlock-free", "AG EX true", true),
+            PropertySpec::new("home-marking", "AG EF p1", true),
+            PropertySpec::new("choice-fated", "AF (p2 | p4)", true),
+            PropertySpec::new("left-first", "E[!p4 U p2 & p3]", true),
+        ]
+    } else if name.starts_with("phil-") {
+        vec![
+            PropertySpec::new("can-eat", "EF eating.0", true),
+            PropertySpec::new("adjacent-exclusion", "AG !(eating.0 & eating.1)", true),
+            PropertySpec::new("deadlock-reachable", "EF !EX true", true),
+            PropertySpec::new("eating-not-fated", "AF eating.0", false),
+            PropertySpec::new("first-eater", "E[!eating.1 U eating.0]", true),
+            PropertySpec::new("fork-taken", "AG (hasl.0 -> !fork.0)", true),
+        ]
+    } else if name.starts_with("muller-") {
+        vec![
+            PropertySpec::new("deadlock-free", "AG EX true", true),
+            PropertySpec::new("stage0-fated", "AF done.0", true),
+            PropertySpec::new("pipeline-fills", "EF (done.0 & done.1)", true),
+            PropertySpec::new("handshake-phase", "AG (received.0 -> !ready.0)", true),
+            PropertySpec::new("in-order", "A[!done.1 U done.0]", true),
+        ]
+    } else if name.starts_with("slot-") {
+        vec![
+            PropertySpec::new("deadlock-reachable", "EF !EX true", true),
+            PropertySpec::new("slot-recovery", "AG EF free.0", false),
+            PropertySpec::new("slot-phase", "AG !(free.0 & full.0)", true),
+            PropertySpec::new("node-phase", "AG !(sending.0 & processing.0)", true),
+            PropertySpec::new("no-silent-delivery", "E[!full.0 U processing.1]", false),
+            PropertySpec::new("can-send", "EF sending.0", true),
+        ]
+    } else if name.starts_with("dme-spec-") || name.starts_with("dme-cir-") {
+        vec![
+            PropertySpec::new("mutex", "AG !(critical.0 & critical.1)", true),
+            PropertySpec::new("cell1-access", "EF critical.1", true),
+            PropertySpec::new("deadlock-free", "AG EX true", true),
+            PropertySpec::new("no-fairness", "AF critical.0", false),
+            PropertySpec::new("held-in-critical", "AG (critical.0 -> token_held.0)", true),
+            PropertySpec::new("overtaking", "E[!critical.0 U critical.1]", true),
+        ]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::{dme, figure1, muller, philosophers, slotted_ring, DmeStyle};
+
+    #[test]
+    fn every_bundled_family_has_a_suite() {
+        for net in [
+            figure1(),
+            philosophers(2),
+            philosophers(5),
+            muller(4),
+            slotted_ring(3),
+            dme(3, DmeStyle::Spec),
+            dme(2, DmeStyle::Circuit),
+        ] {
+            let suite = property_suite(&net);
+            assert!(!suite.is_empty(), "{} has a suite", net.name());
+            for spec in &suite {
+                assert!(spec.expect.is_some(), "{}: pinned verdict", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suites_only_reference_real_places() {
+        // The formulas are parsed upstream; here only the place names are
+        // extracted and resolved, so a renamed place fails fast.
+        for net in [
+            figure1(),
+            philosophers(2),
+            muller(2),
+            slotted_ring(2),
+            dme(2, DmeStyle::Spec),
+            dme(2, DmeStyle::Circuit),
+        ] {
+            for spec in property_suite(&net) {
+                for word in spec
+                    .formula
+                    .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+                {
+                    let is_operator = matches!(
+                        word,
+                        "" | "true"
+                            | "false"
+                            | "EX"
+                            | "EF"
+                            | "EG"
+                            | "AX"
+                            | "AF"
+                            | "AG"
+                            | "E"
+                            | "A"
+                            | "U"
+                    );
+                    if !is_operator {
+                        assert!(
+                            net.place_by_name(word).is_some(),
+                            "{}: `{}` names a place of {}",
+                            spec.name,
+                            word,
+                            net.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_nets_have_empty_suites() {
+        let mut b = crate::builder::NetBuilder::new("custom");
+        let a = b.place_marked("a");
+        let c = b.place("c");
+        b.transition("t", &[a], &[c]);
+        let net = b.build().unwrap();
+        assert!(property_suite(&net).is_empty());
+    }
+}

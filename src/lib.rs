@@ -50,9 +50,10 @@ pub use pnsym_structural as structural;
 pub use pnsym_core::{
     analyze, analyze_zdd, analyze_zdd_with, build_encoding, toggling_activity,
     toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport, AssignmentStrategy,
-    Block, ChainingOrder, Encoding, FixpointStrategy, ImageCluster, ImagePlan, Property,
-    ReachabilityResult, SchemeKind, SiftPolicy, SymbolicContext, TogglingReport, TransitionEffect,
-    TraversalOptions, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
+    Block, ChainingOrder, CheckReport, Encoding, ExplicitChecker, FixpointStrategy, ImageCluster,
+    ImagePlan, PreImageCluster, PreImagePlan, Property, PropertyParseError, ReachabilityResult,
+    SchemeKind, SiftPolicy, SymbolicContext, TogglingReport, TraceKind, TransitionEffect,
+    TraversalOptions, WitnessTrace, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
 };
 
 /// Commonly used items for quick scripting against the library.
@@ -65,6 +66,6 @@ pub mod prelude {
     };
     pub use crate::{
         analyze, analyze_zdd, AnalysisOptions, AssignmentStrategy, ChainingOrder, Encoding,
-        FixpointStrategy, SchemeKind, SymbolicContext, TraversalOptions,
+        FixpointStrategy, Property, SchemeKind, SymbolicContext, TraversalOptions, WitnessTrace,
     };
 }

@@ -1,10 +1,11 @@
-//! Pins the quick-start numbers quoted in `README.md` and the `pnsym`
-//! crate-level docs: `philosophers(2)` has 22 reachable markings, encoded
-//! with 14 variables under the sparse scheme (one per place) and 8 under the
-//! dense SMC-based scheme (Table 1 of the paper).
+//! Pins the examples quoted in `README.md` and the `pnsym` crate-level
+//! docs: the quick-start numbers (`philosophers(2)` has 22 reachable
+//! markings, encoded with 14 variables under the sparse scheme and 8 under
+//! the dense SMC-based scheme, Table 1 of the paper) and the two
+//! model-checking walkthroughs of the "Model checking" section.
 
 use pnsym::net::nets::philosophers;
-use pnsym::{analyze, AnalysisOptions};
+use pnsym::{analyze, AnalysisOptions, Encoding, Property, SymbolicContext};
 
 #[test]
 fn quick_start_numbers_match_table1() {
@@ -19,6 +20,38 @@ fn quick_start_numbers_match_table1() {
     assert_eq!(dense.num_markings, 22.0);
     assert_eq!(sparse.num_variables, 14, "one variable per place");
     assert_eq!(dense.num_variables, 8, "Table 1: dense SMC-based encoding");
+}
+
+/// The README "Model checking" section, verbatim: a reachability query
+/// with a witness (the classic deadlock, phrased as `EF !EX true`).
+#[test]
+fn readme_model_checking_witness_example() {
+    let net = philosophers(2);
+    let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+
+    let deadlock = Property::parse("EF !EX true", &net).unwrap();
+    let report = ctx.check_property(&deadlock);
+    assert!(report.holds);
+    let trace = report.trace.unwrap(); // go.0, takel.0, go.1, takel.1
+    assert_eq!(trace.len(), 4);
+    assert!(trace.validate(&net));
+    assert!(net.enabled_transitions(trace.witness()).is_empty());
+}
+
+/// The README "Model checking" section, verbatim: a failed inevitability
+/// whose counterexample is a lasso avoiding the target forever.
+#[test]
+fn readme_model_checking_counterexample_example() {
+    let net = philosophers(2);
+    let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+
+    let fated = Property::parse("AF eating.0", &net).unwrap();
+    let report = ctx.check_property(&fated);
+    assert!(!report.holds);
+    let lasso = report.trace.unwrap();
+    assert!(lasso.is_lasso().is_some());
+    let eating0 = net.place_by_name("eating.0").unwrap();
+    assert!(lasso.markings.iter().all(|m| !m.is_marked(eating0)));
 }
 
 #[test]

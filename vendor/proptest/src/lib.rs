@@ -2,10 +2,10 @@
 //!
 //! The pnsym build environment has no network access, so the real crates.io
 //! `proptest` cannot be fetched. This shim implements exactly the surface the
-//! workspace's property suites use — [`Strategy`] with `prop_map` /
+//! workspace's property suites use — [`Strategy`](strategy::Strategy) with `prop_map` /
 //! `prop_flat_map` / `prop_recursive`, integer-range / tuple / `any` /
 //! `collection::vec` strategies, the [`proptest!`], [`prop_oneof!`] and
-//! `prop_assert*` macros, and [`ProptestConfig`] — over a small deterministic
+//! `prop_assert*` macros, and [`ProptestConfig`](test_runner::ProptestConfig) — over a small deterministic
 //! RNG.
 //!
 //! Deliberate simplifications relative to the real crate:
