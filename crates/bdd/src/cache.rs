@@ -37,12 +37,39 @@ struct Entry {
     op: u8,
 }
 
-/// Statistics counters of a [`ComputedCache`].
+/// Number of distinct operation tags the per-op counters can track. The
+/// BDD manager uses 8 tags and the ZDD manager 7; one array covers both
+/// with room to grow.
+pub(crate) const MAX_OPS: usize = 16;
+
+/// Hit/miss counters of one operation tag.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub(crate) struct CacheCounters {
+pub(crate) struct OpCounters {
     pub(crate) hits: u64,
     pub(crate) misses: u64,
+}
+
+/// Statistics counters of a [`ComputedCache`]. The hot lookup path only
+/// ever bumps one per-op counter; the aggregate hit/miss totals are
+/// derived sums, so the per-op split costs nothing over a single pair of
+/// global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CacheCounters {
     pub(crate) overwrites: u64,
+    /// Per-operation hit/miss counters, indexed by the op tag.
+    pub(crate) per_op: [OpCounters; MAX_OPS],
+}
+
+impl CacheCounters {
+    /// Total lookups answered from the cache, across all operations.
+    pub(crate) fn hits(&self) -> u64 {
+        self.per_op.iter().map(|op| op.hits).sum()
+    }
+
+    /// Total lookups that missed, across all operations.
+    pub(crate) fn misses(&self) -> u64 {
+        self.per_op.iter().map(|op| op.misses).sum()
+    }
 }
 
 /// A direct-mapped lossy operation cache with generation invalidation.
@@ -123,11 +150,11 @@ impl ComputedCache {
         for i in [slot, (slot ^ 1) & self.mask] {
             let e = &self.entries[i];
             if e.generation == self.generation && e.op == op && e.a == a && e.b == b && e.c == c {
-                self.counters.hits += 1;
+                self.counters.per_op[op as usize & (MAX_OPS - 1)].hits += 1;
                 return Some(e.result);
             }
         }
-        self.counters.misses += 1;
+        self.counters.per_op[op as usize & (MAX_OPS - 1)].misses += 1;
         None
     }
 
@@ -218,8 +245,13 @@ mod tests {
         // A different op with the same operands is a distinct key.
         assert_eq!(c.get(2, 10, 20, 0), None);
         let counters = c.counters();
-        assert_eq!(counters.hits, 1);
-        assert_eq!(counters.misses, 2);
+        assert_eq!(counters.hits(), 1);
+        assert_eq!(counters.misses(), 2);
+        // The per-op counters split the same traffic by tag.
+        assert_eq!(counters.per_op[1].hits, 1);
+        assert_eq!(counters.per_op[1].misses, 1);
+        assert_eq!(counters.per_op[2].hits, 0);
+        assert_eq!(counters.per_op[2].misses, 1);
     }
 
     #[test]

@@ -51,6 +51,6 @@ mod zdd;
 
 pub use analysis::SatAssignments;
 pub use isop::Cube;
-pub use manager::{BddManager, ManagerStats, Ref, VarId};
+pub use manager::{BddManager, ManagerStats, OpCacheStats, Ref, VarId};
 pub use reorder::SiftConfig;
-pub use zdd::{ZddManager, ZddRef};
+pub use zdd::{ZddManager, ZddRef, ZddUpdate, ZddUpdateAction};

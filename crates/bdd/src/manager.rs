@@ -111,6 +111,32 @@ pub(crate) enum Op {
     Constrain,
 }
 
+/// Computed-cache hit/miss counters of one operation family
+/// (see [`ManagerStats::per_op`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (each miss is one recursive expansion).
+    pub misses: u64,
+}
+
+impl OpCacheStats {
+    /// Total lookups of this operation.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// Statistics snapshot of a [`BddManager`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
@@ -140,6 +166,17 @@ pub struct ManagerStats {
     pub cache_misses: u64,
     /// Computed-cache inserts that evicted a live entry (lossy collisions).
     pub cache_overwrites: u64,
+    /// Per-operation cache counters of `and`.
+    pub op_and: OpCacheStats,
+    /// Per-operation cache counters of `or` (the image-fold workhorse).
+    pub op_or: OpCacheStats,
+    /// Per-operation cache counters of `not`.
+    pub op_not: OpCacheStats,
+    /// Per-operation cache counters of `exists`.
+    pub op_exists: OpCacheStats,
+    /// Per-operation cache counters of the fused relational product
+    /// `and_exists`.
+    pub op_and_exists: OpCacheStats,
 }
 
 impl ManagerStats {
@@ -160,6 +197,18 @@ impl ManagerStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// The per-operation counters paired with their operation names, for
+    /// iteration (statistics tables, JSON records).
+    pub fn per_op(&self) -> [(&'static str, OpCacheStats); 5] {
+        [
+            ("and", self.op_and),
+            ("or", self.op_or),
+            ("not", self.op_not),
+            ("exists", self.op_exists),
+            ("and_exists", self.op_and_exists),
+        ]
     }
 }
 
@@ -497,6 +546,13 @@ impl BddManager {
     /// Returns a snapshot of manager statistics.
     pub fn stats(&self) -> ManagerStats {
         let counters = self.cache.counters();
+        let op = |op: Op| {
+            let c = counters.per_op[op as usize];
+            OpCacheStats {
+                hits: c.hits,
+                misses: c.misses,
+            }
+        };
         ManagerStats {
             live_nodes: self.live_node_count(),
             arena_size: self.nodes.len(),
@@ -507,9 +563,14 @@ impl BddManager {
             unique_entries: self.unique.iter().map(|t| t.len()).sum(),
             unique_capacity: self.unique.iter().map(|t| t.capacity()).sum(),
             cache_capacity: self.cache.capacity(),
-            cache_hits: counters.hits,
-            cache_misses: counters.misses,
+            cache_hits: counters.hits(),
+            cache_misses: counters.misses(),
             cache_overwrites: counters.overwrites,
+            op_and: op(Op::And),
+            op_or: op(Op::Or),
+            op_not: op(Op::Not),
+            op_exists: op(Op::Exists),
+            op_and_exists: op(Op::AndExists),
         }
     }
 

@@ -313,8 +313,14 @@ impl BddManager {
         if cube == TRUE {
             return self.and_rec(f, g);
         }
-        if f == TRUE && g == TRUE {
-            return TRUE;
+        // The conjunction collapsed to a single operand: fall through to the
+        // plain quantifier, whose cache entries are shared with stand-alone
+        // `exists` calls on the same operand.
+        if f == g || g == TRUE {
+            return self.exists_rec(f, cube);
+        }
+        if f == TRUE {
+            return self.exists_rec(g, cube);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::AndExists, a, b, cube);

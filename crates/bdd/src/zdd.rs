@@ -62,7 +62,36 @@ enum ZOp {
     Subset0,
     Subset1,
     Change,
+    Apply,
 }
+
+/// One per-element step of a fused transition update (see
+/// [`ZddManager::register_update`]). The four kinds cover both directions
+/// of a Petri-net firing on the sparse marking representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZddUpdateAction {
+    /// Keep only the sets containing the element and remove it from each
+    /// (≡ `subset1`): a consumed place that is not produced back, or a
+    /// produced place on the backward step.
+    RequireRemove,
+    /// Keep only the sets containing the element, leaving it in place: a
+    /// self-loop place (in both the pre- and the post-set).
+    RequireKeep,
+    /// Toggle membership of the element in every set (≡ `change`): a
+    /// produced place that was not consumed.
+    Toggle,
+    /// Keep only the sets *not* containing the element, then add it to each
+    /// (≡ `subset0` followed by `change`): the backward step restoring a
+    /// consumed place.
+    ForbidAdd,
+}
+
+/// Handle to a fused update list interned by
+/// [`ZddManager::register_update`]. The handle's identity keys the
+/// computed cache, so repeated applications of the same update memoise
+/// across calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZddUpdate(u32);
 
 /// Manager of zero-suppressed decision diagrams over a fixed set of
 /// elements `0 .. num_elements`.
@@ -86,6 +115,12 @@ pub struct ZddManager {
     unique: Vec<UniqueTable>,
     cache: ComputedCache,
     num_elements: usize,
+    /// Interned fused-update action lists, sorted by element
+    /// (see [`ZddManager::register_update`]).
+    updates: Vec<Vec<(u32, ZddUpdateAction)>>,
+    /// Dedup index over `updates`, so re-registering an identical list
+    /// returns the same cache-keying handle.
+    update_index: HashMap<Vec<(u32, ZddUpdateAction)>, u32>,
 }
 
 impl fmt::Debug for ZddManager {
@@ -117,6 +152,8 @@ impl ZddManager {
             unique: (0..num_elements).map(|_| UniqueTable::new()).collect(),
             cache: ComputedCache::new(),
             num_elements,
+            updates: Vec::new(),
+            update_index: HashMap::new(),
         }
     }
 
@@ -409,6 +446,124 @@ impl ZddManager {
         r
     }
 
+    /// Interns a fused update: a list of per-element [`ZddUpdateAction`]s
+    /// applied in one diagram traversal by [`ZddManager::apply_update`].
+    ///
+    /// This is the ZDD analogue of the BDD kernel's fused relational
+    /// product: where the step-by-step formulation walks the whole diagram
+    /// once per place (`subset1` per consumed place, `change` per produced
+    /// place, each with its own cache entries and intermediate families),
+    /// a registered update performs the entire transition firing in a
+    /// single cached recursion, so no intermediate family is ever built.
+    ///
+    /// Registering the same action list twice returns the same handle, and
+    /// the handle participates in the computed-cache key, so repeated
+    /// applications memoise across calls and across fixpoint iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is out of range or listed twice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_bdd::{ZddManager, ZddUpdateAction};
+    /// let mut z = ZddManager::new(3);
+    /// // Fire a transition consuming element 0 and producing element 2.
+    /// let fire = z.register_update(&[
+    ///     (0, ZddUpdateAction::RequireRemove),
+    ///     (2, ZddUpdateAction::Toggle),
+    /// ]);
+    /// let s = z.family_from_sets(&[vec![0, 1], vec![1]]);
+    /// let t = z.apply_update(s, fire);
+    /// assert_eq!(z.sets(t), vec![vec![1, 2]]); // {1} lacked element 0
+    /// ```
+    pub fn register_update(&mut self, actions: &[(usize, ZddUpdateAction)]) -> ZddUpdate {
+        let mut sorted: Vec<(u32, ZddUpdateAction)> = actions
+            .iter()
+            .map(|&(e, a)| {
+                assert!(e < self.num_elements, "element {e} out of range");
+                (e as u32, a)
+            })
+            .collect();
+        sorted.sort_unstable_by_key(|&(e, _)| e);
+        for w in sorted.windows(2) {
+            assert!(w[0].0 != w[1].0, "element {} listed twice", w[0].0);
+        }
+        if let Some(&id) = self.update_index.get(&sorted) {
+            return ZddUpdate(id);
+        }
+        let id = self.updates.len() as u32;
+        self.updates.push(sorted.clone());
+        self.update_index.insert(sorted, id);
+        ZddUpdate(id)
+    }
+
+    /// Applies a registered fused update to every set of the family in one
+    /// cached traversal (see [`ZddManager::register_update`]).
+    pub fn apply_update(&mut self, f: ZddRef, update: ZddUpdate) -> ZddRef {
+        assert!(
+            (update.0 as usize) < self.updates.len(),
+            "update handle from another manager"
+        );
+        ZddRef(self.apply_rec(f.0, update.0, 0))
+    }
+
+    fn apply_rec(&mut self, f: u32, u: u32, i: u32) -> u32 {
+        if f == EMPTY {
+            return EMPTY;
+        }
+        if i as usize == self.updates[u as usize].len() {
+            return f;
+        }
+        if let Some(r) = self.cache.get(ZOp::Apply as u8, f, u, i) {
+            return r;
+        }
+        let (e, action) = self.updates[u as usize][i as usize];
+        let lf = self.level(f);
+        let r = if lf > e {
+            // The element occurs in no set of `f` (the `BASE` terminal
+            // included): requirements fail outright, additions prepend the
+            // element above the whole remainder.
+            match action {
+                ZddUpdateAction::RequireRemove | ZddUpdateAction::RequireKeep => EMPTY,
+                ZddUpdateAction::Toggle | ZddUpdateAction::ForbidAdd => {
+                    let rest = self.apply_rec(f, u, i + 1);
+                    self.mk(e, EMPTY, rest)
+                }
+            }
+        } else if lf == e {
+            let n = self.nodes[f as usize];
+            match action {
+                ZddUpdateAction::RequireRemove => self.apply_rec(n.high, u, i + 1),
+                ZddUpdateAction::RequireKeep => {
+                    let rest = self.apply_rec(n.high, u, i + 1);
+                    self.mk(e, EMPTY, rest)
+                }
+                ZddUpdateAction::Toggle => {
+                    // Sets without the element gain it and vice versa, so
+                    // the two children swap roles.
+                    let gained = self.apply_rec(n.low, u, i + 1);
+                    let lost = self.apply_rec(n.high, u, i + 1);
+                    self.mk(e, lost, gained)
+                }
+                ZddUpdateAction::ForbidAdd => {
+                    let rest = self.apply_rec(n.low, u, i + 1);
+                    self.mk(e, EMPTY, rest)
+                }
+            }
+        } else {
+            // lf < e: this element is untouched; push the update into both
+            // children.
+            let n = self.nodes[f as usize];
+            let low = self.apply_rec(n.low, u, i);
+            let high = self.apply_rec(n.high, u, i);
+            self.mk(lf, low, high)
+        };
+        self.cache.put(ZOp::Apply as u8, f, u, i, r);
+        r
+    }
+
     /// Number of sets in the family (exact for counts below 2^53).
     pub fn count(&self, f: ZddRef) -> f64 {
         let mut memo: HashMap<u32, f64> = HashMap::new();
@@ -594,5 +749,110 @@ mod tests {
         let f = z.family_from_sets(&[vec![0, 1], vec![2]]);
         let g1 = z.family_from_sets(&[vec![2], vec![0, 1]]);
         assert_eq!(f, g1);
+    }
+
+    /// Applies the same update through the step-by-step operations, as the
+    /// pre-fusion engine did: the fused recursion must agree exactly.
+    fn sequential_update(
+        z: &mut ZddManager,
+        f: ZddRef,
+        actions: &[(usize, ZddUpdateAction)],
+    ) -> ZddRef {
+        let mut acc = f;
+        for &(e, action) in actions {
+            acc = match action {
+                ZddUpdateAction::RequireRemove => z.subset1(acc, e),
+                ZddUpdateAction::RequireKeep => {
+                    let kept = z.subset1(acc, e);
+                    z.change(kept, e)
+                }
+                ZddUpdateAction::Toggle => z.change(acc, e),
+                ZddUpdateAction::ForbidAdd => {
+                    let without = z.subset0(acc, e);
+                    z.change(without, e)
+                }
+            };
+        }
+        acc
+    }
+
+    #[test]
+    fn fused_update_matches_sequential_composition() {
+        use ZddUpdateAction::*;
+        let mut z = ZddManager::new(6);
+        // A family mixing all membership patterns over the touched elements.
+        let f = z.family_from_sets(&[
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 1, 3],
+            vec![2, 4],
+            vec![0, 2, 5],
+            vec![1, 2, 3, 4, 5],
+        ]);
+        let updates: Vec<Vec<(usize, ZddUpdateAction)>> = vec![
+            vec![(0, RequireRemove), (2, Toggle)],
+            vec![(1, RequireKeep)],
+            vec![(3, ForbidAdd), (0, RequireRemove)],
+            vec![(5, Toggle), (4, RequireRemove), (1, ForbidAdd)],
+            vec![
+                (0, RequireKeep),
+                (1, RequireRemove),
+                (2, ForbidAdd),
+                (3, Toggle),
+            ],
+            vec![],
+        ];
+        for actions in updates {
+            let expected = sequential_update(&mut z, f, &actions);
+            let u = z.register_update(&actions);
+            let got = z.apply_update(f, u);
+            assert_eq!(got, expected, "actions {actions:?}");
+            // Applying through the cache a second time returns the same
+            // canonical handle.
+            assert_eq!(z.apply_update(f, u), expected);
+        }
+    }
+
+    #[test]
+    fn fused_update_on_empty_and_base() {
+        use ZddUpdateAction::*;
+        let mut z = ZddManager::new(3);
+        let fire = z.register_update(&[(0, RequireRemove), (1, Toggle)]);
+        assert_eq!(z.apply_update(z.empty(), fire), z.empty());
+        // The empty set fails the requirement on element 0.
+        assert_eq!(z.apply_update(z.base(), fire), z.empty());
+        let add = z.register_update(&[(1, Toggle), (2, ForbidAdd)]);
+        let b = z.base();
+        let got = z.apply_update(b, add);
+        assert_eq!(z.sets(got), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn registering_the_same_update_returns_the_same_handle() {
+        use ZddUpdateAction::*;
+        let mut z = ZddManager::new(4);
+        let a = z.register_update(&[(2, Toggle), (0, RequireRemove)]);
+        // Same actions in a different textual order intern identically.
+        let b = z.register_update(&[(0, RequireRemove), (2, Toggle)]);
+        assert_eq!(a, b);
+        let c = z.register_update(&[(0, RequireRemove)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_update_element_panics() {
+        use ZddUpdateAction::*;
+        let mut z = ZddManager::new(4);
+        let _ = z.register_update(&[(1, Toggle), (1, RequireRemove)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_update_element_panics() {
+        use ZddUpdateAction::*;
+        let mut z = ZddManager::new(2);
+        let _ = z.register_update(&[(7, Toggle)]);
     }
 }

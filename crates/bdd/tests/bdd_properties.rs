@@ -153,6 +153,68 @@ proptest! {
     }
 
     #[test]
+    fn and_exists_agrees_across_gc_and_reordering(
+        a in arb_expr(),
+        b in arb_expr(),
+        quantified in proptest::collection::vec(0..NVARS, 0..=NVARS),
+        action in 0u8..4,
+    ) {
+        // The fused relational product must equal the two-step
+        // `exists(and(f, g), cube)` on arbitrary quantification sets, and
+        // keep doing so after garbage collection (which rebuilds the unique
+        // tables and bumps the cache generation) and sifting (which rewrites
+        // the diagrams level by level) run in between — the kernel
+        // interleaving every traversal iteration exercises.
+        let mut m = BddManager::with_vars(NVARS);
+        let fa = a.build(&mut m);
+        let fb = b.build(&mut m);
+        let mut vars: Vec<VarId> = quantified.iter().map(|&i| m.var_id(i)).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        m.protect(fa);
+        m.protect(fb);
+        let before = {
+            let conj = m.and(fa, fb);
+            let expected = m.exists(conj, &vars);
+            let got = m.and_exists(fa, fb, &vars);
+            prop_assert_eq!(got, expected);
+            m.protect(got);
+            got
+        };
+        match action {
+            1 => m.collect_garbage(),
+            2 => {
+                m.sift_with(SiftConfig { max_growth: 1.5, max_vars: None });
+            }
+            3 => {
+                m.collect_garbage();
+                m.clear_cache();
+            }
+            _ => {}
+        }
+        prop_assert!(m.check_invariants().is_ok());
+        // Recompute both formulations after the maintenance: the fused op
+        // must still match the two-step result, and canonicity must return
+        // the protected pre-maintenance handle.
+        let conj = m.and(fa, fb);
+        let expected = m.exists(conj, &vars);
+        let got = m.and_exists(fa, fb, &vars);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(got, before);
+        // And the semantics is the reference one.
+        for assignment in all_assignments() {
+            let reference = all_assignments()
+                .filter(|other| {
+                    (0..NVARS).all(|i| {
+                        vars.contains(&m.var_id(i)) || other[i] == assignment[i]
+                    })
+                })
+                .any(|other| a.eval(&other) && b.eval(&other));
+            prop_assert_eq!(m.eval(got, |v| assignment[v.index()]), reference);
+        }
+    }
+
+    #[test]
     fn reordering_preserves_semantics(expr in arb_expr(), seed in any::<u64>()) {
         let mut m = BddManager::with_vars(NVARS);
         let f = expr.build(&mut m);

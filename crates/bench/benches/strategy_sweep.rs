@@ -1,9 +1,9 @@
 //! Criterion bench comparing the fixpoint strategies of the shared
 //! traversal driver: breadth-first (frontier and full) against chained
-//! firing in structural order, on the dense encoding of each CI-sized
-//! table-3 family. The `experiments strategies` subcommand prints the same
-//! comparison with marking-count cross-checks; this bench feeds the
-//! criterion medians tracked across PRs.
+//! firing in structural order and level saturation, on the dense encoding
+//! of each CI-sized table-3 family. The `experiments strategies`
+//! subcommand prints the same comparison with marking-count cross-checks;
+//! this bench feeds the criterion medians tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnsym_bench::{table3_workloads, Scale};
@@ -29,6 +29,7 @@ fn bench_strategy_sweep(c: &mut Criterion) {
                 order: ChainingOrder::Structural,
             },
         ),
+        ("saturation", FixpointStrategy::Saturation),
     ];
     for workload in table3_workloads(Scale::Default) {
         // Skip the largest instances so the whole suite stays within a few

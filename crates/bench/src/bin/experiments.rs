@@ -8,7 +8,7 @@
 //! experiments fig2                     encoding / toggling comparison (Figure 2, Section 3)
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
-//! experiments strategies               Bfs vs Chaining fixpoint strategies per net
+//! experiments strategies               Bfs vs Chaining vs Saturation fixpoint strategies per net
 //! experiments properties               CTL property suites of the bundled nets
 //! experiments check <props-file>       run a property file against its nets (or --check=FILE)
 //! experiments all [--paper-scale]      everything above except `check`
@@ -17,10 +17,10 @@
 //!
 //! Run with `cargo run --release -p pnsym-bench --bin experiments -- all`.
 //!
-//! `--strategy=bfs|bfs-full|chaining|chaining-index` selects the fixpoint
-//! strategy used by the table3/table4/smoke/properties/check analyses
-//! (default `bfs`); the `strategies` command always compares Bfs against
-//! Chaining per net.
+//! `--strategy=bfs|bfs-full|chaining|chaining-index|saturation` selects the
+//! fixpoint strategy used by the table3/table4/smoke/properties/check
+//! analyses (default `bfs`); the `strategies` command always compares Bfs,
+//! Chaining and Saturation per net.
 //!
 //! Passing `--json[=PATH]` additionally writes the per-net timings, node
 //! counts and kernel statistics of the table3/table4/strategies/properties
@@ -68,6 +68,7 @@ fn parse_strategy(name: &str) -> Option<FixpointStrategy> {
         "chaining-index" => Some(FixpointStrategy::Chaining {
             order: ChainingOrder::Index,
         }),
+        "saturation" => Some(FixpointStrategy::Saturation),
         _ => None,
     }
 }
@@ -90,7 +91,10 @@ fn main() {
     let strategy = match args.iter().find_map(|a| a.strip_prefix("--strategy=")) {
         None => FixpointStrategy::default(),
         Some(name) => parse_strategy(name).unwrap_or_else(|| {
-            eprintln!("unknown strategy `{name}` (expected bfs|bfs-full|chaining|chaining-index)");
+            eprintln!(
+                "unknown strategy `{name}` \
+                 (expected bfs|bfs-full|chaining|chaining-index|saturation)"
+            );
             std::process::exit(2);
         }),
     };
@@ -174,7 +178,7 @@ fn main() {
 /// One machine-readable record per (experiment, net, scheme) BDD run.
 fn bdd_record(experiment: &str, net: &str, scheme: &str, r: &AnalysisReport) -> Value {
     let s = r.manager_stats;
-    Value::object(vec![
+    let mut record = Value::object(vec![
         ("experiment", Value::Str(experiment.into())),
         ("net", Value::Str(net.into())),
         ("scheme", Value::Str(scheme.into())),
@@ -202,7 +206,14 @@ fn bdd_record(experiment: &str, net: &str, scheme: &str, r: &AnalysisReport) -> 
         ("cache_capacity", Value::UInt(s.cache_capacity as u64)),
         ("gc_runs", Value::UInt(s.gc_runs as u64)),
         ("gc_reclaimed", Value::UInt(s.gc_reclaimed as u64)),
-    ])
+    ]);
+    if let Value::Object(fields) = &mut record {
+        for (name, op) in s.per_op() {
+            fields.push((format!("op_{name}_hits"), Value::UInt(op.hits)));
+            fields.push((format!("op_{name}_misses"), Value::UInt(op.misses)));
+        }
+    }
+    record
 }
 
 /// The ZDD runs carry no BDD-manager statistics.
@@ -232,6 +243,24 @@ fn fmt_kernel_stats(r: &AnalysisReport) -> String {
         s.unique_load(),
         s.gc_runs
     )
+}
+
+/// Per-operation computed-cache counters (`hit-rate% hits/lookups` per op),
+/// printed under the kernel statistics of each table row.
+fn fmt_op_stats(r: &AnalysisReport) -> String {
+    r.manager_stats
+        .per_op()
+        .iter()
+        .map(|(name, op)| {
+            format!(
+                "{name} {:.0}% {}/{}",
+                op.hit_rate() * 100.0,
+                op.hits,
+                op.lookups()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
 }
 
 fn fmt_report(name: &str, r: &AnalysisReport) -> String {
@@ -272,6 +301,7 @@ fn table3(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
                     d.total_time.as_secs_f64()
                 );
                 println!("             kernel(dense): {}", fmt_kernel_stats(&d));
+                println!("             per-op:        {}", fmt_op_stats(&d));
                 records.push(bdd_record("table3", &name, "sparse", &s));
                 records.push(bdd_record("table3", &name, "improved-dense", &d));
             }
@@ -316,6 +346,7 @@ fn table4(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
                     d.total_time.as_secs_f64()
                 );
                 println!("             kernel(dense): {}", fmt_kernel_stats(&d));
+                println!("             per-op:        {}", fmt_op_stats(&d));
                 records.push(zdd_record("table4", &name, &zdd));
                 records.push(bdd_record("table4", &name, "improved-dense", &d));
             }
@@ -474,72 +505,96 @@ fn smoke(strategy: FixpointStrategy, records: &mut Vec<Value>) {
             start.elapsed().as_secs_f64()
         );
         println!("             kernel(dense): {}", fmt_kernel_stats(&dense));
+        println!("             per-op:        {}", fmt_op_stats(&dense));
         records.push(bdd_record("smoke", &name, "sparse", &sparse));
         records.push(bdd_record("smoke", &name, "improved-dense", &dense));
     }
     println!("smoke OK");
 }
 
-/// Bfs vs Chaining comparison per net: the dense analysis of every table-3
-/// and table-4 workload under both strategies, medians over several runs.
-/// The marking counts must agree (the strategies compute the same
-/// fixpoint); what differs is the number of iterations/passes, the peak
-/// node pressure, and the traversal time.
+/// Bfs vs Chaining vs Saturation comparison per net: the dense analysis of
+/// every table-3 and table-4 workload under the three strategies, medians
+/// over several runs. The marking counts must agree (the strategies
+/// compute the same fixpoint); what differs is the number of
+/// iterations/passes/sweeps, the peak node pressure, and the traversal
+/// time. The printed speedups are bfs/chaining and chaining/saturation.
 fn strategies(scale: Scale, records: &mut Vec<Value>) {
-    const SAMPLES: usize = 5;
-    println!("\n== Strategies: Bfs vs Chaining (dense encoding, median of {SAMPLES}) ====");
+    const SAMPLES: usize = 9;
     println!(
-        "{:<12} {:>12} | {:>6} {:>9} {:>10} | {:>6} {:>9} {:>10} | {:>7}",
-        "PN", "markings", "iters", "peak", "trav(ms)", "passes", "peak", "trav(ms)", "speedup"
+        "\n== Strategies: Bfs vs Chaining vs Saturation (dense encoding, median of {SAMPLES}) ===="
     );
     println!(
-        "{:<12} {:>12} | {:^27} | {:^27} |",
-        "", "", "bfs (frontier)", "chaining (structural)"
+        "{:<12} {:>12} | {:>5} {:>8} {:>9} | {:>5} {:>8} {:>9} | {:>5} {:>8} {:>9} | {:>6} {:>6}",
+        "PN",
+        "markings",
+        "iters",
+        "peak",
+        "trav(ms)",
+        "pass",
+        "peak",
+        "trav(ms)",
+        "sweep",
+        "peak",
+        "trav(ms)",
+        "b/c",
+        "c/s"
+    );
+    println!(
+        "{:<12} {:>12} | {:^24} | {:^24} | {:^24} |",
+        "", "", "bfs (frontier)", "chaining (structural)", "saturation (levels)"
     );
     let compared = [
         FixpointStrategy::Bfs { use_frontier: true },
         FixpointStrategy::Chaining {
             order: ChainingOrder::Structural,
         },
+        FixpointStrategy::Saturation,
     ];
     let mut workloads = table3_workloads(scale);
     workloads.extend(table4_workloads(scale));
     for Workload { name, net } in workloads {
-        // One report (median traversal time over SAMPLES runs) per strategy.
-        let mut rows: Vec<(AnalysisReport, f64)> = Vec::new();
+        // One report (median traversal time over SAMPLES runs) per
+        // strategy. Samples are interleaved round-robin across the
+        // strategies so ambient load drift hits every strategy equally
+        // instead of biasing whichever one happened to run during a spike.
+        let mut runs: Vec<Vec<AnalysisReport>> = vec![Vec::new(); compared.len()];
         let mut failed = false;
-        for strategy in compared {
-            let options = AnalysisOptions::dense().with_strategy(strategy);
-            let mut runs: Vec<AnalysisReport> = Vec::new();
-            for _ in 0..SAMPLES {
+        'sampling: for _ in 0..SAMPLES {
+            for (si, strategy) in compared.into_iter().enumerate() {
+                let options = AnalysisOptions::dense().with_strategy(strategy);
                 match analyze(&net, &options) {
-                    Ok(r) => runs.push(r),
+                    Ok(r) => runs[si].push(r),
                     Err(e) => {
                         println!("{name:<12} {strategy} analysis failed: {e}");
                         failed = true;
-                        break;
+                        break 'sampling;
                     }
                 }
             }
-            if failed {
-                break;
-            }
-            runs.sort_by_key(|a| a.traversal_time);
-            let median_ms = runs[runs.len() / 2].traversal_time.as_secs_f64() * 1e3;
-            let representative = runs.swap_remove(runs.len() / 2);
-            rows.push((representative, median_ms));
         }
         if failed {
             continue;
         }
+        let mut rows: Vec<(AnalysisReport, f64)> = Vec::new();
+        for mut samples in runs {
+            samples.sort_by_key(|a| a.traversal_time);
+            let median_ms = samples[samples.len() / 2].traversal_time.as_secs_f64() * 1e3;
+            let representative = samples.swap_remove(samples.len() / 2);
+            rows.push((representative, median_ms));
+        }
         let (bfs, bfs_ms) = &rows[0];
         let (chained, chain_ms) = &rows[1];
+        let (sat, sat_ms) = &rows[2];
         assert_eq!(
             bfs.num_markings, chained.num_markings,
             "{name}: strategies disagree on the fixpoint"
         );
+        assert_eq!(
+            bfs.num_markings, sat.num_markings,
+            "{name}: saturation disagrees on the fixpoint"
+        );
         println!(
-            "{:<12} {:>12.3e} | {:>6} {:>9} {:>10.3} | {:>6} {:>9} {:>10.3} | {:>6.2}x",
+            "{:<12} {:>12.3e} | {:>5} {:>8} {:>9.3} | {:>5} {:>8} {:>9.3} | {:>5} {:>8} {:>9.3} | {:>5.2}x {:>5.2}x",
             name,
             bfs.num_markings,
             bfs.iterations,
@@ -548,7 +603,11 @@ fn strategies(scale: Scale, records: &mut Vec<Value>) {
             chained.iterations,
             chained.peak_live_nodes,
             chain_ms,
-            bfs_ms / chain_ms
+            sat.iterations,
+            sat.peak_live_nodes,
+            sat_ms,
+            bfs_ms / chain_ms,
+            chain_ms / sat_ms
         );
         for (report, median_ms) in &rows {
             let mut record = bdd_record("strategies", &name, "improved-dense", report);
@@ -559,7 +618,9 @@ fn strategies(scale: Scale, records: &mut Vec<Value>) {
             records.push(record);
         }
     }
-    println!("(chaining must match bfs markings exactly; fewer passes on pipelined nets)");
+    println!(
+        "(all strategies must match bfs markings exactly; saturation ≥ chaining on table-3 nets)"
+    );
 }
 
 /// The symbolic context used by the property runner: the improved dense

@@ -21,9 +21,10 @@
 //!   variable set and protected across garbage collection.
 //! * The pluggable fixpoint engine ([`FixpointStrategy`],
 //!   [`TraversalOptions`], [`ReachabilityResult`]): one generic driver
-//!   shared by the BDD and ZDD backends, with breadth-first and chained
-//!   exploration, and the high-level [`analyze`] / [`analyze_zdd`] entry
-//!   points producing the rows of the paper's tables.
+//!   shared by the BDD and ZDD backends, with breadth-first, chained and
+//!   level-saturating exploration, and the high-level [`analyze`] /
+//!   [`analyze_zdd`] entry points producing the rows of the paper's
+//!   tables.
 //! * The CTL model checker: the [`Property`] language (combinators and a
 //!   textual syntax via [`Property::parse`]), the full operator set
 //!   (`EX EF EG AX AF AG EU AU`) as backward fixpoints over a precomputed

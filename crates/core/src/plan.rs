@@ -69,6 +69,11 @@ pub struct ImagePlan {
     structural_order: Vec<usize>,
     /// `location_of[t] = (cluster, member)` for every transition `t`.
     location_of: Vec<(usize, usize)>,
+    /// Per-cluster place bitsets (one `u64` word per 64 places): the union
+    /// of the members' pre-sets and post-sets, backing the O(words)
+    /// [`ImagePlan::cluster_feeds`] test of the saturation scheduler.
+    pre_places: Vec<Vec<u64>>,
+    post_places: Vec<Vec<u64>>,
 }
 
 impl ImagePlan {
@@ -140,10 +145,27 @@ impl ImagePlan {
 
         let mut structural_order: Vec<usize> = (0..clusters.len()).collect();
         structural_order.sort_by_key(|&c| (clusters[c].rank, c));
+
+        let words = ctx.net().num_places().div_ceil(64);
+        let mut pre_places = vec![vec![0u64; words]; clusters.len()];
+        let mut post_places = vec![vec![0u64; words]; clusters.len()];
+        for (ci, cluster) in clusters.iter().enumerate() {
+            for member in &cluster.members {
+                for p in ctx.net().pre_set(member.transition) {
+                    pre_places[ci][p.index() / 64] |= 1 << (p.index() % 64);
+                }
+                for p in ctx.net().post_set(member.transition) {
+                    post_places[ci][p.index() / 64] |= 1 << (p.index() % 64);
+                }
+            }
+        }
+
         ImagePlan {
             clusters,
             structural_order,
             location_of,
+            pre_places,
+            post_places,
         }
     }
 
@@ -172,6 +194,17 @@ impl ImagePlan {
     pub fn planned(&self, t: TransitionId) -> (&ImageCluster, &PlannedTransition) {
         let (c, m) = self.location_of(t);
         (&self.clusters[c], &self.clusters[c].members[m])
+    }
+
+    /// Whether firing a member of cluster `from` can newly enable a member
+    /// of cluster `to` (structurally: `from`'s post-set intersects `to`'s
+    /// pre-set). One word-AND pass over precomputed place bitsets; the
+    /// saturation scheduler calls this O(clusters²) times per traversal.
+    pub fn cluster_feeds(&self, from: usize, to: usize) -> bool {
+        self.post_places[from]
+            .iter()
+            .zip(&self.pre_places[to])
+            .any(|(&p, &q)| p & q != 0)
     }
 }
 

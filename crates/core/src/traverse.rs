@@ -7,7 +7,7 @@
 //! adaptation, peak tracking, iteration accounting and truncation live in
 //! exactly one place.
 //!
-//! Two exploration strategies are provided ([`FixpointStrategy`]):
+//! Three exploration strategies are provided ([`FixpointStrategy`]):
 //!
 //! * **Breadth-first** — the classic loop: one full image of the frontier
 //!   (or of the whole reached set) per iteration.
@@ -17,6 +17,18 @@
 //!   order of the [`ImagePlan`](crate::plan::ImagePlan) this reaches the
 //!   fixpoint in far fewer passes than BFS needs iterations on pipelined
 //!   nets, the behaviour mature Petri-net model checkers exploit.
+//! * **Saturation** — clusters are bucketed by the topmost decision-diagram
+//!   level they write and saturated level by level, bottom-up (deepest
+//!   levels first): each level's clusters are fired to a local fixpoint
+//!   before the next level up fires at all, and firing is *event-local* —
+//!   a productive firing re-dirties exactly the clusters its post-set can
+//!   newly enable, and only dirty clusters ever re-fire, so higher
+//!   clusters re-fire only when something below them actually changed.
+//!   Firing a cluster whose written variables sit deep in the order only
+//!   ever rewrites the bottom of the reached-set diagram, so the
+//!   intermediate results stay small and heavily cached — the
+//!   flat-relation adaptation of Ciardo et al.'s saturation discipline
+//!   (see PAPERS.md).
 
 use crate::context::SymbolicContext;
 use crate::plan::ImagePlan;
@@ -67,6 +79,15 @@ pub enum FixpointStrategy {
         /// The static cluster order of a pass.
         order: ChainingOrder,
     },
+    /// Level saturation: clusters are bucketed by the topmost diagram
+    /// level they write (`FixpointKernel::cluster_top_level`) and
+    /// saturated bottom-up — each level runs a nested inner fixpoint
+    /// before anything above it fires, and a cluster re-fires only when a
+    /// productive firing structurally feeds it
+    /// (`FixpointKernel::cluster_feeds`), so stable regions of the net
+    /// are never re-imaged. Computes the same fixpoint as BFS and
+    /// chaining. `iterations` counts productive saturation sweeps.
+    Saturation,
 }
 
 impl Default for FixpointStrategy {
@@ -88,6 +109,7 @@ impl std::fmt::Display for FixpointStrategy {
             FixpointStrategy::Chaining {
                 order: ChainingOrder::Index,
             } => write!(f, "chaining-index"),
+            FixpointStrategy::Saturation => write!(f, "saturation"),
         }
     }
 }
@@ -139,7 +161,8 @@ pub struct ReachabilityResult {
     pub num_markings: f64,
     /// Number of fixpoint iterations: breadth-first steps under
     /// [`FixpointStrategy::Bfs`], productive passes under
-    /// [`FixpointStrategy::Chaining`].
+    /// [`FixpointStrategy::Chaining`], productive level sweeps under
+    /// [`FixpointStrategy::Saturation`].
     pub iterations: usize,
     /// BDD node count of the final reached set.
     pub bdd_nodes: usize,
@@ -185,6 +208,19 @@ pub(crate) trait FixpointKernel {
     fn num_clusters(&self) -> usize;
     /// The cluster visit sequence of one chaining pass.
     fn cluster_sequence(&self, order: ChainingOrder) -> Vec<usize>;
+    /// The topmost (smallest) decision-diagram level among the variables
+    /// the cluster writes; clusters touching nothing report `u32::MAX`.
+    /// Drives the level bucketing of [`FixpointStrategy::Saturation`].
+    fn cluster_top_level(&self, cluster: usize) -> u32;
+    /// Whether firing `from` can newly enable a transition of `to`
+    /// (structurally: some member of `from` produces into the pre-set of a
+    /// member of `to`). [`FixpointStrategy::Saturation`] terminates as
+    /// soon as no cluster is dirty, with no confirming image pass, so this
+    /// relation is **load-bearing for soundness**: it must include every
+    /// pair where a firing of `from` can mark a pre-place of `to` (an
+    /// over-approximation is fine and only costs redundant sweeps; a
+    /// missed pair silently truncates the fixpoint).
+    fn cluster_feeds(&self, from: usize, to: usize) -> bool;
     /// The image of `from` under every transition of `cluster`.
     fn cluster_image(&mut self, cluster: usize, from: Self::Set) -> Self::Set;
     /// Set union.
@@ -211,6 +247,7 @@ pub(crate) fn run_fixpoint<K: FixpointKernel>(
     match strategy {
         FixpointStrategy::Bfs { use_frontier } => bfs(kernel, use_frontier, max_iterations),
         FixpointStrategy::Chaining { order } => chaining(kernel, order, max_iterations),
+        FixpointStrategy::Saturation => saturation(kernel, max_iterations),
     }
 }
 
@@ -270,7 +307,6 @@ fn chaining<K: FixpointKernel>(
     order: ChainingOrder,
     max_iterations: Option<usize>,
 ) -> FixpointRun<K::Set> {
-    let empty = kernel.empty();
     let sequence = kernel.cluster_sequence(order);
     let mut reached = kernel.initial();
     kernel.protect(reached);
@@ -287,11 +323,12 @@ fn chaining<K: FixpointKernel>(
         let mut changed = false;
         for &cluster in &sequence {
             let img = kernel.cluster_image(cluster, reached);
-            let new = kernel.diff(img, reached);
-            if new == empty {
+            // `union != reached` detects productivity directly; computing
+            // the difference first would walk the same diagrams twice.
+            let next_reached = kernel.union(reached, img);
+            if next_reached == reached {
                 continue;
             }
-            let next_reached = kernel.union(reached, new);
             kernel.protect(next_reached);
             kernel.unprotect(reached);
             reached = next_reached;
@@ -302,6 +339,117 @@ fn chaining<K: FixpointKernel>(
         }
         iterations += 1;
         kernel.maintain(iterations);
+    }
+
+    FixpointRun {
+        reached,
+        iterations,
+        truncated,
+    }
+}
+
+fn saturation<K: FixpointKernel>(
+    kernel: &mut K,
+    max_iterations: Option<usize>,
+) -> FixpointRun<K::Set> {
+    // Bucket the clusters by their topmost written level, deepest level
+    // first, keeping the structural chaining order within each bucket so a
+    // level's inner fixpoint still fires along the net's flow.
+    let mut buckets: std::collections::BTreeMap<std::cmp::Reverse<u32>, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for cluster in kernel.cluster_sequence(ChainingOrder::Structural) {
+        buckets
+            .entry(std::cmp::Reverse(kernel.cluster_top_level(cluster)))
+            .or_default()
+            .push(cluster);
+    }
+    let levels: Vec<Vec<usize>> = buckets.into_values().collect();
+    let num_clusters = kernel.num_clusters();
+    let mut level_of = vec![0usize; num_clusters];
+    for (li, level) in levels.iter().enumerate() {
+        for &c in level {
+            level_of[c] = li;
+        }
+    }
+    // `feeds[c]` = the clusters whose pre-set intersects the post-set of
+    // cluster `c`: the only clusters a productive firing of `c` can newly
+    // enable. A transition becomes enabled exactly when a place of its
+    // pre-set gets marked, so firing `c` dirties precisely these clusters
+    // — the event-locality invariant saturation exploits.
+    let feeds: Vec<Vec<usize>> = (0..num_clusters)
+        .map(|c| {
+            (0..num_clusters)
+                .filter(|&b| kernel.cluster_feeds(c, b))
+                .collect()
+        })
+        .collect();
+
+    let mut reached = kernel.initial();
+    kernel.protect(reached);
+
+    let mut iterations = 0usize;
+    let mut truncated = false;
+    // Bottom-up passes over the level buckets, firing only *dirty*
+    // clusters: every cluster starts dirty, firing cleans it, and a
+    // productive firing re-dirties exactly the clusters it feeds. A dirty
+    // level runs a nested inner fixpoint — it is re-swept until its own
+    // firings stop feeding it — before any higher level fires, so the
+    // deep tail of the diagram is saturated while it is still small, and
+    // higher clusters only re-fire when a lower level changed under them.
+    // The fixpoint is reached when nothing is dirty; clean clusters are
+    // provably saturated (a transition newly enabled by a later firing
+    // has a feeding ancestor that re-dirtied it), so no confirming image
+    // pass is needed at all.
+    let mut dirty = vec![true; num_clusters];
+    let mut dirty_level = vec![true; levels.len()];
+    'outer: while dirty_level.iter().any(|&d| d) {
+        for li in 0..levels.len() {
+            if !dirty_level[li] {
+                continue;
+            }
+            loop {
+                if let Some(limit) = max_iterations {
+                    if iterations >= limit {
+                        truncated = true;
+                        break 'outer;
+                    }
+                }
+                dirty_level[li] = false;
+                let mut changed = false;
+                for &cluster in &levels[li] {
+                    if !dirty[cluster] {
+                        continue;
+                    }
+                    dirty[cluster] = false;
+                    let img = kernel.cluster_image(cluster, reached);
+                    // `union != reached` detects productivity directly;
+                    // computing the difference first would walk the same
+                    // diagrams twice.
+                    let next_reached = kernel.union(reached, img);
+                    if next_reached == reached {
+                        continue;
+                    }
+                    kernel.protect(next_reached);
+                    kernel.unprotect(reached);
+                    reached = next_reached;
+                    changed = true;
+                    for &fed in &feeds[cluster] {
+                        dirty[fed] = true;
+                        dirty_level[level_of[fed]] = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                iterations += 1;
+                kernel.maintain(iterations);
+                if !dirty_level[li] {
+                    // The level's own firings fed nothing back into it:
+                    // locally saturated without a confirm sweep.
+                    break;
+                }
+            }
+        }
     }
 
     FixpointRun {
@@ -339,6 +487,23 @@ impl FixpointKernel for BddFixpointKernel<'_> {
             ChainingOrder::Structural => self.plan.structural_order().to_vec(),
             ChainingOrder::Index => (0..self.plan.num_clusters()).collect(),
         }
+    }
+
+    fn cluster_top_level(&self, cluster: usize) -> u32 {
+        // The topmost *current* variable the cluster writes, at its level
+        // in the present order (levels are read once, when the saturation
+        // buckets are built).
+        let manager = self.ctx.manager();
+        self.plan.clusters()[cluster]
+            .var_indices
+            .iter()
+            .map(|&i| manager.level_of(self.ctx.current_vars()[i]))
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+
+    fn cluster_feeds(&self, from: usize, to: usize) -> bool {
+        self.plan.cluster_feeds(from, to)
     }
 
     fn cluster_image(&mut self, cluster: usize, from: Ref) -> Ref {
@@ -447,7 +612,7 @@ mod tests {
         ]
     }
 
-    fn all_strategies() -> [FixpointStrategy; 4] {
+    fn all_strategies() -> [FixpointStrategy; 5] {
         [
             FixpointStrategy::Bfs { use_frontier: true },
             FixpointStrategy::Bfs {
@@ -459,6 +624,7 @@ mod tests {
             FixpointStrategy::Chaining {
                 order: ChainingOrder::Index,
             },
+            FixpointStrategy::Saturation,
         ]
     }
 
@@ -598,6 +764,64 @@ mod tests {
             ..TraversalOptions::default()
         });
         assert!(result.truncated);
+        let full = SymbolicContext::new(&net, Encoding::sparse(&net))
+            .reachable_markings()
+            .num_markings;
+        assert!(result.num_markings < full);
+    }
+
+    #[test]
+    fn saturation_agrees_and_keeps_the_peak_small_on_pipelined_nets() {
+        // Saturation computes the same fixpoint as BFS on every family; on
+        // the deeply pipelined Muller nets its level-local firing keeps the
+        // intermediate diagrams far below the BFS peak and converges in
+        // fewer productive sweeps than BFS needs full-image iterations.
+        for net in [slotted_ring(3), dme(3, DmeStyle::Spec), muller(8)] {
+            let smcs = find_smcs(&net).unwrap();
+            let enc = Encoding::improved(&net, &smcs, AssignmentStrategy::Gray);
+            let mut a = SymbolicContext::new(&net, enc.clone());
+            let mut b = SymbolicContext::new(&net, enc);
+            let bfs =
+                a.reachable_markings_with(TraversalOptions::with_strategy(FixpointStrategy::Bfs {
+                    use_frontier: true,
+                }));
+            let sat = b.reachable_markings_with(TraversalOptions::with_strategy(
+                FixpointStrategy::Saturation,
+            ));
+            assert_eq!(bfs.num_markings, sat.num_markings, "{}", net.name());
+            assert!(!sat.truncated);
+            assert!(sat.iterations > 0);
+            assert_eq!(sat.strategy, FixpointStrategy::Saturation);
+            if net.name().starts_with("muller") {
+                assert!(
+                    sat.iterations < bfs.iterations,
+                    "{}: saturation took {} sweeps vs {} BFS iterations",
+                    net.name(),
+                    sat.iterations,
+                    bfs.iterations
+                );
+                assert!(
+                    sat.peak_live_nodes < bfs.peak_live_nodes,
+                    "{}: saturation peaked at {} live nodes vs {} for BFS",
+                    net.name(),
+                    sat.peak_live_nodes,
+                    bfs.peak_live_nodes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_iterations_truncates_saturation_sweeps() {
+        let net = muller(6);
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let result = ctx.reachable_markings_with(TraversalOptions {
+            max_iterations: Some(1),
+            strategy: FixpointStrategy::Saturation,
+            ..TraversalOptions::default()
+        });
+        assert!(result.truncated);
+        assert_eq!(result.iterations, 1);
         let full = SymbolicContext::new(&net, Encoding::sparse(&net))
             .reachable_markings()
             .num_markings;

@@ -6,16 +6,22 @@
 //! family of sets stored in a [`ZddManager`]. Firing a transition `t` on a
 //! family `S` is the set-algebraic update
 //! `change(t•, subset1(•t, S))`: keep the markings containing every input
-//! place, strip the input places, then add the output places.
+//! place, strip the input places, then add the output places. Both the
+//! forward and the backward update of every transition are registered
+//! **once** as fused [`ZddUpdate`]s (the ZDD analogue of the BDD kernel's
+//! fused relational product), so one firing is one cached diagram
+//! traversal instead of one `subset1`/`subset0`/`change` pass per place
+//! and no intermediate family is ever built.
 //!
 //! The engine runs on the same generic fixpoint driver as the BDD engine
 //! (see [`crate::traverse`]), so it supports the same
 //! [`FixpointStrategy`] selection — each transition forms its own cluster,
-//! with the pre/post place-index lists precomputed once per context.
+//! with its fused updates and its topmost touched level (for the
+//! saturation strategy) precomputed once per context.
 
 use crate::plan::structural_transition_ranks;
 use crate::traverse::{run_fixpoint, ChainingOrder, FixpointKernel, FixpointStrategy};
-use pnsym_bdd::{ZddManager, ZddRef};
+use pnsym_bdd::{ZddManager, ZddRef, ZddUpdate, ZddUpdateAction};
 use pnsym_net::{PetriNet, TransitionId};
 use std::time::{Duration, Instant};
 
@@ -28,7 +34,8 @@ pub struct ZddReachabilityResult {
     pub num_markings: f64,
     /// Number of fixpoint iterations: breadth-first steps under
     /// [`FixpointStrategy::Bfs`], productive passes under
-    /// [`FixpointStrategy::Chaining`].
+    /// [`FixpointStrategy::Chaining`], productive level sweeps under
+    /// [`FixpointStrategy::Saturation`].
     pub iterations: usize,
     /// ZDD node count of the final reached family.
     pub zdd_nodes: usize,
@@ -44,12 +51,18 @@ pub struct ZddReachabilityResult {
     pub strategy: FixpointStrategy,
 }
 
-/// One transition's precomputed set-algebraic update: the place indices it
-/// consumes and produces.
-#[derive(Debug, Clone)]
+/// One transition's precomputed set-algebraic updates: the fused forward
+/// and backward firing, plus the topmost (smallest) place index it touches
+/// for the saturation strategy's level bucketing.
+#[derive(Debug, Clone, Copy)]
 struct ZddTransitionOp {
-    pre: Vec<usize>,
-    post: Vec<usize>,
+    /// Forward firing: require and strip the pre-set, add the post-set.
+    fwd: ZddUpdate,
+    /// Backward firing: require and strip the post-set, restore the
+    /// pre-set (filtering markings that still hold a consumed place).
+    bwd: ZddUpdate,
+    /// `min(pre ∪ post)`, the topmost level the transition rewrites.
+    top: u32,
 }
 
 /// A ZDD-based symbolic engine over the sparse marking representation.
@@ -60,14 +73,18 @@ pub struct ZddContext {
     initial: ZddRef,
     /// Per-transition pre/post index lists, built once.
     ops: Vec<ZddTransitionOp>,
+    /// Per-transition place bitsets (one `u64` word per 64 places),
+    /// backing the O(words) feeds test of the saturation scheduler.
+    pre_bits: Vec<Vec<u64>>,
+    post_bits: Vec<Vec<u64>>,
     /// Transition indices sorted by structural rank (the chaining order).
     structural_order: Vec<usize>,
 }
 
 impl ZddContext {
     /// Builds the ZDD context for a net: one ZDD element per place, with
-    /// the per-transition update lists and the static chaining order
-    /// precomputed.
+    /// the per-transition fused updates (forward and backward) and the
+    /// static chaining order precomputed.
     pub fn new(net: &PetriNet) -> Self {
         let mut manager = ZddManager::new(net.num_places());
         let marked: Vec<usize> = net
@@ -79,19 +96,65 @@ impl ZddContext {
         let initial = manager.single_set(&marked);
         let ops = net
             .transitions()
-            .map(|t| ZddTransitionOp {
-                pre: net.pre_set(t).iter().map(|p| p.index()).collect(),
-                post: net.post_set(t).iter().map(|p| p.index()).collect(),
+            .map(|t| {
+                let pre: Vec<usize> = net.pre_set(t).iter().map(|p| p.index()).collect();
+                let post: Vec<usize> = net.post_set(t).iter().map(|p| p.index()).collect();
+                // Forward: a self-loop place is required but kept, a plain
+                // input is required and stripped, a plain output toggled in.
+                let mut fwd: Vec<(usize, ZddUpdateAction)> = Vec::new();
+                // Backward: the mirror image — strip the post-set, restore
+                // the pre-set; a consumed place still present in the target
+                // marking has no predecessor through this transition.
+                let mut bwd: Vec<(usize, ZddUpdateAction)> = Vec::new();
+                for &p in &pre {
+                    if post.contains(&p) {
+                        fwd.push((p, ZddUpdateAction::RequireKeep));
+                        bwd.push((p, ZddUpdateAction::RequireKeep));
+                    } else {
+                        fwd.push((p, ZddUpdateAction::RequireRemove));
+                        bwd.push((p, ZddUpdateAction::ForbidAdd));
+                    }
+                }
+                for &p in &post {
+                    if !pre.contains(&p) {
+                        fwd.push((p, ZddUpdateAction::Toggle));
+                        bwd.push((p, ZddUpdateAction::RequireRemove));
+                    }
+                }
+                let top = pre
+                    .iter()
+                    .chain(&post)
+                    .copied()
+                    .min()
+                    .map_or(u32::MAX, |p| p as u32);
+                ZddTransitionOp {
+                    fwd: manager.register_update(&fwd),
+                    bwd: manager.register_update(&bwd),
+                    top,
+                }
             })
             .collect();
         let ranks = structural_transition_ranks(net);
         let mut structural_order: Vec<usize> = (0..net.num_transitions()).collect();
         structural_order.sort_by_key(|&t| (ranks[t], t));
+        let words = net.num_places().div_ceil(64);
+        let mut pre_bits = vec![vec![0u64; words]; net.num_transitions()];
+        let mut post_bits = vec![vec![0u64; words]; net.num_transitions()];
+        for t in net.transitions() {
+            for p in net.pre_set(t) {
+                pre_bits[t.index()][p.index() / 64] |= 1 << (p.index() % 64);
+            }
+            for p in net.post_set(t) {
+                post_bits[t.index()][p.index() / 64] |= 1 << (p.index() % 64);
+            }
+        }
         ZddContext {
             net: net.clone(),
             manager,
             initial,
             ops,
+            pre_bits,
+            post_bits,
             structural_order,
         }
     }
@@ -116,24 +179,14 @@ impl ZddContext {
         self.initial
     }
 
-    /// The image of the family `from` under transition `t`.
+    /// The image of the family `from` under transition `t`: one fused
+    /// cached traversal (no per-place passes, no intermediate families).
     pub fn image(&mut self, from: ZddRef, t: TransitionId) -> ZddRef {
         self.image_of(t.index(), from)
     }
 
     fn image_of(&mut self, ti: usize, from: ZddRef) -> ZddRef {
-        let mut acc = from;
-        // The op lists live in `self`, so index rather than borrow across
-        // the manager calls.
-        for i in 0..self.ops[ti].pre.len() {
-            let p = self.ops[ti].pre[i];
-            acc = self.manager.subset1(acc, p);
-        }
-        for i in 0..self.ops[ti].post.len() {
-            let p = self.ops[ti].post[i];
-            acc = self.manager.change(acc, p);
-        }
-        acc
+        self.manager.apply_update(from, self.ops[ti].fwd)
     }
 
     /// One full breadth-first step: the union of all single-transition
@@ -150,34 +203,22 @@ impl ZddContext {
     /// The pre-image of the family `target` under transition `t`: the
     /// markings that enable `t` and reach a marking of `target` by firing
     /// it — the backward mirror of [`ZddContext::image`], used by the CTL
-    /// checker's cross-validation suites.
+    /// checker's cross-validation suites. Like the forward direction, one
+    /// fused cached traversal through the precomputed backward update
+    /// (which filters out target markings that still hold a consumed
+    /// place, since those have no predecessor through `t`).
     pub fn pre_image(&mut self, target: ZddRef, t: TransitionId) -> ZddRef {
         self.pre_image_of(t.index(), target)
     }
 
     fn pre_image_of(&mut self, ti: usize, target: ZddRef) -> ZddRef {
-        // Invert the set-algebraic update: keep the markings containing
-        // every output place and strip those places, then restore the input
-        // places. A firing consumes every input place it does not also
-        // produce, so a target marking still containing such a place has no
-        // predecessor through this transition and is filtered out
-        // (`subset0`) before the place is re-added.
-        let mut acc = target;
-        for i in 0..self.ops[ti].post.len() {
-            let p = self.ops[ti].post[i];
-            acc = self.manager.subset1(acc, p);
-        }
-        for i in 0..self.ops[ti].pre.len() {
-            let p = self.ops[ti].pre[i];
-            if !self.ops[ti].post.contains(&p) {
-                acc = self.manager.subset0(acc, p);
-            }
-            acc = self.manager.change(acc, p);
-        }
-        acc
+        self.manager.apply_update(target, self.ops[ti].bwd)
     }
 
-    /// The pre-image of `target` under all transitions (one backward step).
+    /// The pre-image of `target` under all transitions (one backward step),
+    /// folded straight over the precomputed per-transition backward
+    /// updates — no temporary transition collection, mirroring the forward
+    /// path.
     pub fn pre_image_all(&mut self, target: ZddRef) -> ZddRef {
         let mut acc = self.manager.empty();
         for ti in 0..self.ops.len() {
@@ -239,6 +280,17 @@ impl FixpointKernel for ZddFixpointKernel<'_> {
             ChainingOrder::Structural => self.ctx.structural_order.clone(),
             ChainingOrder::Index => (0..self.ctx.ops.len()).collect(),
         }
+    }
+
+    fn cluster_top_level(&self, cluster: usize) -> u32 {
+        self.ctx.ops[cluster].top
+    }
+
+    fn cluster_feeds(&self, from: usize, to: usize) -> bool {
+        self.ctx.post_bits[from]
+            .iter()
+            .zip(&self.ctx.pre_bits[to])
+            .any(|(&p, &q)| p & q != 0)
     }
 
     fn cluster_image(&mut self, cluster: usize, from: ZddRef) -> ZddRef {

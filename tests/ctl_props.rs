@@ -23,7 +23,7 @@ use pnsym::{
 };
 use proptest::prelude::*;
 
-fn all_strategies() -> [FixpointStrategy; 4] {
+fn all_strategies() -> [FixpointStrategy; 5] {
     [
         FixpointStrategy::Bfs { use_frontier: true },
         FixpointStrategy::Bfs {
@@ -35,6 +35,7 @@ fn all_strategies() -> [FixpointStrategy; 4] {
         FixpointStrategy::Chaining {
             order: ChainingOrder::Index,
         },
+        FixpointStrategy::Saturation,
     ]
 }
 

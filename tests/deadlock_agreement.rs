@@ -14,8 +14,8 @@ use pnsym::{
 };
 
 /// Asserts explicit and symbolic deadlock counts equal `expected_deadlocks`
-/// under the sparse, dense and improved encodings, for both the
-/// breadth-first and the chained fixpoint strategy.
+/// under the sparse, dense and improved encodings, for the breadth-first,
+/// chained and saturation fixpoint strategies.
 fn check_deadlocks(net: &PetriNet, expected_markings: usize, expected_deadlocks: usize) {
     let rg = net.explore().expect("benchmark nets fit in memory");
     assert_eq!(
@@ -53,6 +53,7 @@ fn check_deadlocks(net: &PetriNet, expected_markings: usize, expected_deadlocks:
             FixpointStrategy::Chaining {
                 order: ChainingOrder::Structural,
             },
+            FixpointStrategy::Saturation,
         ] {
             let mut ctx = SymbolicContext::new(net, encoding.clone());
             let result = ctx.reachable_markings_with(TraversalOptions::with_strategy(strategy));
@@ -81,7 +82,7 @@ fn check_strategy_agreement(net: &PetriNet, expected_markings: f64, expected_dea
     let smcs = find_smcs(net).expect("benchmark nets stay within limits");
     let encoding = Encoding::improved(net, &smcs, AssignmentStrategy::Gray);
     let mut bfs_ctx = SymbolicContext::new(net, encoding.clone());
-    let mut chain_ctx = SymbolicContext::new(net, encoding);
+    let mut chain_ctx = SymbolicContext::new(net, encoding.clone());
     let (bfs, bfs_dead) =
         bfs_ctx.analyze_deadlocks(TraversalOptions::with_strategy(FixpointStrategy::Bfs {
             use_frontier: true,
@@ -116,6 +117,25 @@ fn check_strategy_agreement(net: &PetriNet, expected_markings: f64, expected_dea
         net.name(),
         chained.iterations,
         bfs.iterations
+    );
+    // Saturation reaches the identical fixpoint through its level-bucketed
+    // sweeps (sweep counts are finer-grained than BFS iterations, so only
+    // the counts of the fixpoint itself are pinned).
+    let mut sat_ctx = SymbolicContext::new(net, encoding);
+    let (sat, sat_dead) = sat_ctx.analyze_deadlocks(TraversalOptions::with_strategy(
+        FixpointStrategy::Saturation,
+    ));
+    assert_eq!(
+        sat.num_markings,
+        expected_markings,
+        "{}: saturation",
+        net.name()
+    );
+    assert_eq!(
+        sat_dead,
+        expected_deadlocks,
+        "{}: saturation deadlocks",
+        net.name()
     );
 }
 

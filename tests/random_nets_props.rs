@@ -15,7 +15,7 @@ use pnsym::{
 use proptest::prelude::*;
 
 /// Every fixpoint strategy of the shared driver.
-fn all_strategies() -> [FixpointStrategy; 4] {
+fn all_strategies() -> [FixpointStrategy; 5] {
     [
         FixpointStrategy::Bfs { use_frontier: true },
         FixpointStrategy::Bfs {
@@ -27,6 +27,7 @@ fn all_strategies() -> [FixpointStrategy; 4] {
         FixpointStrategy::Chaining {
             order: ChainingOrder::Index,
         },
+        FixpointStrategy::Saturation,
     ]
 }
 
