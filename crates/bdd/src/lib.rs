@@ -47,10 +47,12 @@ mod manager;
 mod ops;
 pub mod reorder;
 mod table;
+mod transfer;
 mod zdd;
 
 pub use analysis::SatAssignments;
 pub use isop::Cube;
 pub use manager::{BddManager, ManagerStats, OpCacheStats, Ref, VarId};
 pub use reorder::SiftConfig;
+pub use transfer::{replica_manager, SerializedBdd};
 pub use zdd::{ZddManager, ZddRef, ZddUpdate, ZddUpdateAction};

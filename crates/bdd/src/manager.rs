@@ -256,6 +256,15 @@ pub struct BddManager {
     pub(crate) peak_live: usize,
     /// Threshold of live nodes above which callers are advised to collect.
     pub(crate) gc_hint_threshold: usize,
+    /// Bumped by every adjacent-level swap (and hence by every sift or
+    /// explicit reordering). Lets traversal schedulers detect that cached
+    /// level information went stale (see [`BddManager::order_generation`]).
+    pub(crate) order_generation: u64,
+    /// Peak live-node count reported by shard replica managers of this
+    /// manager (parallel traversal workers); folded into
+    /// [`BddManager::peak_live_nodes`] so parallel statistics account for
+    /// worker arenas too.
+    pub(crate) shard_peak: usize,
 }
 
 impl fmt::Debug for BddManager {
@@ -289,6 +298,8 @@ impl BddManager {
             gc_reclaimed: 0,
             peak_live: 2,
             gc_hint_threshold: 1 << 20,
+            order_generation: 0,
+            shard_peak: 0,
         };
         // Terminal nodes FALSE (0) and TRUE (1).
         m.nodes.push(Node {
@@ -523,9 +534,39 @@ impl BddManager {
     /// Exact high-water mark of the live-node count over the manager's
     /// lifetime, maintained on every allocation (so peaks *inside* one
     /// image computation are captured, not only those visible between
-    /// operations).
+    /// operations). Includes any shard peaks folded in through
+    /// [`BddManager::absorb_shard_peak`].
     pub fn peak_live_nodes(&self) -> usize {
-        self.peak_live.max(self.live_node_count())
+        self.peak_live
+            .max(self.live_node_count())
+            .max(self.shard_peak)
+    }
+
+    /// Folds the peak live-node count of a shard replica manager (a
+    /// parallel-traversal worker arena) into this manager's peak
+    /// accounting, so [`BddManager::peak_live_nodes`] reflects the largest
+    /// arena the whole traversal — owner or worker — ever held. Callers
+    /// that want combined-footprint peaks can pass the sum of the workers'
+    /// peaks of one pass.
+    pub fn absorb_shard_peak(&mut self, peak: usize) {
+        self.shard_peak = self.shard_peak.max(peak);
+    }
+
+    /// Total number of protections currently held on roots of this manager
+    /// (the sum of the per-root protection counts). Balanced
+    /// protect/unprotect discipline — e.g. across a witness-trace
+    /// extraction — leaves this value unchanged.
+    pub fn protected_root_count(&self) -> usize {
+        self.protected.values().sum()
+    }
+
+    /// Generation counter of the variable order: bumped by every
+    /// adjacent-level swap, and therefore by every sifting pass or
+    /// explicit reordering that actually moved a variable. Schedulers that
+    /// cache per-level information (e.g. the saturation strategy's level
+    /// buckets) compare generations to detect staleness.
+    pub fn order_generation(&self) -> u64 {
+        self.order_generation
     }
 
     /// Whether the number of live nodes has crossed the advisory GC threshold.
@@ -541,6 +582,17 @@ impl BddManager {
     /// The current advisory GC threshold (see [`BddManager::should_collect`]).
     pub fn gc_threshold(&self) -> usize {
         self.gc_hint_threshold
+    }
+
+    /// Total computed-cache lookups (hits plus misses) issued so far.
+    ///
+    /// Unlike wall time, this is a deterministic operation count: two runs
+    /// that issue the same operation sequence report identical values, so
+    /// deltas of this counter can be used as a reproducible cost metric
+    /// (e.g. for load balancing work across replica managers).
+    pub fn cache_lookups(&self) -> u64 {
+        let counters = self.cache.counters();
+        counters.hits() + counters.misses()
     }
 
     /// Returns a snapshot of manager statistics.

@@ -1,0 +1,281 @@
+//! Subgraph transfer between managers: a compact, manager-independent
+//! serialization of a set of BDD roots, used by the parallel traversal to
+//! ship source sets and partial images between the owning manager and its
+//! worker-thread replicas.
+//!
+//! A [`SerializedBdd`] is a bottom-up node-arena slice: children always
+//! precede parents, references are plain indices into the slice (with the
+//! two terminals pre-assigned), and the variable order of the source
+//! manager is recorded so the importer can verify both managers agree on
+//! it. Import rebuilds the nodes through the ordinary reduction rules, so
+//! an imported root is canonical in the destination manager and shares
+//! structure with everything already there.
+
+use crate::manager::{BddManager, Node, Ref, VarId};
+use std::collections::HashMap;
+
+/// A manager-independent serialization of one or more BDD roots.
+///
+/// Produced by [`BddManager::export_subgraph`] and consumed by
+/// [`BddManager::import_subgraph`]. The encoding is a bottom-up slice of
+/// `(level, low, high)` triples where reference `0` is `FALSE`, `1` is
+/// `TRUE`, and `i + 2` is the `i`-th triple of the slice. The type is
+/// `Send + Sync`, so serialized sets can cross thread boundaries (e.g. via
+/// `Arc`) without touching either manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializedBdd {
+    /// The source manager's variable order, top level first
+    /// (`order[level] = variable id`).
+    order: Vec<u32>,
+    /// The nodes as `(level, low, high)`, children before parents.
+    nodes: Vec<(u32, u32, u32)>,
+    /// The exported roots, in the order given to `export_subgraph`.
+    roots: Vec<u32>,
+}
+
+impl SerializedBdd {
+    /// Number of variables of the source manager.
+    pub fn num_vars(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The source manager's variable order, top level first.
+    pub fn order(&self) -> Vec<VarId> {
+        self.order.iter().map(|&v| VarId(v)).collect()
+    }
+
+    /// Number of serialized internal nodes (terminals excluded).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of serialized roots.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+}
+
+#[inline]
+fn resolve(r: u32, local: &[u32]) -> u32 {
+    if r < 2 {
+        r
+    } else {
+        local[(r - 2) as usize]
+    }
+}
+
+impl BddManager {
+    /// Serializes the subgraphs rooted at `roots` into a compact,
+    /// manager-independent [`SerializedBdd`].
+    ///
+    /// Shared structure is serialized once: a node reachable from several
+    /// roots appears a single time in the slice, so exporting a plan's
+    /// artefacts together costs no more than their true combined size.
+    pub fn export_subgraph(&self, roots: &[Ref]) -> SerializedBdd {
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for &root in roots {
+            if root.0 < 2 || map.contains_key(&root.0) {
+                continue;
+            }
+            stack.push(root.0);
+            // Iterative postorder: a node is emitted only once both
+            // children are, so the slice is bottom-up by construction.
+            while let Some(&top) = stack.last() {
+                if map.contains_key(&top) {
+                    stack.pop();
+                    continue;
+                }
+                let n: Node = self.nodes[top as usize];
+                debug_assert!(!n.free, "exporting a freed node");
+                let low_ready = n.low < 2 || map.contains_key(&n.low);
+                let high_ready = n.high < 2 || map.contains_key(&n.high);
+                if low_ready && high_ready {
+                    stack.pop();
+                    let low = if n.low < 2 { n.low } else { map[&n.low] };
+                    let high = if n.high < 2 { n.high } else { map[&n.high] };
+                    let serial = nodes.len() as u32 + 2;
+                    nodes.push((n.level, low, high));
+                    map.insert(top, serial);
+                } else {
+                    if !low_ready {
+                        stack.push(n.low);
+                    }
+                    if !high_ready {
+                        stack.push(n.high);
+                    }
+                }
+            }
+        }
+        let roots = roots
+            .iter()
+            .map(|&r| if r.0 < 2 { r.0 } else { map[&r.0] })
+            .collect();
+        SerializedBdd {
+            order: self.var_at_level.clone(),
+            nodes,
+            roots,
+        }
+    }
+
+    /// Rebuilds a serialized subgraph in this manager and returns the
+    /// imported roots, in the order they were exported.
+    ///
+    /// The imported nodes go through the ordinary reduction rules, so the
+    /// returned roots are canonical here and share structure with the
+    /// manager's existing nodes. The imported roots are **not** protected;
+    /// protect them before the next garbage collection if they must
+    /// survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this manager's variable order differs from the order the
+    /// subgraph was exported under (serialization records *levels*, which
+    /// are only meaningful under the same order).
+    pub fn import_subgraph(&mut self, serialized: &SerializedBdd) -> Vec<Ref> {
+        assert_eq!(
+            self.var_at_level, serialized.order,
+            "import requires the exporting manager's variable order"
+        );
+        let mut local: Vec<u32> = Vec::with_capacity(serialized.nodes.len());
+        for &(level, low, high) in &serialized.nodes {
+            let low = resolve(low, &local);
+            let high = resolve(high, &local);
+            local.push(self.mk(level, low, high));
+        }
+        serialized
+            .roots
+            .iter()
+            .map(|&r| Ref(resolve(r, &local)))
+            .collect()
+    }
+}
+
+/// Builds an empty replica manager matching the serialized variable order,
+/// ready to [`import_subgraph`](BddManager::import_subgraph) from the same
+/// source. Used to set up the per-thread shard managers of the parallel
+/// traversal.
+pub fn replica_manager(serialized: &SerializedBdd) -> BddManager {
+    let mut m = BddManager::with_vars(serialized.num_vars());
+    m.reorder_to(&serialized.order());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(m: &mut BddManager) -> Ref {
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let b = m.var(v[2]);
+        let c = m.nvar(v[4]);
+        let ab = m.and(a, b);
+        m.or(ab, c)
+    }
+
+    #[test]
+    fn round_trip_preserves_the_function() {
+        let mut src = BddManager::with_vars(6);
+        let f = sample(&mut src);
+        let ser = src.export_subgraph(&[f]);
+        assert!(ser.num_nodes() > 0);
+        let mut dst = replica_manager(&ser);
+        let roots = dst.import_subgraph(&ser);
+        assert_eq!(roots.len(), 1);
+        for bits in 0u32..64 {
+            let assign = |v: VarId| bits & (1 << v.index()) != 0;
+            assert_eq!(src.eval(f, assign), dst.eval(roots[0], assign));
+        }
+        assert!(dst.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn shared_structure_is_serialized_once() {
+        let mut src = BddManager::with_vars(4);
+        let f = sample_pair(&mut src);
+        let together = src.export_subgraph(&[f.0, f.1]);
+        let alone: usize = [f.0, f.1]
+            .iter()
+            .map(|&r| src.export_subgraph(&[r]).num_nodes())
+            .sum();
+        assert!(together.num_nodes() <= alone);
+        // And the combined size equals the true shared node count.
+        assert_eq!(
+            together.num_nodes() + 2,
+            src.shared_node_count(&[f.0, f.1]),
+            "export must deduplicate shared subgraphs"
+        );
+    }
+
+    fn sample_pair(m: &mut BddManager) -> (Ref, Ref) {
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let shared = m.and(b, c);
+        let f = m.or(a, shared);
+        let g = m.and(a, shared);
+        (f, g)
+    }
+
+    #[test]
+    fn constants_round_trip_without_nodes() {
+        let src = BddManager::with_vars(3);
+        let ser = src.export_subgraph(&[src.zero(), src.one()]);
+        assert_eq!(ser.num_nodes(), 0);
+        let mut dst = replica_manager(&ser);
+        let roots = dst.import_subgraph(&ser);
+        assert_eq!(roots, vec![dst.zero(), dst.one()]);
+    }
+
+    #[test]
+    fn import_into_populated_manager_shares_structure() {
+        let mut src = BddManager::with_vars(6);
+        let f = sample(&mut src);
+        let ser = src.export_subgraph(&[f]);
+        // The destination already holds the same function: import must
+        // yield the *same* canonical handle, not a copy.
+        let mut dst = replica_manager(&ser);
+        let existing = sample(&mut dst);
+        let roots = dst.import_subgraph(&ser);
+        assert_eq!(roots[0], existing);
+    }
+
+    #[test]
+    fn import_survives_export_after_reordering() {
+        let mut src = BddManager::with_vars(6);
+        let f = sample(&mut src);
+        src.protect(f);
+        let v = src.variables();
+        src.reorder_to(&[v[5], v[3], v[1], v[0], v[2], v[4]]);
+        let ser = src.export_subgraph(&[f]);
+        let mut dst = replica_manager(&ser);
+        assert_eq!(dst.current_order(), src.current_order());
+        let roots = dst.import_subgraph(&ser);
+        for bits in 0u32..64 {
+            let assign = |v: VarId| bits & (1 << v.index()) != 0;
+            assert_eq!(src.eval(f, assign), dst.eval(roots[0], assign));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variable order")]
+    fn import_rejects_mismatched_orders() {
+        let mut src = BddManager::with_vars(4);
+        let f = sample4(&mut src);
+        let ser = src.export_subgraph(&[f]);
+        let mut dst = BddManager::with_vars(4);
+        let v = dst.variables();
+        dst.reorder_to(&[v[3], v[2], v[1], v[0]]);
+        let _ = dst.import_subgraph(&ser);
+    }
+
+    fn sample4(m: &mut BddManager) -> Ref {
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let b = m.var(v[3]);
+        m.and(a, b)
+    }
+}

@@ -1,7 +1,8 @@
 //! Criterion bench comparing the fixpoint strategies of the shared
 //! traversal driver: breadth-first (frontier and full) against chained
-//! firing in structural order and level saturation, on the dense encoding
-//! of each CI-sized table-3 family. The `experiments strategies`
+//! firing in structural order, level saturation and the 2-thread parallel
+//! cluster-image traversal, on the dense encoding of each CI-sized table-3
+//! family. The `experiments strategies`
 //! subcommand prints the same comparison with marking-count cross-checks;
 //! this bench feeds the criterion medians tracked across PRs.
 
@@ -30,6 +31,7 @@ fn bench_strategy_sweep(c: &mut Criterion) {
             },
         ),
         ("saturation", FixpointStrategy::Saturation),
+        ("parallel-2", FixpointStrategy::Parallel { threads: 2 }),
     ];
     for workload in table3_workloads(Scale::Default) {
         // Skip the largest instances so the whole suite stays within a few

@@ -9,6 +9,7 @@
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
 //! experiments strategies               Bfs vs Chaining vs Saturation fixpoint strategies per net
+//! experiments scaling                  parallel traversal thread-scaling curves (Table-4 nets)
 //! experiments properties               CTL property suites of the bundled nets
 //! experiments check <props-file>       run a property file against its nets (or --check=FILE)
 //! experiments all [--paper-scale]      everything above except `check`
@@ -17,10 +18,15 @@
 //!
 //! Run with `cargo run --release -p pnsym-bench --bin experiments -- all`.
 //!
-//! `--strategy=bfs|bfs-full|chaining|chaining-index|saturation` selects the
-//! fixpoint strategy used by the table3/table4/smoke/properties/check
-//! analyses (default `bfs`); the `strategies` command always compares Bfs,
-//! Chaining and Saturation per net.
+//! `--strategy=bfs|bfs-full|chaining|chaining-index|saturation|parallel`
+//! selects the fixpoint strategy used by the table3/table4/smoke/properties/
+//! check analyses (default `bfs`); `--threads=N` sets the worker count of
+//! the `parallel` strategy (default 2). The `strategies` command always
+//! compares Bfs, Chaining and Saturation per net; `scaling` compares the
+//! parallel strategy at 1, 2 and 4 threads.
+//!
+//! A `check` run whose traversal was truncated (e.g. by an iteration cap)
+//! exits non-zero: a verdict over a partial state space is not definitive.
 //!
 //! Passing `--json[=PATH]` additionally writes the per-net timings, node
 //! counts and kernel statistics of the table3/table4/strategies/properties
@@ -56,7 +62,7 @@ use pnsym_net::{Marking, PetriNet};
 use pnsym_structural::{find_smcs, select_smc_cover, CoverStrategy};
 use std::time::Instant;
 
-fn parse_strategy(name: &str) -> Option<FixpointStrategy> {
+fn parse_strategy(name: &str, threads: usize) -> Option<FixpointStrategy> {
     match name {
         "bfs" => Some(FixpointStrategy::Bfs { use_frontier: true }),
         "bfs-full" => Some(FixpointStrategy::Bfs {
@@ -69,6 +75,7 @@ fn parse_strategy(name: &str) -> Option<FixpointStrategy> {
             order: ChainingOrder::Index,
         }),
         "saturation" => Some(FixpointStrategy::Saturation),
+        "parallel" => Some(FixpointStrategy::Parallel { threads }),
         _ => None,
     }
 }
@@ -88,12 +95,19 @@ fn main() {
             a.strip_prefix("--json=").map(str::to_string)
         }
     });
+    let threads: usize = match args.iter().find_map(|a| a.strip_prefix("--threads=")) {
+        None => 2,
+        Some(n) => n.parse().unwrap_or_else(|_| {
+            eprintln!("--threads={n}: expected a positive integer");
+            std::process::exit(2);
+        }),
+    };
     let strategy = match args.iter().find_map(|a| a.strip_prefix("--strategy=")) {
         None => FixpointStrategy::default(),
-        Some(name) => parse_strategy(name).unwrap_or_else(|| {
+        Some(name) => parse_strategy(name, threads).unwrap_or_else(|| {
             eprintln!(
                 "unknown strategy `{name}` \
-                 (expected bfs|bfs-full|chaining|chaining-index|saturation)"
+                 (expected bfs|bfs-full|chaining|chaining-index|saturation|parallel)"
             );
             std::process::exit(2);
         }),
@@ -116,6 +130,7 @@ fn main() {
         Some("table1") => table1(),
         Some("ablation") => ablation(),
         Some("strategies") => strategies(scale, &mut records),
+        Some("scaling") => scaling(scale, &mut records),
         Some("properties") => properties(strategy, &mut records),
         Some("smoke") => smoke(strategy, &mut records),
         Some("check") => {
@@ -142,8 +157,8 @@ fn main() {
             eprintln!("unknown command `{other}`");
             eprintln!(
                 "usage: experiments \
-                 [table3|table4|fig2|table1|ablation|strategies|properties|check|smoke|all] \
-                 [--paper-scale] [--strategy=NAME] [--json[=PATH]] [--check=FILE]"
+                 [table3|table4|fig2|table1|ablation|strategies|scaling|properties|check|smoke|all] \
+                 [--paper-scale] [--strategy=NAME] [--threads=N] [--json[=PATH]] [--check=FILE]"
             );
             std::process::exit(2);
         }
@@ -623,6 +638,114 @@ fn strategies(scale: Scale, records: &mut Vec<Value>) {
     );
 }
 
+/// Thread-scaling curves of the parallel cluster-image traversal: the dense
+/// analysis of every table-4 workload (the DME and JJreg families, whose
+/// cluster structure gives the workers something to chew on) at 1, 2 and 4
+/// worker threads, medians over several interleaved runs. The 1-thread arm
+/// runs the full sharded machinery on a single worker, so the printed
+/// speedups isolate the parallelism itself from the serialize/merge
+/// overhead.
+///
+/// Two time columns per thread count: the raw wall clock, and the
+/// traversal *critical path* (owner serial work + slowest worker busy time
+/// per pass — `AnalysisReport::traversal_critical_path`). On a host with at
+/// least one free core per worker the two coincide; on an oversubscribed
+/// host (e.g. a 1-core CI box) the wall clock measures the OS time-slicing
+/// `threads` workers onto too few cores, so the speedup columns are
+/// computed from the critical path, which models the traversal with enough
+/// cores. The host's core count is printed alongside so a reader can tell
+/// which regime the wall column was measured in.
+fn scaling(scale: Scale, records: &mut Vec<Value>) {
+    const SAMPLES: usize = 9;
+    const THREADS: [usize; 3] = [1, 2, 4];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n== Scaling: parallel traversal threads (dense encoding, median of {SAMPLES}) ====");
+    println!(
+        "host cores: {cores} — speedups read the critical path (wall clock only \
+         tracks it when every worker gets its own core)"
+    );
+    println!(
+        "{:<12} {:>12} | {:>21} {:>21} {:>21} | {:>6} {:>6}",
+        "PN",
+        "markings",
+        "1-thr wall/crit(ms)",
+        "2-thr wall/crit(ms)",
+        "4-thr wall/crit(ms)",
+        "1/2",
+        "1/4"
+    );
+    for Workload { name, net } in table4_workloads(scale) {
+        // Interleave the samples round-robin across the thread counts so
+        // ambient load drift hits every arm equally.
+        let mut runs: Vec<Vec<AnalysisReport>> = vec![Vec::new(); THREADS.len()];
+        let mut failed = false;
+        'sampling: for _ in 0..SAMPLES {
+            for (ti, &threads) in THREADS.iter().enumerate() {
+                let strategy = FixpointStrategy::Parallel { threads };
+                match analyze(&net, &AnalysisOptions::dense().with_strategy(strategy)) {
+                    Ok(r) => runs[ti].push(r),
+                    Err(e) => {
+                        println!("{name:<12} {strategy} analysis failed: {e}");
+                        failed = true;
+                        break 'sampling;
+                    }
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        // Median wall and median critical path per arm (medians taken
+        // independently: each is the robust centre of its own metric).
+        let mut rows: Vec<(AnalysisReport, f64, f64)> = Vec::new();
+        for mut samples in runs {
+            samples.sort_by_key(|a| a.traversal_critical_path);
+            let crit_ms = samples[samples.len() / 2]
+                .traversal_critical_path
+                .as_secs_f64()
+                * 1e3;
+            samples.sort_by_key(|a| a.traversal_time);
+            let wall_ms = samples[samples.len() / 2].traversal_time.as_secs_f64() * 1e3;
+            let representative = samples.swap_remove(samples.len() / 2);
+            rows.push((representative, wall_ms, crit_ms));
+        }
+        for (report, ..) in &rows[1..] {
+            assert_eq!(
+                rows[0].0.num_markings, report.num_markings,
+                "{name}: thread counts disagree on the fixpoint"
+            );
+        }
+        println!(
+            "{:<12} {:>12.3e} | {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} | {:>5.2}x {:>5.2}x",
+            name,
+            rows[0].0.num_markings,
+            rows[0].1,
+            rows[0].2,
+            rows[1].1,
+            rows[1].2,
+            rows[2].1,
+            rows[2].2,
+            rows[0].2 / rows[1].2,
+            rows[0].2 / rows[2].2
+        );
+        for ((report, wall_ms, crit_ms), threads) in rows.iter().zip(THREADS) {
+            let mut record = bdd_record("scaling", &name, "improved-dense", report);
+            if let Value::Object(fields) = &mut record {
+                fields.push(("threads".to_string(), Value::UInt(threads as u64)));
+                fields.push(("median_traversal_ms".to_string(), Value::Float(*wall_ms)));
+                fields.push((
+                    "median_critical_path_ms".to_string(),
+                    Value::Float(*crit_ms),
+                ));
+                fields.push(("samples".to_string(), Value::UInt(SAMPLES as u64)));
+                fields.push(("host_cores".to_string(), Value::UInt(cores as u64)));
+            }
+            records.push(record);
+        }
+    }
+    println!("(all thread counts must match the 1-thread markings exactly)");
+}
+
 /// The symbolic context used by the property runner: the improved dense
 /// encoding when the structural phase succeeds, sparse otherwise.
 fn property_context(net: &PetriNet) -> SymbolicContext {
@@ -670,7 +793,9 @@ fn run_property_suite(
             Some(false) => "fails",
             None => "?",
         };
-        let met = query.expect.is_none_or(|e| e == report.holds);
+        // A verdict over a truncated traversal is not definitive — never
+        // count it as meeting an expectation, even when it happens to agree.
+        let met = query.expect.is_none_or(|e| e == report.holds) && !report.truncated;
         all_met &= met;
         let witness = report
             .trace
@@ -686,7 +811,13 @@ fn run_property_suite(
             witness,
             ms,
             query.formula,
-            if met { "" } else { "  <-- MISMATCH" }
+            if report.truncated {
+                "  <-- TRUNCATED (not definitive)"
+            } else if met {
+                ""
+            } else {
+                "  <-- MISMATCH"
+            }
         );
         records.push(Value::object(vec![
             ("experiment", Value::Str("properties".into())),
@@ -698,6 +829,7 @@ fn run_property_suite(
             ("expected", Value::Str(expect.into())),
             ("sat_markings", Value::Float(report.sat_markings)),
             ("reached_markings", Value::Float(report.reached_markings)),
+            ("truncated", Value::Bool(report.truncated)),
             (
                 "witness_len",
                 Value::Int(report.trace.as_ref().map_or(-1, |t| t.len() as i64)),

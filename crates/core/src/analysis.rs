@@ -87,6 +87,14 @@ pub struct AnalysisReport {
     pub encoding_time: Duration,
     /// Time spent in the symbolic traversal.
     pub traversal_time: Duration,
+    /// The traversal's critical path (see
+    /// [`ReachabilityResult::critical_path`](crate::ReachabilityResult::critical_path)):
+    /// equals [`AnalysisReport::traversal_time`] for sequential strategies;
+    /// for [`FixpointStrategy::Parallel`] it is the owner's serial work
+    /// plus the slowest worker's busy time per pass — the modeled traversal
+    /// wall time with one free core per worker, which thread-scaling
+    /// comparisons should read on oversubscribed hosts.
+    pub traversal_critical_path: Duration,
     /// Total wall-clock time (column `CPU`).
     pub total_time: Duration,
     /// Kernel statistics of the BDD manager at the end of the analysis
@@ -202,6 +210,7 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
         num_deadlocks,
         encoding_time,
         traversal_time: result.duration,
+        traversal_critical_path: result.critical_path,
         total_time: start.elapsed(),
         manager_stats,
     })

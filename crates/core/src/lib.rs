@@ -58,6 +58,7 @@ pub mod encoding;
 mod explicit;
 mod image;
 mod mc;
+mod parallel;
 pub mod plan;
 pub mod preplan;
 mod property;

@@ -63,6 +63,14 @@ pub struct CheckReport {
     pub trace: Option<WitnessTrace>,
     /// What [`CheckReport::trace`] demonstrates; `None` iff `trace` is.
     pub trace_kind: Option<TraceKind>,
+    /// Whether the underlying reachability fixpoint was truncated by
+    /// [`TraversalOptions::max_iterations`]. A truncated run explores only
+    /// a subset of the reachable markings, so [`CheckReport::holds`] and
+    /// [`CheckReport::sat_markings`] describe that explored prefix, **not a
+    /// definitive verdict** over the full state space — callers must
+    /// surface this instead of trusting the verdict (the bench `check`
+    /// runner fails truncated verdicts).
+    pub truncated: bool,
     /// Wall-clock time of the query (including the reachability fixpoint).
     pub duration: Duration,
 }
@@ -380,7 +388,8 @@ impl SymbolicContext {
         options: TraversalOptions,
     ) -> CheckReport {
         let start = Instant::now();
-        let reached = self.reachable_markings_with(options).reached;
+        let run = self.reachable_markings_with(options);
+        let reached = run.reached;
         let sat = self.sat_set(property, reached);
         let init = self.initial_set();
         let init_sat = self.manager_mut().and(init, sat);
@@ -396,6 +405,7 @@ impl SymbolicContext {
             reached_markings: self.count_markings(reached),
             trace,
             trace_kind,
+            truncated: run.truncated,
             duration: start.elapsed(),
         }
     }
@@ -738,5 +748,74 @@ mod tests {
         let trace = report.trace.expect("AU counterexample");
         assert!(trace.validate(&net));
         assert!(trace.markings.iter().all(|m| !m.is_marked(eating0)));
+    }
+
+    #[test]
+    fn trace_extraction_keeps_protections_balanced_across_queries() {
+        // `check_property` legitimately adds exactly one protection per
+        // call: the freshly computed reached set, which stays valid for the
+        // context's lifetime. Anything beyond that is a leak in the
+        // witness/counterexample machinery (ring search, one-step evidence
+        // or lasso walk).
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        // Warm the image and pre-image plans so their one-time artefact
+        // protections do not show up in the per-query delta.
+        let _ = ctx.check_property(&Property::parse("EF true", &net).unwrap());
+        for text in [
+            "EF !EX true",             // ring-search witness
+            "AG !hasl.0",              // ring-search counterexample
+            "AF eating.0",             // lasso counterexample
+            "EG !eating.0",            // lasso witness
+            "E[!eating.1 U eating.0]", // constrained-ring EU witness
+            "A[true U eating.0]",      // AU counterexample (finite branch)
+            "EX true",                 // one-step witness
+            "AX !true",                // one-step counterexample
+        ] {
+            let prop = Property::parse(text, &net).unwrap();
+            let before = ctx.manager().protected_root_count();
+            let _ = ctx.check_property(&prop);
+            assert_eq!(
+                ctx.manager().protected_root_count(),
+                before + 1,
+                "{text}: only the reached set may stay protected after a query"
+            );
+        }
+        // The lasso extractor is individually balanced as well.
+        let reached = ctx.reachable_markings().reached;
+        let eating0 = ctx.place_fn(net.place_by_name("eating.0").unwrap());
+        let avoid = ctx.manager_mut().diff(reached, eating0);
+        let eg = ctx.eg(avoid, reached);
+        let lasso =
+            crate::trace::assert_protections_balanced(&mut ctx, |ctx| ctx.lasso_from_initial(eg));
+        let lasso = lasso.expect("EG !eating.0 holds initially");
+        assert!(lasso.is_lasso().is_some());
+    }
+
+    #[test]
+    fn truncated_reachability_is_surfaced_on_the_report() {
+        // Regression: a traversal capped by `max_iterations` explores only
+        // a prefix of the state space, so a verdict over it is not
+        // definitive. The report used to drop that flag on the floor and
+        // present the prefix verdict as final.
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let prop = Property::parse("AG !hasl.0", &net).unwrap();
+        let options = TraversalOptions {
+            max_iterations: Some(1),
+            ..TraversalOptions::default()
+        };
+        let capped = ctx.check_property_with(&prop, options);
+        assert!(
+            capped.truncated,
+            "a capped traversal must flag its verdict as non-definitive"
+        );
+        let full = ctx.check_property(&prop);
+        assert!(!full.truncated);
+        assert!(!full.holds);
+        assert!(
+            capped.reached_markings < full.reached_markings,
+            "the capped run really did truncate the state space"
+        );
     }
 }

@@ -1,0 +1,990 @@
+//! Parallel cluster-image traversal with sharded BDD workers.
+//!
+//! [`FixpointStrategy::Parallel`](crate::FixpointStrategy::Parallel) runs
+//! the reachability fixpoint over a hand-rolled `std::thread` + channel
+//! worker pool. Each worker owns a *replica* [`BddManager`] shard with the
+//! [`ImagePlan`]'s artefacts mirrored in (serialized once at pool start
+//! via [`BddManager::export_subgraph`]); per pass the owner ships the
+//! source set as a compact serialized node slice, every worker fires its
+//! share of the work locally, strips the states its reached-set replica
+//! already knows, and only the *newly discovered* states travel back for
+//! a merge-union in the owning manager. Merging happens in worker-id
+//! order, so the owner's operation sequence — and with it every count and
+//! statistic — is deterministic for any thread interleaving.
+//!
+//! Two execution layers:
+//!
+//! * **Sharded breadth-first** (the general case): the per-pass data flow
+//!   is *replicate → deal → fire → serialize → merge*. Every worker mirrors the
+//!   full plan; per pass the owner deals the transition clusters onto the
+//!   workers by longest-processing-time scheduling on each cluster's
+//!   latest measured cost (`assign_by_cost`), so the schedule follows the
+//!   work wherever the frontier concentrates it — on ring-shaped nets the
+//!   expensive clusters drift around the ring and a static split would
+//!   leave whole passes on one worker. Cost is the replica's
+//!   computed-cache lookup delta around the cluster's firing
+//!   ([`BddManager::cache_lookups`]) — a deterministic operation count,
+//!   not wall time, so the schedule (and with it the whole run) is
+//!   reproducible. Each worker keeps a reached-set replica current from
+//!   the broadcast frontiers, so replies carry only states the owner has
+//!   not seen; the owner unions the partials, diffs against the reached
+//!   set and advances exactly like the sequential frontier BFS — so the
+//!   pass sequence (and the final fixpoint) is bit-identical to one
+//!   thread for every thread count.
+//! * **Disjoint-support partitioning**: when the plan's clusters split
+//!   into components with pairwise disjoint variable support (written
+//!   variables plus enabling-function support), the subspaces cannot
+//!   interact, so each worker *saturates* whole components to their local
+//!   fixpoints concurrently from the initial set. A component's
+//!   sub-fixpoint constrains only its own variables (the others keep
+//!   their initial values throughout), so the owner recombines by
+//!   quantifying the other components' variables out of each result and
+//!   conjoining: `R = ⋀ᵢ ∃(vars ∉ compᵢ). Rᵢ`. The conjunction is
+//!   independent of how components are packed onto workers, so the final
+//!   set is again identical for every thread count.
+//!
+//! Owner-side maintenance (adaptive garbage collection, optional sifting)
+//! matches the sequential kernel. After a sift changed the variable
+//! order, the replicas are stale — serialized slices record *levels* — so
+//! the owner re-serializes the plan artefacts under the new order and
+//! sends every worker a resync, which rebuilds its replica manager from
+//! scratch. Worker peak-node counts ride back on every reply and are
+//! folded into the owning manager's statistics
+//! ([`BddManager::absorb_shard_peak`]), so reported peaks cover the shard
+//! arenas too.
+
+use crate::context::SymbolicContext;
+use crate::plan::ImagePlan;
+use crate::traverse::{FixpointRun, SiftPolicy};
+use pnsym_bdd::{replica_manager, BddManager, Ref, SerializedBdd, SiftConfig, VarId};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Owner-to-worker requests. Serialized sets are shared by `Arc`, so a
+/// broadcast costs one serialization regardless of the thread count.
+enum ToWorker {
+    /// Fire the assigned cluster slots on the serialized source set and
+    /// reply with one `Partial`. The slot list indexes the worker's
+    /// mirrored cluster layout; it changes pass to pass as the owner
+    /// rebalances.
+    Fire {
+        source: Arc<SerializedBdd>,
+        assigned: Arc<Vec<usize>>,
+    },
+    /// Run the assigned clusters to a local chaining fixpoint from the
+    /// serialized initial set and reply with one `Saturated`.
+    Saturate(Arc<SerializedBdd>),
+    /// Rebuild the replica manager from freshly serialized artefacts (the
+    /// owner's variable order changed) and restore the reached replica
+    /// from the owner's current reached set.
+    Resync {
+        artefacts: Arc<SerializedBdd>,
+        reached: Arc<SerializedBdd>,
+    },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker-to-owner replies. `worker` identifies the sender so the owner
+/// can merge in a fixed order regardless of arrival order.
+enum FromWorker {
+    Partial {
+        worker: usize,
+        image: SerializedBdd,
+        peak: usize,
+        /// Per assigned cluster slot (same order as the request's slot
+        /// list), the computed-cache lookup delta its firing cost — the
+        /// deterministic work metric the owner's balancer schedules on.
+        costs: Vec<u64>,
+        /// Wall time the worker spent computing this reply (import, fire,
+        /// diff, export, collection). Feeds the owner's critical-path
+        /// accounting: per pass only the *slowest* worker's busy time is
+        /// on the modeled critical path.
+        busy: Duration,
+    },
+    Saturated {
+        worker: usize,
+        reached: SerializedBdd,
+        iterations: usize,
+        truncated: bool,
+        peak: usize,
+        /// Wall time the worker spent saturating its components.
+        busy: Duration,
+    },
+}
+
+/// The result of one [`WorkerState::fire_all`] call: the pre-diffed
+/// partial image, the replica's peak live nodes, and the per-slot firing
+/// costs.
+struct FiredImage {
+    image: SerializedBdd,
+    peak: usize,
+    costs: Vec<u64>,
+}
+
+/// One cluster's mirrored artefacts inside a worker's replica manager.
+struct WorkerCluster {
+    quant_cube: Ref,
+    /// `(enabling, target)` per member transition.
+    members: Vec<(Ref, Ref)>,
+}
+
+/// A worker's private state: the replica manager and the mirrored
+/// artefacts of its assigned clusters (protected there for the replica's
+/// lifetime, exactly like the plan protects them in the owner).
+struct WorkerState {
+    manager: BddManager,
+    clusters: Vec<WorkerCluster>,
+    /// Local replica of the owner's reached set, kept current by OR-ing in
+    /// every broadcast frontier (the union of all frontiers the owner has
+    /// ever sent *is* the owner's reached set). It lets the worker strip
+    /// already-known states from its partial image before shipping, so the
+    /// serialized reply stays proportional to the *newly discovered*
+    /// states instead of the raw image.
+    reached: Ref,
+}
+
+impl WorkerState {
+    fn build(artefacts: &SerializedBdd, member_counts: &[usize], gc_threshold: usize) -> Self {
+        let mut manager = replica_manager(artefacts);
+        // Collections drop computed-cache entries, and the replicas live on
+        // cross-pass cache reuse (each pass refires the same clusters on a
+        // slightly changed frontier). A much lazier GC than the owner's is
+        // the right trade: replica arenas only hold the mirrored artefacts,
+        // one partial image and the reached replica, so the extra headroom
+        // is cheap and measurably cuts refire cost.
+        manager.set_gc_threshold(gc_threshold.saturating_mul(8));
+        let roots = manager.import_subgraph(artefacts);
+        for &r in &roots {
+            manager.protect(r);
+        }
+        let mut clusters = Vec::with_capacity(member_counts.len());
+        let mut at = 0usize;
+        for &n in member_counts {
+            let quant_cube = roots[at];
+            at += 1;
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push((roots[at], roots[at + 1]));
+                at += 2;
+            }
+            clusters.push(WorkerCluster {
+                quant_cube,
+                members,
+            });
+        }
+        let reached = manager.zero();
+        manager.protect(reached);
+        WorkerState {
+            manager,
+            clusters,
+            reached,
+        }
+    }
+
+    /// Restores the reached replica after a resync rebuilt the manager.
+    fn restore_reached(&mut self, reached: &SerializedBdd) {
+        let imported = self.manager.import_subgraph(reached)[0];
+        self.manager.protect(imported);
+        self.manager.unprotect(self.reached);
+        self.reached = imported;
+    }
+
+    /// Fires the assigned cluster slots on the frontier and serializes the
+    /// union of the partial images *minus the states already reached* —
+    /// late in a traversal almost every image state is old, so pre-diffing
+    /// against the local reached replica shrinks the shipped reply (and
+    /// with it the owner's serial import-and-merge work) from image-sized
+    /// to frontier-sized. The owner diffs the merged partials against its
+    /// own reached set again, and `(∪ imgᵢ) \ R = (∪ (imgᵢ \ R)) \ R`, so
+    /// the pass sequence stays bit-identical to the undiffed protocol.
+    /// The replica's relational product is the same fused `and_exists`
+    /// the sequential kernel uses.
+    ///
+    /// Alongside the image, reports what each slot's firing *cost* as a
+    /// computed-cache lookup delta — the deterministic per-cluster work
+    /// measure the owner rebalances the next pass's deal with.
+    fn fire_all(&mut self, source: &SerializedBdd, assigned: &[usize]) -> FiredImage {
+        let from = self.manager.import_subgraph(source)[0];
+        // Every broadcast frontier OR-ed together is the owner's current
+        // reached set, so the replica advances in lockstep for free.
+        let next = self.manager.or(self.reached, from);
+        self.manager.protect(next);
+        self.manager.unprotect(self.reached);
+        self.reached = next;
+        let mut acc = self.manager.zero();
+        let mut costs = Vec::with_capacity(assigned.len());
+        for &slot in assigned {
+            let before = self.manager.cache_lookups();
+            let cluster = &self.clusters[slot];
+            for &(enabling, target) in &cluster.members {
+                let quantified = self
+                    .manager
+                    .and_exists_cube(from, enabling, cluster.quant_cube);
+                if quantified == self.manager.zero() {
+                    continue;
+                }
+                let img = self.manager.and(quantified, target);
+                acc = self.manager.or(acc, img);
+            }
+            costs.push(self.manager.cache_lookups() - before);
+        }
+        let fresh = self.manager.diff(acc, self.reached);
+        let image = self.manager.export_subgraph(&[fresh]);
+        let peak = self.manager.peak_live_nodes();
+        // Nothing but the protected artefacts and the reached replica must
+        // survive between passes, so collection can run now, after the
+        // image left the arena.
+        self.maybe_collect();
+        FiredImage { image, peak, costs }
+    }
+
+    /// Runs the assigned clusters to a local chaining fixpoint from the
+    /// serialized initial set (the disjoint-support partitioned mode: the
+    /// clusters of other workers cannot interact with these, so the local
+    /// fixpoint is exact on this worker's variables).
+    fn saturate(
+        &mut self,
+        init: &SerializedBdd,
+        max_iterations: Option<usize>,
+    ) -> (SerializedBdd, usize, bool, usize) {
+        let mut reached = self.manager.import_subgraph(init)[0];
+        self.manager.protect(reached);
+        let mut iterations = 0usize;
+        let mut truncated = false;
+        loop {
+            if let Some(limit) = max_iterations {
+                if iterations >= limit {
+                    truncated = true;
+                    break;
+                }
+            }
+            let mut changed = false;
+            for cluster in &self.clusters {
+                for &(enabling, target) in &cluster.members {
+                    let quantified =
+                        self.manager
+                            .and_exists_cube(reached, enabling, cluster.quant_cube);
+                    if quantified == self.manager.zero() {
+                        continue;
+                    }
+                    let img = self.manager.and(quantified, target);
+                    let next_reached = self.manager.or(reached, img);
+                    if next_reached == reached {
+                        continue;
+                    }
+                    self.manager.protect(next_reached);
+                    self.manager.unprotect(reached);
+                    reached = next_reached;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            iterations += 1;
+            self.maybe_collect();
+        }
+        let out = self.manager.export_subgraph(&[reached]);
+        let peak = self.manager.peak_live_nodes();
+        self.manager.unprotect(reached);
+        (out, iterations, truncated, peak)
+    }
+
+    /// The sequential kernel's adaptive collection policy, applied to the
+    /// replica arena.
+    fn maybe_collect(&mut self) {
+        if self.manager.should_collect() {
+            self.manager.collect_garbage();
+            let threshold = self.manager.gc_threshold();
+            if self.manager.live_node_count() * 2 > threshold {
+                self.manager.set_gc_threshold(threshold * 2);
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    member_counts: Vec<usize>,
+    artefacts: Arc<SerializedBdd>,
+    gc_threshold: usize,
+    max_iterations: Option<usize>,
+    inbox: Receiver<ToWorker>,
+    outbox: Sender<FromWorker>,
+) {
+    let mut state = WorkerState::build(&artefacts, &member_counts, gc_threshold);
+    while let Ok(message) = inbox.recv() {
+        match message {
+            ToWorker::Fire { source, assigned } => {
+                let start = Instant::now();
+                let fired = state.fire_all(&source, &assigned);
+                let _ = outbox.send(FromWorker::Partial {
+                    worker,
+                    image: fired.image,
+                    peak: fired.peak,
+                    costs: fired.costs,
+                    busy: start.elapsed(),
+                });
+            }
+            ToWorker::Saturate(init) => {
+                let start = Instant::now();
+                let (reached, iterations, truncated, peak) = state.saturate(&init, max_iterations);
+                let _ = outbox.send(FromWorker::Saturated {
+                    worker,
+                    reached,
+                    iterations,
+                    truncated,
+                    peak,
+                    busy: start.elapsed(),
+                });
+            }
+            ToWorker::Resync { artefacts, reached } => {
+                state = WorkerState::build(&artefacts, &member_counts, gc_threshold);
+                state.restore_reached(&reached);
+            }
+            ToWorker::Shutdown => break,
+        }
+    }
+}
+
+/// Serializes the plan artefacts of `clusters` for one worker: per cluster
+/// the quantification cube, then `(enabling, target)` per member —
+/// [`WorkerState::build`] unpacks the same layout. Shared structure across
+/// the artefacts is serialized once.
+fn serialize_artefacts(
+    manager: &BddManager,
+    plan: &ImagePlan,
+    clusters: &[usize],
+) -> (SerializedBdd, Vec<usize>) {
+    let mut roots = Vec::new();
+    let mut member_counts = Vec::with_capacity(clusters.len());
+    for &c in clusters {
+        let cluster = &plan.clusters()[c];
+        roots.push(cluster.quant_cube);
+        for member in &cluster.members {
+            roots.push(member.enabling);
+            roots.push(member.target);
+        }
+        member_counts.push(cluster.members.len());
+    }
+    (manager.export_subgraph(&roots), member_counts)
+}
+
+/// Deals the cluster slots onto `threads` workers by longest-processing-
+/// time scheduling on the latest per-slot costs: slots are walked from the
+/// costliest down, each onto the least-loaded worker so far. Within a
+/// worker the slots are fired in mirrored-layout (= structural) order,
+/// like the sequential chaining pass. Ties break by slot and worker index,
+/// and the costs themselves are deterministic operation counts, so the
+/// deal — and through it the workers' entire operation sequences — is
+/// reproducible run to run.
+fn assign_by_cost(cost: &[u64], threads: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..cost.len()).collect();
+    order.sort_by_key(|&slot| (std::cmp::Reverse(cost[slot]), slot));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut load = vec![0u64; threads];
+    for slot in order {
+        let w = (0..threads)
+            .min_by_key(|&w| (load[w], w))
+            .expect("threads >= 1");
+        // Even a zero-cost slot occupies its worker a little; count it so
+        // free slots keep spreading instead of piling onto worker 0.
+        load[w] += cost[slot].max(1);
+        assignment[w].push(slot);
+    }
+    for slots in &mut assignment {
+        slots.sort_unstable();
+    }
+    assignment
+}
+
+/// Sticky rebalancing: nudges an existing deal towards balance under the
+/// latest costs by migrating at most `max_moves` slots, each from the
+/// currently most-loaded worker to the least-loaded one, and only while
+/// the move shrinks the load gap meaningfully. A wholesale re-deal every
+/// pass would balance better on paper but loses in practice: a worker's
+/// computed cache holds the previous pass's subresults *for the clusters
+/// it fired*, so every migration refires a cluster cold — keeping the
+/// deal stable preserves that locality and migration happens only when
+/// the hot spot actually drifted (on ring nets it circles the net as the
+/// token wave moves). Deterministic for the same reasons as
+/// [`assign_by_cost`].
+fn rebalance(assignment: &mut [Vec<usize>], cost: &[u64], max_moves: usize) {
+    let threads = assignment.len();
+    let mut load: Vec<u64> = assignment
+        .iter()
+        .map(|slots| slots.iter().map(|&s| cost[s].max(1)).sum())
+        .collect();
+    for _ in 0..max_moves {
+        let hi = (0..threads)
+            .max_by_key(|&w| (load[w], std::cmp::Reverse(w)))
+            .expect("threads >= 1");
+        let lo = (0..threads)
+            .min_by_key(|&w| (load[w], w))
+            .expect("threads >= 1");
+        let gap = load[hi] - load[lo];
+        // Migrate the slot that lands the pair closest to even — but only
+        // if the gap is worth a cold refire (an eighth of the makespan)
+        // and the move strictly shrinks it.
+        if gap < load[hi] / 4 {
+            break;
+        }
+        let candidate = assignment[hi]
+            .iter()
+            .copied()
+            .filter(|&s| cost[s].max(1) < gap)
+            .min_by_key(|&s| (gap.abs_diff(2 * cost[s].max(1)), s));
+        let Some(slot) = candidate else { break };
+        assignment[hi].retain(|&s| s != slot);
+        let at = assignment[lo].partition_point(|&s| s < slot);
+        assignment[lo].insert(at, slot);
+        load[hi] -= cost[slot].max(1);
+        load[lo] += cost[slot].max(1);
+    }
+}
+
+/// The running worker pool: one request channel per worker, one shared
+/// reply channel back to the owner.
+struct Pool {
+    senders: Vec<Sender<ToWorker>>,
+    results: Receiver<FromWorker>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns one worker thread per shard, each building its replica from
+    /// the shard's serialized artefacts. The sharded-BFS layer passes the
+    /// *same* `Arc`ed serialization to every worker (everyone mirrors all
+    /// clusters; the per-pass deal decides who fires what); the
+    /// partitioned layer passes each worker its own components.
+    fn spawn(
+        shards: Vec<(Arc<SerializedBdd>, Vec<usize>)>,
+        gc_threshold: usize,
+        max_iterations: Option<usize>,
+    ) -> Pool {
+        let threads = shards.len();
+        let (result_tx, results) = channel();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for (worker, (artefacts, member_counts)) in shards.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            let outbox = result_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(
+                    worker,
+                    member_counts,
+                    artefacts,
+                    gc_threshold,
+                    max_iterations,
+                    rx,
+                    outbox,
+                )
+            }));
+            senders.push(tx);
+        }
+        Pool {
+            senders,
+            results,
+            handles,
+        }
+    }
+
+    fn broadcast(&self, make: impl Fn() -> ToWorker) {
+        for tx in &self.senders {
+            let _ = tx.send(make());
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn recv(&self) -> FromWorker {
+        self.results
+            .recv()
+            .expect("a parallel traversal worker died")
+    }
+
+    fn shutdown(self) {
+        self.broadcast(|| ToWorker::Shutdown);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The state-variable indices a cluster set can read or write: the written
+/// variable indices plus the support of every member's enabling function.
+fn cluster_support_vars(
+    ctx: &SymbolicContext,
+    plan: &ImagePlan,
+    clusters: &[usize],
+) -> BTreeSet<usize> {
+    let current = ctx.current_vars();
+    let mut vars = BTreeSet::new();
+    for &c in clusters {
+        let cluster = &plan.clusters()[c];
+        vars.extend(cluster.var_indices.iter().copied());
+        for member in &cluster.members {
+            for v in ctx.manager().support(member.enabling) {
+                if let Some(i) = current.iter().position(|&cv| cv == v) {
+                    vars.insert(i);
+                }
+            }
+        }
+    }
+    vars
+}
+
+/// Groups the plan's clusters into connected components of the
+/// shared-support relation (two clusters interact iff their support-var
+/// sets intersect). Components are returned with clusters in structural
+/// order, components ordered by their first structural cluster — fully
+/// deterministic.
+fn support_components(ctx: &SymbolicContext, plan: &ImagePlan) -> Vec<Vec<usize>> {
+    let n = plan.num_clusters();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut owner_of_var: HashMap<usize, usize> = HashMap::new();
+    for c in 0..n {
+        for v in cluster_support_vars(ctx, plan, &[c]) {
+            match owner_of_var.get(&v) {
+                Some(&first) => {
+                    let (a, b) = (find(&mut parent, c), find(&mut parent, first));
+                    parent[a.max(b)] = a.min(b);
+                }
+                None => {
+                    owner_of_var.insert(v, c);
+                }
+            }
+        }
+    }
+    let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for &c in plan.structural_order() {
+        let root = find(&mut parent, c);
+        let idx = match component_of_root.get(&root) {
+            Some(&idx) => idx,
+            None => {
+                components.push(Vec::new());
+                component_of_root.insert(root, components.len() - 1);
+                components.len() - 1
+            }
+        };
+        components[idx].push(c);
+    }
+    components
+}
+
+/// Owner-side between-pass maintenance: the sequential kernel's adaptive
+/// GC plus optional sifting. Returns whether the variable order changed
+/// (in which case every worker replica must be resynced).
+fn owner_maintain(ctx: &mut SymbolicContext, sift: SiftPolicy, iteration: usize) -> bool {
+    if ctx.manager().should_collect() {
+        ctx.manager_mut().collect_garbage();
+        let threshold = ctx.manager().gc_threshold();
+        if ctx.manager().live_node_count() * 2 > threshold {
+            ctx.manager_mut().set_gc_threshold(threshold * 2);
+        }
+    }
+    let before = ctx.manager().order_generation();
+    if let SiftPolicy::EveryIterations(n) = sift {
+        if n > 0 && iteration.is_multiple_of(n) {
+            ctx.manager_mut().sift_with(SiftConfig::default());
+        }
+    }
+    ctx.manager().order_generation() != before
+}
+
+/// Entry point of [`FixpointStrategy::Parallel`](crate::FixpointStrategy):
+/// picks the execution layer and runs the pool. On return the reached set
+/// carries one protection in the owning manager, matching the sequential
+/// driver's contract.
+pub(crate) fn parallel_fixpoint(
+    ctx: &mut SymbolicContext,
+    plan: Rc<ImagePlan>,
+    threads: usize,
+    max_iterations: Option<usize>,
+    sift: SiftPolicy,
+) -> FixpointRun<Ref> {
+    let threads = threads.max(1);
+    let components = support_components(ctx, &plan);
+    if components.len() > 1 {
+        partitioned_fixpoint(ctx, &plan, threads, max_iterations, &components)
+    } else {
+        sharded_bfs(ctx, &plan, threads, max_iterations, sift)
+    }
+}
+
+/// Layer (a): sharded breadth-first passes. Pass-for-pass identical to
+/// the sequential frontier BFS — only the cluster images of one pass are
+/// computed concurrently.
+fn sharded_bfs(
+    ctx: &mut SymbolicContext,
+    plan: &ImagePlan,
+    threads: usize,
+    max_iterations: Option<usize>,
+    sift: SiftPolicy,
+) -> FixpointRun<Ref> {
+    // Critical-path accounting: the modeled wall time of this traversal on
+    // a host with one free core per worker is everything the owner does
+    // serially (including spawning and seeding the pool) plus, per pass,
+    // only the *slowest* worker's busy time — the others overlap it. We
+    // measure it as (total elapsed) − (time blocked waiting for replies)
+    // + (per-pass max worker busy). On an oversubscribed host (fewer free
+    // cores than workers) the raw wall clock measures time-slicing
+    // instead of the algorithm, so thread-scaling comparisons read the
+    // critical path.
+    let run_start = Instant::now();
+    let mut blocked = Duration::ZERO;
+    let mut slowest_busy = Duration::ZERO;
+
+    // Every worker mirrors the full plan (the per-pass deal decides who
+    // fires what), so one serialization seeds the whole pool.
+    let all_clusters: Vec<usize> = plan.structural_order().to_vec();
+    let (artefacts, member_counts) = serialize_artefacts(ctx.manager(), plan, &all_clusters);
+    let artefacts = Arc::new(artefacts);
+    let shards = (0..threads)
+        .map(|_| (Arc::clone(&artefacts), member_counts.clone()))
+        .collect();
+    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations);
+
+    // Latest known cost per cluster slot, refreshed from every reply and
+    // fed to the balancer. Until a slot has been fired once, its member
+    // count stands in — heavier clusters start out presumed costlier.
+    let mut cost: Vec<u64> = member_counts.iter().map(|&n| n.max(1) as u64).collect();
+    let mut deal: Vec<Vec<usize>> = Vec::new();
+
+    let empty = ctx.manager().zero();
+    let mut reached = ctx.initial_set();
+    let mut frontier = reached;
+    ctx.manager_mut().protect(reached);
+    ctx.manager_mut().protect(frontier);
+
+    let mut iterations = 0usize;
+    let mut truncated = false;
+    loop {
+        if let Some(limit) = max_iterations {
+            if iterations >= limit {
+                truncated = true;
+                break;
+            }
+        }
+        // Replicate: one serialization of the frontier, shared by Arc, and
+        // this pass's deal — rebalanced from the latest measured costs.
+        let source = Arc::new(ctx.manager().export_subgraph(&[frontier]));
+        // This pass's deal: seeded once by longest-processing-time on the
+        // presumed costs, then kept sticky — per pass at most two slots
+        // migrate off the most-loaded worker, and only when the measured
+        // loads drifted meaningfully out of balance.
+        if deal.is_empty() {
+            deal = assign_by_cost(&cost, threads);
+        } else {
+            rebalance(&mut deal, &cost, 2);
+        }
+        let assigned: Vec<Arc<Vec<usize>>> =
+            deal.iter().map(|slots| Arc::new(slots.clone())).collect();
+        for (tx, slots) in pool.senders.iter().zip(&assigned) {
+            let _ = tx.send(ToWorker::Fire {
+                source: Arc::clone(&source),
+                assigned: Arc::clone(slots),
+            });
+        }
+        // Fire happens worker-locally; collect every partial image.
+        let wait_start = Instant::now();
+        let mut partials: Vec<(usize, SerializedBdd, usize)> = Vec::with_capacity(pool.len());
+        let mut pass_busy = Duration::ZERO;
+        for _ in 0..pool.len() {
+            match pool.recv() {
+                FromWorker::Partial {
+                    worker,
+                    image,
+                    peak,
+                    costs,
+                    busy,
+                } => {
+                    for (&slot, &c) in assigned[worker].iter().zip(&costs) {
+                        // Halfway-damped update: one freshly migrated slot
+                        // fires cold and reports an inflated cost; averaging
+                        // with the previous estimate keeps that one-pass
+                        // spike from bouncing the slot straight back.
+                        cost[slot] = (cost[slot] + c) / 2;
+                    }
+                    partials.push((worker, image, peak));
+                    pass_busy = pass_busy.max(busy);
+                }
+                FromWorker::Saturated { .. } => unreachable!("no saturation was requested"),
+            }
+        }
+        blocked += wait_start.elapsed();
+        slowest_busy += pass_busy;
+        // Merge in worker-id order: the owner's operation sequence is then
+        // independent of the arrival interleaving.
+        partials.sort_by_key(|&(worker, _, _)| worker);
+        let mut image = empty;
+        let mut pass_peak = 0usize;
+        for (_, serialized, peak) in &partials {
+            let partial = ctx.manager_mut().import_subgraph(serialized)[0];
+            image = ctx.manager_mut().or(image, partial);
+            pass_peak += peak;
+        }
+        ctx.manager_mut().absorb_shard_peak(pass_peak);
+
+        let new = ctx.manager_mut().diff(image, reached);
+        if new == empty {
+            break;
+        }
+        let next_reached = ctx.manager_mut().or(reached, new);
+        ctx.manager_mut().protect(next_reached);
+        ctx.manager_mut().protect(new);
+        ctx.manager_mut().unprotect(reached);
+        ctx.manager_mut().unprotect(frontier);
+        reached = next_reached;
+        frontier = new;
+        iterations += 1;
+        if owner_maintain(ctx, sift, iterations) {
+            // The owner's order moved under the replicas: re-serialize the
+            // (still protected) plan artefacts under the new order and
+            // rebuild every replica — including its reached-set replica —
+            // before the next pass.
+            let (artefacts, _) = serialize_artefacts(ctx.manager(), plan, &all_clusters);
+            let artefacts = Arc::new(artefacts);
+            let reached_snapshot = Arc::new(ctx.manager().export_subgraph(&[reached]));
+            for tx in &pool.senders {
+                let _ = tx.send(ToWorker::Resync {
+                    artefacts: Arc::clone(&artefacts),
+                    reached: Arc::clone(&reached_snapshot),
+                });
+            }
+        }
+    }
+    ctx.manager_mut().unprotect(frontier);
+    let critical_path = run_start.elapsed().saturating_sub(blocked) + slowest_busy;
+    pool.shutdown();
+    FixpointRun {
+        reached,
+        iterations,
+        truncated,
+        critical_path: Some(critical_path),
+    }
+}
+
+/// Layer (b): disjoint-support partitioned reachability. Workers saturate
+/// whole components concurrently; the owner conjoins the projected
+/// sub-fixpoints. `iterations` reports the largest local pass count.
+fn partitioned_fixpoint(
+    ctx: &mut SymbolicContext,
+    plan: &ImagePlan,
+    threads: usize,
+    max_iterations: Option<usize>,
+    components: &[Vec<usize>],
+) -> FixpointRun<Ref> {
+    // Pack components onto at most `threads` workers, kept deterministic
+    // by walking components in order and balancing by member count.
+    let workers = threads.min(components.len()).max(1);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0usize; workers];
+    let structural_pos: HashMap<usize, usize> = plan
+        .structural_order()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    for component in components {
+        let w = (0..workers)
+            .min_by_key(|&w| (load[w], w))
+            .expect("workers >= 1");
+        let weight: usize = component
+            .iter()
+            .map(|&c| plan.clusters()[c].members.len().max(1))
+            .sum();
+        load[w] += weight;
+        assignment[w].extend(component.iter().copied());
+    }
+    for clusters in &mut assignment {
+        // Keep each worker's chaining pass flowing along the net structure.
+        clusters.sort_by_key(|c| structural_pos[c]);
+    }
+
+    let worker_vars: Vec<BTreeSet<usize>> = assignment
+        .iter()
+        .map(|clusters| cluster_support_vars(ctx, plan, clusters))
+        .collect();
+
+    // Same critical-path model as the sharded layer: owner serial work
+    // plus the slowest worker's saturation time (there is only one
+    // owner-blocked wait here — the components saturate independently).
+    let run_start = Instant::now();
+    let shards = assignment
+        .iter()
+        .map(|clusters| {
+            let (artefacts, member_counts) = serialize_artefacts(ctx.manager(), plan, clusters);
+            (Arc::new(artefacts), member_counts)
+        })
+        .collect();
+    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations);
+    let init = Arc::new(ctx.manager().export_subgraph(&[ctx.initial_set()]));
+    pool.broadcast(|| ToWorker::Saturate(Arc::clone(&init)));
+    let wait_start = Instant::now();
+    let mut done: Vec<(usize, SerializedBdd, usize, bool, usize)> = Vec::with_capacity(pool.len());
+    let mut slowest_busy = Duration::ZERO;
+    for _ in 0..pool.len() {
+        match pool.recv() {
+            FromWorker::Saturated {
+                worker,
+                reached,
+                iterations,
+                truncated,
+                peak,
+                busy,
+            } => {
+                done.push((worker, reached, iterations, truncated, peak));
+                slowest_busy = slowest_busy.max(busy);
+            }
+            FromWorker::Partial { .. } => unreachable!("no per-pass firing was requested"),
+        }
+    }
+    let blocked = wait_start.elapsed();
+    pool.shutdown();
+    done.sort_by_key(|&(worker, ..)| worker);
+
+    // Recombine: each sub-fixpoint constrains its own component variables
+    // (everything else kept its initial value inside the worker), so
+    // projecting the *other* workers' variables away and conjoining yields
+    // exactly the product of the independent sub-spaces — with any
+    // variable belonging to no component still pinned to its initial
+    // value by every factor.
+    let current = ctx.current_vars().to_vec();
+    let mut reached = ctx.manager().one();
+    let mut iterations = 0usize;
+    let mut truncated = false;
+    let mut shard_peaks = 0usize;
+    for &(worker, ref serialized, its, trunc, peak) in &done {
+        let sub = ctx.manager_mut().import_subgraph(serialized)[0];
+        let other_vars: Vec<VarId> = worker_vars
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| w != worker)
+            .flat_map(|(_, vars)| vars.iter().map(|&i| current[i]))
+            .collect();
+        let projected = ctx.manager_mut().exists(sub, &other_vars);
+        reached = ctx.manager_mut().and(reached, projected);
+        iterations = iterations.max(its);
+        truncated |= trunc;
+        shard_peaks += peak;
+    }
+    ctx.manager_mut().absorb_shard_peak(shard_peaks);
+    ctx.manager_mut().protect(reached);
+    let critical_path = run_start.elapsed().saturating_sub(blocked) + slowest_busy;
+    FixpointRun {
+        reached,
+        iterations,
+        truncated,
+        critical_path: Some(critical_path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+    use crate::traverse::{FixpointStrategy, TraversalOptions};
+    use pnsym_net::nets::{muller, philosophers, slotted_ring};
+    use pnsym_net::{NetBuilder, PetriNet};
+
+    /// Two token rings with no shared places: the smallest net whose image
+    /// plan splits into several disjoint-support components.
+    fn two_independent_rings(a: usize, b: usize) -> PetriNet {
+        let mut builder = NetBuilder::new("two-rings");
+        for (ring, n) in [("a", a), ("b", b)] {
+            let places: Vec<_> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        builder.place_marked(format!("{ring}_p{i}"))
+                    } else {
+                        builder.place(format!("{ring}_p{i}"))
+                    }
+                })
+                .collect();
+            for i in 0..n {
+                builder.transition(format!("{ring}_t{i}"), &[places[i]], &[places[(i + 1) % n]]);
+            }
+        }
+        builder.build().unwrap()
+    }
+
+    /// The deal must cover every cluster slot exactly once for any pool
+    /// size and cost profile — the merged image is only the full image if
+    /// the deal is a partition — and equally heavy slots must land on
+    /// distinct workers.
+    #[test]
+    fn cost_deal_partitions_the_clusters() {
+        let skewed = vec![0u64, 5, 0, 40, 2, 40, 7, 1, 0, 3, 9, 40, 4];
+        for threads in [1, 2, 4, 7] {
+            for cost in [&vec![1u64; 13], &skewed] {
+                let assignment = assign_by_cost(cost, threads);
+                assert_eq!(assignment.len(), threads);
+                let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                let every_slot: Vec<usize> = (0..cost.len()).collect();
+                assert_eq!(seen, every_slot, "threads={threads}");
+                for slots in &assignment {
+                    assert!(slots.windows(2).all(|w| w[0] < w[1]), "structural order");
+                }
+            }
+        }
+        // Three equally heavy slots on three workers: longest-processing-
+        // time scheduling must separate them.
+        let assignment = assign_by_cost(&[40, 1, 40, 1, 40, 1], 3);
+        for slots in &assignment {
+            assert_eq!(slots.iter().filter(|&&slot| slot % 2 == 0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn connected_nets_form_one_component() {
+        for net in [philosophers(3), muller(4), slotted_ring(3)] {
+            let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+            let plan = ctx.image_plan();
+            assert_eq!(support_components(&ctx, &plan).len(), 1, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn disconnected_nets_split_into_components_and_agree_with_explicit() {
+        let net = two_independent_rings(4, 6);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        assert_eq!(expected, 24.0);
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let plan = ctx.image_plan();
+        assert!(
+            support_components(&ctx, &plan).len() >= 2,
+            "independent rings must separate into support components"
+        );
+        for threads in [1, 2, 4] {
+            let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+            let result = ctx.reachable_markings_with(TraversalOptions::with_strategy(
+                FixpointStrategy::Parallel { threads },
+            ));
+            assert_eq!(result.num_markings, expected, "threads={threads}");
+            assert!(!result.truncated);
+        }
+    }
+}

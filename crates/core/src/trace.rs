@@ -332,6 +332,31 @@ impl SymbolicContext {
     }
 }
 
+/// Runs `operation` and asserts it leaves the manager's protected-root
+/// count exactly where it found it — the invariant every trace-extraction
+/// path must uphold. A leak would pin dead fixpoint rings in the manager
+/// for the context's lifetime; an over-release would expose live plan
+/// artefacts to garbage collection. Shared by the trace tests here and the
+/// model-checker trace tests in `mc.rs`.
+#[cfg(test)]
+pub(crate) fn assert_protections_balanced<T>(
+    ctx: &mut SymbolicContext,
+    operation: impl FnOnce(&mut SymbolicContext) -> T,
+) -> T {
+    // Warm both lazy plans first: their one-time artefact protections are
+    // permanent by design and must not be charged to `operation`.
+    let _ = ctx.image_plan();
+    let _ = ctx.pre_image_plan();
+    let before = ctx.manager().protected_root_count();
+    let out = operation(ctx);
+    assert_eq!(
+        ctx.manager().protected_root_count(),
+        before,
+        "trace extraction must release every protection it takes"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,7 +385,8 @@ mod tests {
             let p7 = net.place_by_name("p7").unwrap();
             let target_prop = Property::all_marked(&[p6, p7]);
             let target = ctx.property_set(&target_prop);
-            let trace = ctx.witness_trace(target).expect("M7 is reachable");
+            let trace = assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target))
+                .expect("M7 is reachable");
             assert!(trace.validate(&net), "trace must replay on the token game");
             assert!(trace.witness().is_marked(p6));
             assert!(trace.witness().is_marked(p7));
@@ -375,7 +401,8 @@ mod tests {
         for mut ctx in contexts(&net) {
             let p1 = net.place_by_name("p1").unwrap();
             let target = ctx.place_fn(p1);
-            let trace = ctx.witness_trace(target).expect("initially satisfied");
+            let trace = assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target))
+                .expect("initially satisfied");
             assert!(trace.is_empty());
             assert_eq!(trace.witness(), net.initial_marking());
         }
@@ -390,7 +417,9 @@ mod tests {
             let p4 = net.place_by_name("p4").unwrap();
             let prop = Property::all_marked(&[p2, p4]);
             let target = ctx.property_set(&prop);
-            assert!(ctx.witness_trace(target).is_none());
+            assert!(
+                assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target)).is_none()
+            );
         }
     }
 
@@ -400,7 +429,8 @@ mod tests {
         for mut ctx in contexts(&net) {
             let reached = ctx.reachable_markings().reached;
             let dead = ctx.deadlocks_in(reached);
-            let trace = ctx.witness_trace(dead).expect("the deadlock is reachable");
+            let trace = assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(dead))
+                .expect("the deadlock is reachable");
             assert!(trace.validate(&net));
             let witness = trace.witness().clone();
             assert!(net.enabled_transitions(&witness).is_empty());
@@ -420,7 +450,8 @@ mod tests {
         for mut ctx in contexts(&net) {
             let cs1 = net.place_by_name("critical.1").unwrap();
             let target = ctx.place_fn(cs1);
-            let trace = ctx.witness_trace(target).expect("reachable");
+            let trace = assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target))
+                .expect("reachable");
             assert!(trace.validate(&net));
             // Cell 1 needs: request.1, pass.0 (token from cell 0), enter.1
             // => 3 firings minimum.
@@ -440,10 +471,10 @@ mod tests {
         let prop = Property::all_marked(&[p2, p4]);
         let target = ctx.property_set(&prop);
         ctx.manager_mut().protect(target);
-        assert!(ctx.witness_trace(target).is_none());
+        assert!(assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target)).is_none());
         ctx.manager_mut().collect_garbage();
         let live = ctx.manager().live_node_count();
-        assert!(ctx.witness_trace(target).is_none());
+        assert!(assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target)).is_none());
         ctx.manager_mut().collect_garbage();
         assert_eq!(
             ctx.manager().live_node_count(),
@@ -466,12 +497,15 @@ mod tests {
         let net = b.build().unwrap();
         let mut ctx = SymbolicContext::new(&net, crate::encoding::Encoding::sparse(&net));
         let target = ctx.place_fn(a);
-        let trace = ctx.one_step_trace(target).expect("spin keeps `a` marked");
+        let trace = assert_protections_balanced(&mut ctx, |ctx| ctx.one_step_trace(target))
+            .expect("spin keeps `a` marked");
         assert_eq!(trace.len(), 1);
         assert!(trace.validate(&net));
         assert_eq!(trace.witness(), net.initial_marking());
         assert!(
-            ctx.witness_trace(target).unwrap().is_empty(),
+            assert_protections_balanced(&mut ctx, |ctx| ctx.witness_trace(target))
+                .unwrap()
+                .is_empty(),
             "the ring search's shortest path is the empty trace here"
         );
         // Unreachable one-step targets yield no trace.
@@ -479,7 +513,7 @@ mod tests {
         let never = ctx.manager_mut().not(never);
         let d_fn = ctx.place_fn(d);
         let bad = ctx.manager_mut().and(never, d_fn);
-        assert!(ctx.one_step_trace(bad).is_none());
+        assert!(assert_protections_balanced(&mut ctx, |ctx| ctx.one_step_trace(bad)).is_none());
     }
 
     #[test]
@@ -487,7 +521,8 @@ mod tests {
         let net = philosophers(2);
         for mut ctx in contexts(&net) {
             let reached = ctx.reachable_markings().reached;
-            let m = ctx.pick_marking(reached).expect("non-empty");
+            let m = assert_protections_balanced(&mut ctx, |ctx| ctx.pick_marking(reached))
+                .expect("non-empty");
             assert!(ctx.set_contains(reached, &m));
             let places = ctx.pick_marked_places(reached).expect("non-empty");
             assert!(!places.is_empty());

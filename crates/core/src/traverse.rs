@@ -88,6 +88,22 @@ pub enum FixpointStrategy {
     /// are never re-imaged. Computes the same fixpoint as BFS and
     /// chaining. `iterations` counts productive saturation sweeps.
     Saturation,
+    /// Parallel cluster-image traversal over a pool of sharded BDD worker
+    /// threads (see the `parallel` module): each worker owns a replica
+    /// manager with the plan's image artefacts mirrored in; per pass the
+    /// owner deals the clusters onto the workers — rebalanced by each
+    /// cluster's latest cost, measured as a deterministic computed-cache
+    /// lookup count — every worker fires its share locally on a serialized
+    /// copy of the source set, and the partial images are merge-unioned
+    /// back in the owning manager in worker-id order. Nets whose clusters
+    /// split into disjoint-support components instead saturate the
+    /// independent subspaces concurrently. Computes the same fixpoint as
+    /// the sequential strategies, and the result is bit-identical for
+    /// every thread count.
+    Parallel {
+        /// Number of worker threads (values below 1 are clamped to 1).
+        threads: usize,
+    },
 }
 
 impl Default for FixpointStrategy {
@@ -110,6 +126,7 @@ impl std::fmt::Display for FixpointStrategy {
                 order: ChainingOrder::Index,
             } => write!(f, "chaining-index"),
             FixpointStrategy::Saturation => write!(f, "saturation"),
+            FixpointStrategy::Parallel { threads } => write!(f, "parallel-{threads}"),
         }
     }
 }
@@ -172,6 +189,15 @@ pub struct ReachabilityResult {
     pub peak_live_nodes: usize,
     /// Wall-clock time of the traversal.
     pub duration: Duration,
+    /// The traversal's *critical path*: for
+    /// [`FixpointStrategy::Parallel`] the owner's serial work plus the
+    /// slowest worker's busy time of every pass — the modeled wall time on
+    /// a host with one free core per worker. Wall clocks on an
+    /// oversubscribed host (fewer free cores than workers) measure
+    /// time-slicing, not the algorithm, so thread-scaling comparisons
+    /// should read this field; for sequential strategies it equals
+    /// [`ReachabilityResult::duration`].
+    pub critical_path: Duration,
     /// Whether the traversal stopped early because of
     /// [`TraversalOptions::max_iterations`].
     pub truncated: bool,
@@ -189,6 +215,11 @@ pub(crate) struct FixpointRun<S> {
     pub iterations: usize,
     /// Whether the iteration limit truncated the run.
     pub truncated: bool,
+    /// Modeled wall time on a host with one free core per worker: the
+    /// owner's serial work plus the slowest worker's busy time of every
+    /// pass. `None` for sequential runs, where it coincides with the
+    /// measured duration.
+    pub critical_path: Option<Duration>,
 }
 
 /// The minimal backend surface the generic fixpoint driver needs: set
@@ -234,6 +265,31 @@ pub(crate) trait FixpointKernel {
     /// Between-iteration maintenance: garbage collection, reordering.
     /// Called only when every live root is protected.
     fn maintain(&mut self, _iteration: usize) {}
+    /// Generation counter of the backend's variable order, bumped by every
+    /// reordering. [`FixpointStrategy::Saturation`] compares generations
+    /// around [`FixpointKernel::maintain`] and rebuilds its level buckets
+    /// when the order changed under it — the per-cluster
+    /// [`FixpointKernel::cluster_top_level`] answers are only meaningful
+    /// for the order they were read under. Backends that never reorder
+    /// keep the default constant.
+    fn order_generation(&self) -> u64 {
+        0
+    }
+    /// Runs [`FixpointStrategy::Parallel`]. The default falls back to the
+    /// sequential frontier-BFS fixpoint, so backends without a threaded
+    /// kernel (the ZDD engine) stay correct — and trivially deterministic —
+    /// under the parallel strategy; the BDD kernel overrides this with the
+    /// sharded worker pool of the `parallel` module.
+    fn run_parallel(
+        &mut self,
+        _threads: usize,
+        max_iterations: Option<usize>,
+    ) -> FixpointRun<Self::Set>
+    where
+        Self: Sized,
+    {
+        bfs(self, true, max_iterations)
+    }
 }
 
 /// Runs the fixpoint under the given strategy. On return the reached set
@@ -248,6 +304,7 @@ pub(crate) fn run_fixpoint<K: FixpointKernel>(
         FixpointStrategy::Bfs { use_frontier } => bfs(kernel, use_frontier, max_iterations),
         FixpointStrategy::Chaining { order } => chaining(kernel, order, max_iterations),
         FixpointStrategy::Saturation => saturation(kernel, max_iterations),
+        FixpointStrategy::Parallel { threads } => kernel.run_parallel(threads, max_iterations),
     }
 }
 
@@ -299,6 +356,7 @@ fn bfs<K: FixpointKernel>(
         reached,
         iterations,
         truncated,
+        critical_path: None,
     }
 }
 
@@ -345,16 +403,19 @@ fn chaining<K: FixpointKernel>(
         reached,
         iterations,
         truncated,
+        critical_path: None,
     }
 }
 
-fn saturation<K: FixpointKernel>(
-    kernel: &mut K,
-    max_iterations: Option<usize>,
-) -> FixpointRun<K::Set> {
-    // Bucket the clusters by their topmost written level, deepest level
-    // first, keeping the structural chaining order within each bucket so a
-    // level's inner fixpoint still fires along the net's flow.
+/// Buckets the clusters by their topmost written level, deepest level
+/// first, keeping the structural chaining order within each bucket so a
+/// level's inner fixpoint still fires along the net's flow. Returns the
+/// buckets and the inverse map `level_of[cluster] = bucket index`.
+///
+/// The bucketing is only valid for the variable order it was computed
+/// under: [`saturation`] rebuilds it whenever
+/// [`FixpointKernel::order_generation`] reports a mid-fixpoint reordering.
+fn saturation_buckets<K: FixpointKernel>(kernel: &K) -> (Vec<Vec<usize>>, Vec<usize>) {
     let mut buckets: std::collections::BTreeMap<std::cmp::Reverse<u32>, Vec<usize>> =
         std::collections::BTreeMap::new();
     for cluster in kernel.cluster_sequence(ChainingOrder::Structural) {
@@ -364,13 +425,22 @@ fn saturation<K: FixpointKernel>(
             .push(cluster);
     }
     let levels: Vec<Vec<usize>> = buckets.into_values().collect();
-    let num_clusters = kernel.num_clusters();
-    let mut level_of = vec![0usize; num_clusters];
+    let mut level_of = vec![0usize; kernel.num_clusters()];
     for (li, level) in levels.iter().enumerate() {
         for &c in level {
             level_of[c] = li;
         }
     }
+    (levels, level_of)
+}
+
+fn saturation<K: FixpointKernel>(
+    kernel: &mut K,
+    max_iterations: Option<usize>,
+) -> FixpointRun<K::Set> {
+    let (mut levels, mut level_of) = saturation_buckets(kernel);
+    let mut generation = kernel.order_generation();
+    let num_clusters = kernel.num_clusters();
     // `feeds[c]` = the clusters whose pre-set intersects the post-set of
     // cluster `c`: the only clusters a productive firing of `c` can newly
     // enable. A transition becomes enabled exactly when a place of its
@@ -443,6 +513,22 @@ fn saturation<K: FixpointKernel>(
                 }
                 iterations += 1;
                 kernel.maintain(iterations);
+                if kernel.order_generation() != generation {
+                    // Maintenance reordered the variables, so the level
+                    // bucketing (keyed on cluster_top_level under the *old*
+                    // order) is stale: what used to be the deepest bucket
+                    // may now sit at the top. Rebuild the buckets for the
+                    // new order — the per-cluster dirty flags carry over
+                    // unchanged, only their level grouping moves — and
+                    // restart the bottom-up scan.
+                    generation = kernel.order_generation();
+                    (levels, level_of) = saturation_buckets(kernel);
+                    dirty_level = levels
+                        .iter()
+                        .map(|level| level.iter().any(|&c| dirty[c]))
+                        .collect();
+                    continue 'outer;
+                }
                 if !dirty_level[li] {
                     // The level's own firings fed nothing back into it:
                     // locally saturated without a confirm sweep.
@@ -456,6 +542,7 @@ fn saturation<K: FixpointKernel>(
         reached,
         iterations,
         truncated,
+        critical_path: None,
     }
 }
 
@@ -491,8 +578,8 @@ impl FixpointKernel for BddFixpointKernel<'_> {
 
     fn cluster_top_level(&self, cluster: usize) -> u32 {
         // The topmost *current* variable the cluster writes, at its level
-        // in the present order (levels are read once, when the saturation
-        // buckets are built).
+        // in the present order (the saturation driver re-reads the levels
+        // whenever order_generation reports a reordering).
         let manager = self.ctx.manager();
         self.plan.clusters()[cluster]
             .var_indices
@@ -543,6 +630,20 @@ impl FixpointKernel for BddFixpointKernel<'_> {
             }
         }
     }
+
+    fn order_generation(&self) -> u64 {
+        self.ctx.manager().order_generation()
+    }
+
+    fn run_parallel(&mut self, threads: usize, max_iterations: Option<usize>) -> FixpointRun<Ref> {
+        crate::parallel::parallel_fixpoint(
+            self.ctx,
+            Rc::clone(&self.plan),
+            threads,
+            max_iterations,
+            self.sift,
+        )
+    }
 }
 
 impl SymbolicContext {
@@ -572,13 +673,15 @@ impl SymbolicContext {
 
         let num_markings = self.count_markings(run.reached);
         let bdd_nodes = self.bdd_size(run.reached);
+        let duration = start.elapsed();
         ReachabilityResult {
             reached: run.reached,
             num_markings,
             iterations: run.iterations,
             bdd_nodes,
             peak_live_nodes: self.manager().peak_live_nodes(),
-            duration: start.elapsed(),
+            duration,
+            critical_path: run.critical_path.unwrap_or(duration),
             truncated: run.truncated,
             strategy: options.strategy,
         }
@@ -612,7 +715,7 @@ mod tests {
         ]
     }
 
-    fn all_strategies() -> [FixpointStrategy; 5] {
+    fn all_strategies() -> [FixpointStrategy; 6] {
         [
             FixpointStrategy::Bfs { use_frontier: true },
             FixpointStrategy::Bfs {
@@ -625,6 +728,7 @@ mod tests {
                 order: ChainingOrder::Index,
             },
             FixpointStrategy::Saturation,
+            FixpointStrategy::Parallel { threads: 2 },
         ]
     }
 
@@ -841,6 +945,96 @@ mod tests {
         });
         assert!(result.truncated);
         assert_eq!(result.iterations, 1);
+    }
+
+    /// A three-cluster chain (`c0 → c1 → c2`) over bitmask sets whose
+    /// `maintain` reorders the backend mid-run: the level assignment of the
+    /// clusters inverts and `order_generation` bumps, exactly what a sift
+    /// does under the BDD kernel. The fire log records the generation each
+    /// image was computed under.
+    struct ReorderingMockKernel {
+        log: Vec<(usize, u64)>,
+        generation: u64,
+        reorder_at: usize,
+    }
+
+    impl FixpointKernel for ReorderingMockKernel {
+        type Set = u64;
+
+        fn empty(&self) -> u64 {
+            0
+        }
+        fn initial(&mut self) -> u64 {
+            0b1
+        }
+        fn num_clusters(&self) -> usize {
+            3
+        }
+        fn cluster_sequence(&self, _order: ChainingOrder) -> Vec<usize> {
+            vec![0, 1, 2]
+        }
+        fn cluster_top_level(&self, cluster: usize) -> u32 {
+            // The mid-run reorder inverts the level assignment: cluster 0
+            // starts deepest, cluster 2 ends deepest.
+            if self.generation == 0 {
+                [30, 20, 10][cluster]
+            } else {
+                [10, 20, 30][cluster]
+            }
+        }
+        fn cluster_feeds(&self, from: usize, to: usize) -> bool {
+            to == from + 1
+        }
+        fn cluster_image(&mut self, cluster: usize, from: u64) -> u64 {
+            self.log.push((cluster, self.generation));
+            if from & (1 << cluster) != 0 {
+                1 << (cluster + 1)
+            } else {
+                0
+            }
+        }
+        fn union(&mut self, a: u64, b: u64) -> u64 {
+            a | b
+        }
+        fn diff(&mut self, a: u64, b: u64) -> u64 {
+            a & !b
+        }
+        fn maintain(&mut self, iteration: usize) {
+            if iteration == self.reorder_at {
+                self.generation += 1;
+            }
+        }
+        fn order_generation(&self) -> u64 {
+            self.generation
+        }
+    }
+
+    #[test]
+    fn saturation_rebuilds_level_buckets_after_a_mid_run_reorder() {
+        let mut kernel = ReorderingMockKernel {
+            log: Vec::new(),
+            generation: 0,
+            reorder_at: 1,
+        };
+        let run = run_fixpoint(&mut kernel, FixpointStrategy::Saturation, None);
+        assert_eq!(run.reached, 0b1111);
+        assert!(!run.truncated);
+        assert_eq!(kernel.generation, 1, "the mock must have reordered mid-run");
+        // After the reorder, cluster 2 owns the deepest bucket, so the
+        // bottom-up scan must visit it before cluster 1. With stale buckets
+        // the scan instead carries on with the *old* deepest-first order and
+        // fires cluster 1 next.
+        let first_after_reorder = kernel
+            .log
+            .iter()
+            .find(|&&(_, generation)| generation == 1)
+            .map(|&(cluster, _)| cluster);
+        assert_eq!(
+            first_after_reorder,
+            Some(2),
+            "saturation kept firing under the stale level bucketing: {:?}",
+            kernel.log
+        );
     }
 
     #[test]

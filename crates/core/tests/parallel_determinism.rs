@@ -1,0 +1,169 @@
+//! Cross-thread determinism of the parallel traversal strategy.
+//!
+//! `FixpointStrategy::Parallel { threads: N }` must be bit-identical to the
+//! sequential strategies for every `N`: same marking counts, same deadlock
+//! counts, same CTL verdicts. The sharded BFS merges partial images in
+//! worker-id order and the partitioned saturation recombines per-component
+//! projections whose conjunction is independent of the packing, so nothing
+//! about the result may depend on the thread count — these tests pin that
+//! down on every bundled net family plus randomized compositions.
+
+use pnsym_core::{
+    ChainingOrder, Encoding, FixpointStrategy, Property, SymbolicContext, TraversalOptions,
+};
+use pnsym_net::nets::{
+    dme, figure1, jjreg, muller, philosophers, property_suite, random_composed, slotted_ring,
+    DmeStyle, JjregVariant, RandomNetConfig,
+};
+use pnsym_net::PetriNet;
+use pnsym_structural::find_smcs;
+
+fn context(net: &PetriNet) -> SymbolicContext {
+    match find_smcs(net) {
+        Ok(smcs) => SymbolicContext::new(
+            net,
+            Encoding::improved(net, &smcs, pnsym_core::AssignmentStrategy::Gray),
+        ),
+        Err(_) => SymbolicContext::new(net, Encoding::sparse(net)),
+    }
+}
+
+fn sequential_strategies() -> [FixpointStrategy; 3] {
+    [
+        FixpointStrategy::Bfs { use_frontier: true },
+        FixpointStrategy::Chaining {
+            order: ChainingOrder::Structural,
+        },
+        FixpointStrategy::Saturation,
+    ]
+}
+
+fn parallel_strategies() -> [FixpointStrategy; 3] {
+    [
+        FixpointStrategy::Parallel { threads: 1 },
+        FixpointStrategy::Parallel { threads: 2 },
+        FixpointStrategy::Parallel { threads: 4 },
+    ]
+}
+
+/// Marking count and deadlock count of one net under one strategy.
+fn counts(net: &PetriNet, strategy: FixpointStrategy) -> (f64, f64) {
+    let mut ctx = context(net);
+    let run = ctx.reachable_markings_with(TraversalOptions::with_strategy(strategy));
+    assert!(!run.truncated, "{}: {strategy} truncated", net.name());
+    let dead = ctx.deadlocks_in(run.reached);
+    (run.num_markings, ctx.count_markings(dead))
+}
+
+#[test]
+fn bundled_nets_agree_across_thread_counts_and_with_sequential() {
+    let nets = [
+        figure1(),
+        muller(4),
+        philosophers(3),
+        slotted_ring(3),
+        dme(3, DmeStyle::Spec),
+        jjreg(JjregVariant::B),
+    ];
+    for net in &nets {
+        let explicit = net.explore().expect("bundled nets are small");
+        let expected = (
+            explicit.num_markings() as f64,
+            explicit.deadlocks(net).len() as f64,
+        );
+        for strategy in sequential_strategies()
+            .into_iter()
+            .chain(parallel_strategies())
+        {
+            assert_eq!(
+                counts(net, strategy),
+                expected,
+                "{}: {strategy} disagrees with explicit exploration",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ctl_verdicts_are_identical_across_thread_counts() {
+    let nets = [figure1(), philosophers(3), slotted_ring(3)];
+    for net in &nets {
+        let suite = property_suite(net);
+        for spec in &suite {
+            let prop = Property::parse(&spec.formula, net).expect("bundled formulas parse");
+            let mut verdicts = Vec::new();
+            for strategy in [
+                FixpointStrategy::default(),
+                FixpointStrategy::Parallel { threads: 1 },
+                FixpointStrategy::Parallel { threads: 2 },
+                FixpointStrategy::Parallel { threads: 4 },
+            ] {
+                let mut ctx = context(net);
+                let report =
+                    ctx.check_property_with(&prop, TraversalOptions::with_strategy(strategy));
+                assert!(!report.truncated);
+                verdicts.push((report.holds, report.sat_markings, report.reached_markings));
+            }
+            assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "{}: `{}` verdict varies with the thread count: {verdicts:?}",
+                net.name(),
+                spec.formula
+            );
+            if let Some(expect) = spec.expect {
+                assert_eq!(
+                    verdicts[0].0,
+                    expect,
+                    "{}: `{}` misses its recorded expectation",
+                    net.name(),
+                    spec.formula
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_compositions_agree_across_thread_counts() {
+    // Synchronised compositions exercise the sharded-BFS layer; the
+    // zero-synchronisation configs fall apart into independent components
+    // and exercise the partitioned-saturation layer.
+    let configs = [
+        RandomNetConfig::default(),
+        RandomNetConfig {
+            components: 3,
+            min_places: 2,
+            max_places: 4,
+            synchronisations: 0,
+        },
+        RandomNetConfig {
+            components: 5,
+            min_places: 2,
+            max_places: 4,
+            synchronisations: 4,
+        },
+    ];
+    for (ci, config) in configs.into_iter().enumerate() {
+        for seed in [1u64, 7, 42] {
+            let net = random_composed(config, seed);
+            let explicit = net.explore().expect("random nets are small");
+            let expected = (
+                explicit.num_markings() as f64,
+                explicit.deadlocks(&net).len() as f64,
+            );
+            let baseline = counts(&net, FixpointStrategy::default());
+            assert_eq!(
+                baseline, expected,
+                "config {ci} seed {seed}: bfs disagrees with explicit"
+            );
+            for strategy in parallel_strategies() {
+                assert_eq!(
+                    counts(&net, strategy),
+                    expected,
+                    "config {ci} seed {seed}: {strategy} disagrees"
+                );
+            }
+        }
+    }
+}
