@@ -82,6 +82,9 @@ pub(crate) struct ComputedCache {
     max_log2: u32,
     /// Inserts since the last resize, driving the bounded growth heuristic.
     inserts_since_resize: u64,
+    /// Number of entry-array growths over the cache's lifetime; observed by
+    /// the manager's budget checkpoints as a fault-injection site.
+    growths: u64,
     counters: CacheCounters,
 }
 
@@ -112,8 +115,16 @@ impl ComputedCache {
             generation: 1,
             max_log2,
             inserts_since_resize: 0,
+            growths: 0,
             counters: CacheCounters::default(),
         }
+    }
+
+    /// Number of entry-array growths so far (monotone).
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn growth_events(&self) -> u64 {
+        self.growths
     }
 
     /// Number of slots currently allocated.
@@ -218,6 +229,7 @@ impl ComputedCache {
     }
 
     fn grow(&mut self) {
+        self.growths += 1;
         let new_cap = (self.entries.len() * 2).min(self.max_capacity());
         let old = std::mem::replace(&mut self.entries, vec![Entry::default(); new_cap]);
         self.mask = new_cap - 1;

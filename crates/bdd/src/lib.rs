@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod budget;
 mod cache;
 mod dot;
 mod isop;
@@ -51,6 +52,9 @@ mod transfer;
 mod zdd;
 
 pub use analysis::SatAssignments;
+pub use budget::{Budget, Interrupt, TruncationReason};
+#[cfg(feature = "fault-inject")]
+pub use budget::{FaultSchedule, FaultSite};
 pub use isop::Cube;
 pub use manager::{BddManager, ManagerStats, OpCacheStats, Ref, VarId};
 pub use reorder::SiftConfig;

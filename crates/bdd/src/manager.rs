@@ -12,6 +12,7 @@
 //! invalidated by generation counter — see [`crate::table`] and
 //! [`crate::cache`] for the rationale.
 
+use crate::budget::{Budget, Interrupt};
 use crate::cache::ComputedCache;
 use crate::table::UniqueTable;
 use std::collections::HashMap;
@@ -265,6 +266,13 @@ pub struct BddManager {
     /// [`BddManager::peak_live_nodes`] so parallel statistics account for
     /// worker arenas too.
     pub(crate) shard_peak: usize,
+    /// The resource envelope governing this manager's operations, if any
+    /// (see [`BddManager::install_budget`]).
+    pub(crate) budget: Option<Budget>,
+    /// Table/cache growth events already accounted to the fault schedule
+    /// when the current budget was installed.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) growths_seen: (u64, u64),
 }
 
 impl fmt::Debug for BddManager {
@@ -300,6 +308,9 @@ impl BddManager {
             gc_hint_threshold: 1 << 20,
             order_generation: 0,
             shard_peak: 0,
+            budget: None,
+            #[cfg(feature = "fault-inject")]
+            growths_seen: (0, 0),
         };
         // Terminal nodes FALSE (0) and TRUE (1).
         m.nodes.push(Node {
@@ -582,6 +593,103 @@ impl BddManager {
     /// The current advisory GC threshold (see [`BddManager::should_collect`]).
     pub fn gc_threshold(&self) -> usize {
         self.gc_hint_threshold
+    }
+
+    /// Installs `budget` as the governor of this manager's operations.
+    ///
+    /// Once installed, the fallible `try_*` operation family checks the
+    /// budget cooperatively (amortized inside the recursions, see
+    /// [`Budget`]) and unwinds with a typed
+    /// [`Interrupt`] on breach; the infallible
+    /// wrappers (`and`, `or`, …) panic on breach, so governed callers
+    /// must use `try_*`. Replaces any previously installed budget.
+    pub fn install_budget(&mut self, budget: Budget) {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.growths_seen = (self.table_growth_events(), self.cache.growth_events());
+        }
+        self.budget = Some(budget);
+    }
+
+    /// Removes and returns the installed budget (with its sticky breach, if
+    /// any). Afterwards the manager is ungoverned again: the same query can
+    /// be re-run to completion on the same, still-consistent manager.
+    pub fn take_budget(&mut self) -> Option<Budget> {
+        self.budget.take()
+    }
+
+    /// The installed budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// The amortized cooperative budget check: counts one governed step
+    /// and, every [`Budget::CHECK_INTERVAL`] steps (or promptly once a
+    /// ceiling is exceeded), performs the real deadline/node-count check.
+    /// Free when no budget is installed; the kernel recursions call this
+    /// once per cache miss.
+    #[inline]
+    pub fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        match self.budget.as_mut() {
+            None => Ok(()),
+            Some(b) => {
+                if b.tick() {
+                    self.checkpoint_slow()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    #[cold]
+    fn checkpoint_slow(&mut self) -> Result<(), Interrupt> {
+        self.budget_check()
+    }
+
+    /// Forces a full budget check right now, skipping the amortization.
+    /// Traversal drivers call this at every pass/cluster boundary so even
+    /// a run too small to trip the amortized in-recursion check still
+    /// observes a tiny deadline deterministically.
+    pub fn force_checkpoint(&mut self) -> Result<(), Interrupt> {
+        if self.budget.is_none() {
+            return Ok(());
+        }
+        self.budget_check()
+    }
+
+    fn budget_check(&mut self) -> Result<(), Interrupt> {
+        #[cfg(feature = "fault-inject")]
+        {
+            let table = self.table_growth_events();
+            let cache = self.cache.growth_events();
+            let (table_seen, cache_seen) = self.growths_seen;
+            self.growths_seen = (table, cache);
+            let b = self.budget.as_mut().expect("budget_check without budget");
+            b.observe_fault_events(crate::budget::FaultSite::TableGrowth, table - table_seen)?;
+            b.observe_fault_events(crate::budget::FaultSite::CacheGrowth, cache - cache_seen)?;
+        }
+        let live = self.live_node_count();
+        self.budget
+            .as_mut()
+            .expect("budget_check without budget")
+            .check(live)
+    }
+
+    /// Records one event at an out-of-kernel fault-injection site (replica
+    /// import, worker spawn); fails when the installed budget's schedule
+    /// trips on it. A manager without a budget observes nothing.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_event(&mut self, site: crate::budget::FaultSite) -> Result<(), Interrupt> {
+        match self.budget.as_mut() {
+            Some(b) => b.observe_fault_events(site, 1),
+            None => Ok(()),
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn table_growth_events(&self) -> u64 {
+        self.unique.iter().map(|t| t.growth_events()).sum()
     }
 
     /// Total computed-cache lookups (hits plus misses) issued so far.

@@ -1,112 +1,154 @@
 //! Boolean operations on BDDs: the Shannon-expansion `apply` family,
 //! if-then-else, quantification, the relational product and variable
 //! renaming.
+//!
+//! Every memoised recursion exists in two forms: a fallible `try_*` entry
+//! point returning `Result<Ref, Interrupt>` that checks the manager's
+//! installed [`Budget`](crate::Budget) cooperatively (one amortized
+//! [`BddManager::checkpoint`] per cache miss — the cache-hit fast path pays
+//! nothing), and the classic infallible wrapper that panics if a governed
+//! manager breaches mid-operation. An interrupted recursion unwinds with
+//! `?` after completing every node it interned and every cache entry it
+//! wrote, so the manager stays fully consistent: unique tables canonical,
+//! cache valid, GC still legal, and the same operation can be re-run to
+//! completion once the budget is removed.
 
+use crate::budget::Interrupt;
 use crate::manager::{BddManager, Op, Ref, VarId, FALSE, TERMINAL_LEVEL, TRUE};
 use std::collections::HashMap;
+
+/// Panic message of the infallible wrappers; only reachable when a budget
+/// is installed *and* breached, i.e. when a governed caller used the wrong
+/// entry point.
+const UNGOVERNED: &str =
+    "budget breached inside an infallible BDD operation; governed callers must use the try_* API";
 
 impl BddManager {
     /// Logical negation `¬f`.
     pub fn not(&mut self, f: Ref) -> Ref {
-        Ref(self.not_rec(f.0))
+        self.try_not(f).expect(UNGOVERNED)
     }
 
-    fn not_rec(&mut self, f: u32) -> u32 {
+    /// Fallible [`BddManager::not`]: unwinds with a typed [`Interrupt`] if
+    /// the installed budget breaches mid-recursion.
+    pub fn try_not(&mut self, f: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.not_rec(f.0)?))
+    }
+
+    fn not_rec(&mut self, f: u32) -> Result<u32, Interrupt> {
         match f {
-            FALSE => TRUE,
-            TRUE => FALSE,
+            FALSE => Ok(TRUE),
+            TRUE => Ok(FALSE),
             _ => {
                 let key = (Op::Not, f, 0, 0);
                 if let Some(r) = self.cache_get(key) {
-                    return r;
+                    return Ok(r);
                 }
+                self.checkpoint()?;
                 let n = self.nodes[f as usize];
-                let low = self.not_rec(n.low);
-                let high = self.not_rec(n.high);
+                let low = self.not_rec(n.low)?;
+                let high = self.not_rec(n.high)?;
                 let r = self.mk(n.level, low, high);
                 self.cache_put(key, r);
-                r
+                Ok(r)
             }
         }
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        Ref(self.and_rec(f.0, g.0))
+        self.try_and(f, g).expect(UNGOVERNED)
     }
 
-    fn and_rec(&mut self, f: u32, g: u32) -> u32 {
+    /// Fallible [`BddManager::and`].
+    pub fn try_and(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.and_rec(f.0, g.0)?))
+    }
+
+    fn and_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         // Terminal cases.
         if f == g {
-            return f;
+            return Ok(f);
         }
         if f == FALSE || g == FALSE {
-            return FALSE;
+            return Ok(FALSE);
         }
         if f == TRUE {
-            return g;
+            return Ok(g);
         }
         if g == TRUE {
-            return f;
+            return Ok(f);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::And, a, b, 0);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
-        let low = self.and_rec(fl, gl);
-        let high = self.and_rec(fh, gh);
+        let low = self.and_rec(fl, gl)?;
+        let high = self.and_rec(fh, gh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.try_or(f, g).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::or`].
+    pub fn try_or(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
         // A dedicated recursion (rather than De Morgan over `and`) keeps the
         // direct-mapped computed cache from carrying three negation results
         // per disjunction.
-        Ref(self.or_rec(f.0, g.0))
+        Ok(Ref(self.or_rec(f.0, g.0)?))
     }
 
-    fn or_rec(&mut self, f: u32, g: u32) -> u32 {
+    fn or_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         if f == g || g == FALSE {
-            return f;
+            return Ok(f);
         }
         if f == FALSE {
-            return g;
+            return Ok(g);
         }
         if f == TRUE || g == TRUE {
-            return TRUE;
+            return Ok(TRUE);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::Or, a, b, 0);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
-        let low = self.or_rec(fl, gl);
-        let high = self.or_rec(fh, gh);
+        let low = self.or_rec(fl, gl)?;
+        let high = self.or_rec(fh, gh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        Ref(self.xor_rec(f.0, g.0))
+        self.try_xor(f, g).expect(UNGOVERNED)
     }
 
-    fn xor_rec(&mut self, f: u32, g: u32) -> u32 {
+    /// Fallible [`BddManager::xor`].
+    pub fn try_xor(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.xor_rec(f.0, g.0)?))
+    }
+
+    fn xor_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         if f == g {
-            return FALSE;
+            return Ok(FALSE);
         }
         if f == FALSE {
-            return g;
+            return Ok(g);
         }
         if g == FALSE {
-            return f;
+            return Ok(f);
         }
         if f == TRUE {
             return self.not_rec(g);
@@ -117,20 +159,26 @@ impl BddManager {
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::Xor, a, b, 0);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
-        let low = self.xor_rec(fl, gl);
-        let high = self.xor_rec(fh, gh);
+        let low = self.xor_rec(fl, gl)?;
+        let high = self.xor_rec(fh, gh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Equivalence `f ≡ g` (XNOR).
     pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
-        let x = self.xor(f, g);
-        self.not(x)
+        self.try_iff(f, g).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::iff`].
+    pub fn try_iff(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
+        let x = self.try_xor(f, g)?;
+        self.try_not(x)
     }
 
     /// Implication `f ⇒ g`.
@@ -141,35 +189,46 @@ impl BddManager {
 
     /// Difference `f ∧ ¬g`.
     pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.try_diff(f, g).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::diff`].
+    pub fn try_diff(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
+        let ng = self.try_not(g)?;
+        self.try_and(f, ng)
     }
 
     /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
-        Ref(self.ite_rec(f.0, g.0, h.0))
+        self.try_ite(f, g, h).expect(UNGOVERNED)
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+    /// Fallible [`BddManager::ite`].
+    pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.ite_rec(f.0, g.0, h.0)?))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, Interrupt> {
         if f == TRUE {
-            return g;
+            return Ok(g);
         }
         if f == FALSE {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == TRUE && h == FALSE {
-            return f;
+            return Ok(f);
         }
         if g == FALSE && h == TRUE {
             return self.not_rec(f);
         }
         let key = (Op::Ite, f, g, h);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lg = self.level(g);
         let lh = self.level(h);
@@ -177,35 +236,45 @@ impl BddManager {
         let (fl, fh) = self.cofactors_at(f, level);
         let (gl, gh) = self.cofactors_at(g, level);
         let (hl, hh) = self.cofactors_at(h, level);
-        let low = self.ite_rec(fl, gl, hl);
-        let high = self.ite_rec(fh, gh, hh);
+        let low = self.ite_rec(fl, gl, hl)?;
+        let high = self.ite_rec(fh, gh, hh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Conjunction of many operands (`TRUE` for an empty slice).
     pub fn and_many(&mut self, fs: &[Ref]) -> Ref {
+        self.try_and_many(fs).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::and_many`].
+    pub fn try_and_many(&mut self, fs: &[Ref]) -> Result<Ref, Interrupt> {
         let mut acc = self.one();
         for &f in fs {
-            acc = self.and(acc, f);
+            acc = self.try_and(acc, f)?;
             if acc == self.zero() {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Disjunction of many operands (`FALSE` for an empty slice).
     pub fn or_many(&mut self, fs: &[Ref]) -> Ref {
+        self.try_or_many(fs).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::or_many`].
+    pub fn try_or_many(&mut self, fs: &[Ref]) -> Result<Ref, Interrupt> {
         let mut acc = self.zero();
         for &f in fs {
-            acc = self.or(acc, f);
+            acc = self.try_or(acc, f)?;
             if acc == self.one() {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// The conjunction of literals described by `lits`
@@ -237,27 +306,38 @@ impl BddManager {
 
     /// Existential quantification `∃ vars. f`.
     pub fn exists(&mut self, f: Ref, vars: &[VarId]) -> Ref {
+        self.try_exists(f, vars).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`BddManager::exists`].
+    pub fn try_exists(&mut self, f: Ref, vars: &[VarId]) -> Result<Ref, Interrupt> {
         if vars.is_empty() {
-            return f;
+            return Ok(f);
         }
         let cube = self.var_cube(vars);
-        self.exists_cube(f, cube)
+        self.try_exists_cube(f, cube)
     }
 
     /// Existential quantification where the variable set is given as a
     /// positive cube (see [`BddManager::var_cube`]).
     pub fn exists_cube(&mut self, f: Ref, cube: Ref) -> Ref {
-        Ref(self.exists_rec(f.0, cube.0))
+        self.try_exists_cube(f, cube).expect(UNGOVERNED)
     }
 
-    fn exists_rec(&mut self, f: u32, cube: u32) -> u32 {
+    /// Fallible [`BddManager::exists_cube`].
+    pub fn try_exists_cube(&mut self, f: Ref, cube: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.exists_rec(f.0, cube.0)?))
+    }
+
+    fn exists_rec(&mut self, f: u32, cube: u32) -> Result<u32, Interrupt> {
         if f == FALSE || f == TRUE || cube == TRUE {
-            return f;
+            return Ok(f);
         }
         let key = (Op::Exists, f, cube, 0);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let fl = self.level(f);
         // Skip cube variables above the root of f.
         let mut c = cube;
@@ -266,22 +346,22 @@ impl BddManager {
         }
         if c == TRUE {
             self.cache_put(key, f);
-            return f;
+            return Ok(f);
         }
         let cl = self.level(c);
         let n = self.nodes[f as usize];
         let r = if fl == cl {
-            let low = self.exists_rec(n.low, self.nodes[c as usize].high);
-            let high = self.exists_rec(n.high, self.nodes[c as usize].high);
-            self.or_idx(low, high)
+            let low = self.exists_rec(n.low, self.nodes[c as usize].high)?;
+            let high = self.exists_rec(n.high, self.nodes[c as usize].high)?;
+            self.or_idx(low, high)?
         } else {
             // fl < cl: keep the variable.
-            let low = self.exists_rec(n.low, c);
-            let high = self.exists_rec(n.high, c);
+            let low = self.exists_rec(n.low, c)?;
+            let high = self.exists_rec(n.high, c)?;
             self.mk(fl, low, high)
         };
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Universal quantification `∀ vars. f`.
@@ -303,12 +383,17 @@ impl BddManager {
 
     /// [`BddManager::and_exists`] with the quantification set given as a cube.
     pub fn and_exists_cube(&mut self, f: Ref, g: Ref, cube: Ref) -> Ref {
-        Ref(self.and_exists_rec(f.0, g.0, cube.0))
+        self.try_and_exists_cube(f, g, cube).expect(UNGOVERNED)
     }
 
-    fn and_exists_rec(&mut self, f: u32, g: u32, cube: u32) -> u32 {
+    /// Fallible [`BddManager::and_exists_cube`].
+    pub fn try_and_exists_cube(&mut self, f: Ref, g: Ref, cube: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.and_exists_rec(f.0, g.0, cube.0)?))
+    }
+
+    fn and_exists_rec(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, Interrupt> {
         if f == FALSE || g == FALSE {
-            return FALSE;
+            return Ok(FALSE);
         }
         if cube == TRUE {
             return self.and_rec(f, g);
@@ -325,8 +410,9 @@ impl BddManager {
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::AndExists, a, b, cube);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lg = self.level(g);
         let level = lf.min(lg);
@@ -336,29 +422,29 @@ impl BddManager {
             c = self.nodes[c as usize].high;
         }
         if c == TRUE {
-            let r = self.and_rec(f, g);
+            let r = self.and_rec(f, g)?;
             self.cache_put(key, r);
-            return r;
+            return Ok(r);
         }
         let cl = self.level(c);
         let (fl_, fh_) = self.cofactors_at(f, level);
         let (gl_, gh_) = self.cofactors_at(g, level);
         let r = if level == cl {
             let next_cube = self.nodes[c as usize].high;
-            let low = self.and_exists_rec(fl_, gl_, next_cube);
+            let low = self.and_exists_rec(fl_, gl_, next_cube)?;
             if low == TRUE {
                 TRUE
             } else {
-                let high = self.and_exists_rec(fh_, gh_, next_cube);
-                self.or_idx(low, high)
+                let high = self.and_exists_rec(fh_, gh_, next_cube)?;
+                self.or_idx(low, high)?
             }
         } else {
-            let low = self.and_exists_rec(fl_, gl_, c);
-            let high = self.and_exists_rec(fh_, gh_, c);
+            let low = self.and_exists_rec(fl_, gl_, c)?;
+            let high = self.and_exists_rec(fh_, gh_, c)?;
             self.mk(level, low, high)
         };
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     /// Cofactor (restriction) of `f` with variable `v` fixed to `value`.
@@ -464,45 +550,51 @@ impl BddManager {
     /// The result agrees with `f` on every assignment satisfying `c` and is
     /// typically (not always) smaller than `f`.
     pub fn constrain(&mut self, f: Ref, c: Ref) -> Ref {
-        Ref(self.constrain_rec(f.0, c.0))
+        self.try_constrain(f, c).expect(UNGOVERNED)
     }
 
-    fn constrain_rec(&mut self, f: u32, c: u32) -> u32 {
+    /// Fallible [`BddManager::constrain`].
+    pub fn try_constrain(&mut self, f: Ref, c: Ref) -> Result<Ref, Interrupt> {
+        Ok(Ref(self.constrain_rec(f.0, c.0)?))
+    }
+
+    fn constrain_rec(&mut self, f: u32, c: u32) -> Result<u32, Interrupt> {
         if c == TRUE || f == FALSE || f == TRUE {
-            return f;
+            return Ok(f);
         }
         if c == FALSE {
-            return FALSE;
+            return Ok(FALSE);
         }
         if f == c {
-            return TRUE;
+            return Ok(TRUE);
         }
         let key = (Op::Constrain, f, c, 0);
         if let Some(r) = self.cache_get(key) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lc = self.level(c);
         let level = lf.min(lc);
         let (cl, ch) = self.cofactors_at(c, level);
         let r = if cl == FALSE {
             let (_, fh) = self.cofactors_at(f, level);
-            self.constrain_rec(fh, ch)
+            self.constrain_rec(fh, ch)?
         } else if ch == FALSE {
             let (fl_, _) = self.cofactors_at(f, level);
-            self.constrain_rec(fl_, cl)
+            self.constrain_rec(fl_, cl)?
         } else {
             let (fl_, fh) = self.cofactors_at(f, level);
-            let low = self.constrain_rec(fl_, cl);
-            let high = self.constrain_rec(fh, ch);
+            let low = self.constrain_rec(fl_, cl)?;
+            let high = self.constrain_rec(fh, ch)?;
             self.mk(level, low, high)
         };
         self.cache_put(key, r);
-        r
+        Ok(r)
     }
 
     #[inline]
-    fn or_idx(&mut self, f: u32, g: u32) -> u32 {
+    fn or_idx(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         self.or_rec(f, g)
     }
 
@@ -532,6 +624,7 @@ impl BddManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{Budget, TruncationReason};
 
     fn setup() -> (BddManager, Vec<VarId>) {
         let m = BddManager::with_vars(4);
@@ -739,5 +832,66 @@ mod tests {
         let g2 = m.and(na, nb);
         assert_eq!(g, g2);
         assert!(m.check_invariants().is_ok());
+    }
+
+    /// Builds a function wide enough that operations on it take thousands
+    /// of cache-miss steps: the "hidden weighted bit"-ish predicate
+    /// counting set bits. Returns the manager and two such functions.
+    fn wide_setup(vars: usize) -> (BddManager, Ref, Ref) {
+        let mut m = BddManager::with_vars(vars);
+        let ids = m.variables();
+        // f = parity of all vars, g = majority-ish threshold; both have
+        // many distinct subfunctions so conjunction walks a big state space.
+        let mut f = m.zero();
+        for &v in &ids {
+            let lit = m.var(v);
+            f = m.xor(f, lit);
+        }
+        let mut g = m.one();
+        for w in ids.windows(2) {
+            let x = m.var(w[0]);
+            let y = m.var(w[1]);
+            let or = m.or(x, y);
+            g = m.and(g, or);
+        }
+        (m, f, g)
+    }
+
+    #[test]
+    fn interrupted_operation_leaves_the_manager_consistent() {
+        let (mut m, f, g) = wide_setup(24);
+        m.protect(f);
+        m.protect(g);
+        let before_protected = m.protected_root_count();
+        m.install_budget(Budget::new().with_step_ceiling(10));
+        let err = m.try_and(f, g).unwrap_err();
+        assert_eq!(err.reason, TruncationReason::StepBudget);
+        // Sticky: the next governed call fails immediately too.
+        assert_eq!(
+            m.try_or(f, g).unwrap_err().reason,
+            TruncationReason::StepBudget
+        );
+        // The manager is untouched structurally: invariants hold, no
+        // protection leaked, GC is still legal...
+        assert!(m.check_invariants().is_ok());
+        assert_eq!(m.protected_root_count(), before_protected);
+        m.collect_garbage();
+        assert!(m.check_invariants().is_ok());
+        // ...and after removing the budget the very same query completes
+        // and matches an ungoverned reference run.
+        let budget = m.take_budget().expect("budget still installed");
+        assert_eq!(budget.breached(), Some(TruncationReason::StepBudget));
+        let governed = m.and(f, g);
+        let (mut fresh, f2, g2) = wide_setup(24);
+        let reference = fresh.and(f2, g2);
+        assert_eq!(m.sat_count(governed, 24), fresh.sat_count(reference, 24));
+    }
+
+    #[test]
+    fn ungoverned_managers_never_interrupt() {
+        let (mut m, f, g) = wide_setup(16);
+        assert!(m.try_and(f, g).is_ok());
+        assert!(m.try_not(f).is_ok());
+        assert!(m.budget().is_none());
     }
 }

@@ -40,6 +40,9 @@ pub(crate) struct UniqueTable {
     len: usize,
     /// `slots.len() - 1`; kept separate so probing is mask-and-go.
     mask: usize,
+    /// Number of slot-array growths over the table's lifetime; observed by
+    /// the manager's budget checkpoints as a fault-injection site.
+    growths: u64,
 }
 
 #[inline(always)]
@@ -142,7 +145,15 @@ impl UniqueTable {
         self.slots.iter().filter(|s| s.idx != EMPTY).map(|s| s.idx)
     }
 
+    /// Number of slot-array growths so far (monotone).
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn growth_events(&self) -> u64 {
+        self.growths
+    }
+
     fn grow(&mut self) {
+        self.growths += 1;
         let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
         let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
         self.mask = new_cap - 1;

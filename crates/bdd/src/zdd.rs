@@ -14,10 +14,16 @@
 //! [`ComputedCache`](crate::cache) for the set operations (a lost cache
 //! entry only costs a recomputation, so lossiness is sound).
 
+use crate::budget::{Budget, Interrupt};
 use crate::cache::ComputedCache;
 use crate::table::UniqueTable;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Panic message of the infallible wrappers; only reachable when a budget
+/// is installed *and* breached (see the BDD kernel's identical discipline).
+const UNGOVERNED: &str =
+    "budget breached inside an infallible ZDD operation; governed callers must use the try_* API";
 
 /// A handle to a ZDD node owned by a [`ZddManager`].
 ///
@@ -121,6 +127,12 @@ pub struct ZddManager {
     /// Dedup index over `updates`, so re-registering an identical list
     /// returns the same cache-keying handle.
     update_index: HashMap<Vec<(u32, ZddUpdateAction)>, u32>,
+    /// The resource envelope governing this manager's operations, if any
+    /// (see [`ZddManager::install_budget`]).
+    budget: Option<Budget>,
+    /// Table/cache growth events already accounted to the fault schedule.
+    #[cfg(feature = "fault-inject")]
+    growths_seen: (u64, u64),
 }
 
 impl fmt::Debug for ZddManager {
@@ -154,7 +166,78 @@ impl ZddManager {
             num_elements,
             updates: Vec::new(),
             update_index: HashMap::new(),
+            budget: None,
+            #[cfg(feature = "fault-inject")]
+            growths_seen: (0, 0),
         }
+    }
+
+    /// Installs `budget` as the governor of this manager's operations; the
+    /// same cooperative-checkpoint discipline as
+    /// [`BddManager::install_budget`](crate::BddManager::install_budget).
+    pub fn install_budget(&mut self, budget: Budget) {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.growths_seen = (
+                self.unique.iter().map(|t| t.growth_events()).sum(),
+                self.cache.growth_events(),
+            );
+        }
+        self.budget = Some(budget);
+    }
+
+    /// Removes and returns the installed budget (with its sticky breach, if
+    /// any); the manager is ungoverned again afterwards.
+    pub fn take_budget(&mut self) -> Option<Budget> {
+        self.budget.take()
+    }
+
+    /// The installed budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// The amortized cooperative budget check (one call per cache miss;
+    /// free when no budget is installed).
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        match self.budget.as_mut() {
+            None => Ok(()),
+            Some(b) => {
+                if b.tick() {
+                    self.budget_check()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Forces a full budget check right now (pass/cluster boundaries).
+    pub fn force_checkpoint(&mut self) -> Result<(), Interrupt> {
+        if self.budget.is_none() {
+            return Ok(());
+        }
+        self.budget_check()
+    }
+
+    #[cold]
+    fn budget_check(&mut self) -> Result<(), Interrupt> {
+        #[cfg(feature = "fault-inject")]
+        {
+            let table: u64 = self.unique.iter().map(|t| t.growth_events()).sum();
+            let cache = self.cache.growth_events();
+            let (table_seen, cache_seen) = self.growths_seen;
+            self.growths_seen = (table, cache);
+            let b = self.budget.as_mut().expect("budget_check without budget");
+            b.observe_fault_events(crate::budget::FaultSite::TableGrowth, table - table_seen)?;
+            b.observe_fault_events(crate::budget::FaultSite::CacheGrowth, cache - cache_seen)?;
+        }
+        let live = self.nodes.len();
+        self.budget
+            .as_mut()
+            .expect("budget_check without budget")
+            .check(live)
     }
 
     /// Number of elements the families range over.
@@ -234,109 +317,128 @@ impl ZddManager {
 
     /// Union of two families.
     pub fn union(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
-        ZddRef(self.union_rec(f.0, g.0))
+        self.try_union(f, g).expect(UNGOVERNED)
     }
 
-    fn union_rec(&mut self, f: u32, g: u32) -> u32 {
+    /// Fallible [`ZddManager::union`]: unwinds with a typed [`Interrupt`]
+    /// if the installed budget breaches mid-recursion.
+    pub fn try_union(&mut self, f: ZddRef, g: ZddRef) -> Result<ZddRef, Interrupt> {
+        Ok(ZddRef(self.union_rec(f.0, g.0)?))
+    }
+
+    fn union_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         if f == g || g == EMPTY {
-            return f;
+            return Ok(f);
         }
         if f == EMPTY {
-            return g;
+            return Ok(g);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(ZOp::Union as u8, a, b, 0) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lg = self.level(g);
         let r = if lf < lg {
             let n = self.nodes[f as usize];
-            let low = self.union_rec(n.low, g);
+            let low = self.union_rec(n.low, g)?;
             self.mk(lf, low, n.high)
         } else if lg < lf {
             let n = self.nodes[g as usize];
-            let low = self.union_rec(f, n.low);
+            let low = self.union_rec(f, n.low)?;
             self.mk(lg, low, n.high)
         } else {
             let nf = self.nodes[f as usize];
             let ng = self.nodes[g as usize];
-            let low = self.union_rec(nf.low, ng.low);
-            let high = self.union_rec(nf.high, ng.high);
+            let low = self.union_rec(nf.low, ng.low)?;
+            let high = self.union_rec(nf.high, ng.high)?;
             self.mk(lf, low, high)
         };
         self.cache.put(ZOp::Union as u8, a, b, 0, r);
-        r
+        Ok(r)
     }
 
     /// Intersection of two families.
     pub fn intersect(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
-        ZddRef(self.intersect_rec(f.0, g.0))
+        self.try_intersect(f, g).expect(UNGOVERNED)
     }
 
-    fn intersect_rec(&mut self, f: u32, g: u32) -> u32 {
+    /// Fallible [`ZddManager::intersect`].
+    pub fn try_intersect(&mut self, f: ZddRef, g: ZddRef) -> Result<ZddRef, Interrupt> {
+        Ok(ZddRef(self.intersect_rec(f.0, g.0)?))
+    }
+
+    fn intersect_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         if f == EMPTY || g == EMPTY {
-            return EMPTY;
+            return Ok(EMPTY);
         }
         if f == g {
-            return f;
+            return Ok(f);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.get(ZOp::Intersect as u8, a, b, 0) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lg = self.level(g);
         let r = if lf < lg {
             let n = self.nodes[f as usize];
-            self.intersect_rec(n.low, g)
+            self.intersect_rec(n.low, g)?
         } else if lg < lf {
             let n = self.nodes[g as usize];
-            self.intersect_rec(f, n.low)
+            self.intersect_rec(f, n.low)?
         } else {
             let nf = self.nodes[f as usize];
             let ng = self.nodes[g as usize];
-            let low = self.intersect_rec(nf.low, ng.low);
-            let high = self.intersect_rec(nf.high, ng.high);
+            let low = self.intersect_rec(nf.low, ng.low)?;
+            let high = self.intersect_rec(nf.high, ng.high)?;
             self.mk(lf, low, high)
         };
         self.cache.put(ZOp::Intersect as u8, a, b, 0, r);
-        r
+        Ok(r)
     }
 
     /// Set difference `f \ g` of two families.
     pub fn diff(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
-        ZddRef(self.diff_rec(f.0, g.0))
+        self.try_diff(f, g).expect(UNGOVERNED)
     }
 
-    fn diff_rec(&mut self, f: u32, g: u32) -> u32 {
+    /// Fallible [`ZddManager::diff`].
+    pub fn try_diff(&mut self, f: ZddRef, g: ZddRef) -> Result<ZddRef, Interrupt> {
+        Ok(ZddRef(self.diff_rec(f.0, g.0)?))
+    }
+
+    fn diff_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
         if f == EMPTY || f == g {
-            return EMPTY;
+            return Ok(EMPTY);
         }
         if g == EMPTY {
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(ZOp::Diff as u8, f, g, 0) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let lf = self.level(f);
         let lg = self.level(g);
         let r = if lf < lg {
             let n = self.nodes[f as usize];
-            let low = self.diff_rec(n.low, g);
+            let low = self.diff_rec(n.low, g)?;
             self.mk(lf, low, n.high)
         } else if lg < lf {
             let n = self.nodes[g as usize];
-            self.diff_rec(f, n.low)
+            self.diff_rec(f, n.low)?
         } else {
             let nf = self.nodes[f as usize];
             let ng = self.nodes[g as usize];
-            let low = self.diff_rec(nf.low, ng.low);
-            let high = self.diff_rec(nf.high, ng.high);
+            let low = self.diff_rec(nf.low, ng.low)?;
+            let high = self.diff_rec(nf.high, ng.high)?;
             self.mk(lf, low, high)
         };
         self.cache.put(ZOp::Diff as u8, f, g, 0, r);
-        r
+        Ok(r)
     }
 
     /// The sub-family of sets *not* containing `element`.
@@ -502,23 +604,29 @@ impl ZddManager {
     /// Applies a registered fused update to every set of the family in one
     /// cached traversal (see [`ZddManager::register_update`]).
     pub fn apply_update(&mut self, f: ZddRef, update: ZddUpdate) -> ZddRef {
+        self.try_apply_update(f, update).expect(UNGOVERNED)
+    }
+
+    /// Fallible [`ZddManager::apply_update`].
+    pub fn try_apply_update(&mut self, f: ZddRef, update: ZddUpdate) -> Result<ZddRef, Interrupt> {
         assert!(
             (update.0 as usize) < self.updates.len(),
             "update handle from another manager"
         );
-        ZddRef(self.apply_rec(f.0, update.0, 0))
+        Ok(ZddRef(self.apply_rec(f.0, update.0, 0)?))
     }
 
-    fn apply_rec(&mut self, f: u32, u: u32, i: u32) -> u32 {
+    fn apply_rec(&mut self, f: u32, u: u32, i: u32) -> Result<u32, Interrupt> {
         if f == EMPTY {
-            return EMPTY;
+            return Ok(EMPTY);
         }
         if i as usize == self.updates[u as usize].len() {
-            return f;
+            return Ok(f);
         }
         if let Some(r) = self.cache.get(ZOp::Apply as u8, f, u, i) {
-            return r;
+            return Ok(r);
         }
+        self.checkpoint()?;
         let (e, action) = self.updates[u as usize][i as usize];
         let lf = self.level(f);
         let r = if lf > e {
@@ -528,27 +636,27 @@ impl ZddManager {
             match action {
                 ZddUpdateAction::RequireRemove | ZddUpdateAction::RequireKeep => EMPTY,
                 ZddUpdateAction::Toggle | ZddUpdateAction::ForbidAdd => {
-                    let rest = self.apply_rec(f, u, i + 1);
+                    let rest = self.apply_rec(f, u, i + 1)?;
                     self.mk(e, EMPTY, rest)
                 }
             }
         } else if lf == e {
             let n = self.nodes[f as usize];
             match action {
-                ZddUpdateAction::RequireRemove => self.apply_rec(n.high, u, i + 1),
+                ZddUpdateAction::RequireRemove => self.apply_rec(n.high, u, i + 1)?,
                 ZddUpdateAction::RequireKeep => {
-                    let rest = self.apply_rec(n.high, u, i + 1);
+                    let rest = self.apply_rec(n.high, u, i + 1)?;
                     self.mk(e, EMPTY, rest)
                 }
                 ZddUpdateAction::Toggle => {
                     // Sets without the element gain it and vice versa, so
                     // the two children swap roles.
-                    let gained = self.apply_rec(n.low, u, i + 1);
-                    let lost = self.apply_rec(n.high, u, i + 1);
+                    let gained = self.apply_rec(n.low, u, i + 1)?;
+                    let lost = self.apply_rec(n.high, u, i + 1)?;
                     self.mk(e, lost, gained)
                 }
                 ZddUpdateAction::ForbidAdd => {
-                    let rest = self.apply_rec(n.low, u, i + 1);
+                    let rest = self.apply_rec(n.low, u, i + 1)?;
                     self.mk(e, EMPTY, rest)
                 }
             }
@@ -556,12 +664,12 @@ impl ZddManager {
             // lf < e: this element is untouched; push the update into both
             // children.
             let n = self.nodes[f as usize];
-            let low = self.apply_rec(n.low, u, i);
-            let high = self.apply_rec(n.high, u, i);
+            let low = self.apply_rec(n.low, u, i)?;
+            let high = self.apply_rec(n.high, u, i)?;
             self.mk(lf, low, high)
         };
         self.cache.put(ZOp::Apply as u8, f, u, i, r);
-        r
+        Ok(r)
     }
 
     /// Number of sets in the family (exact for counts below 2^53).
@@ -854,5 +962,61 @@ mod tests {
         use ZddUpdateAction::*;
         let mut z = ZddManager::new(2);
         let _ = z.register_update(&[(7, Toggle)]);
+    }
+
+    /// Builds two moderately wide families over `n` elements for the
+    /// budget tests: enough distinct subproblems that a tight step ceiling
+    /// fires mid-recursion rather than before or after the real work.
+    fn wide_families(n: usize) -> (ZddManager, ZddRef, ZddRef) {
+        let mut z = ZddManager::new(n);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                left.push(vec![i, j]);
+                right.push(vec![i, (j + 1) % n]);
+            }
+            left.push((0..=i).collect());
+            right.push((i..n).collect());
+        }
+        let f = z.family_from_sets(&left);
+        let g = z.family_from_sets(&right);
+        (z, f, g)
+    }
+
+    #[test]
+    fn interrupted_zdd_operation_leaves_the_manager_consistent() {
+        use crate::budget::{Budget, TruncationReason};
+
+        let (mut z, f, g) = wide_families(10);
+        // A reference result from an ungoverned manager.
+        let (mut zr, fr, gr) = wide_families(10);
+        let union_ref = zr.union(fr, gr);
+        let expected_sets = zr.count(union_ref);
+
+        z.install_budget(Budget::new().with_step_ceiling(3));
+        let err = z.try_union(f, g).expect_err("ceiling of 3 must trip");
+        assert_eq!(err.reason, TruncationReason::StepBudget);
+        // The breach is sticky: every governed operation now unwinds with
+        // the same first reason.
+        let err2 = z.try_diff(f, g).expect_err("sticky breach");
+        assert_eq!(err2.reason, TruncationReason::StepBudget);
+
+        // Removing the budget restores the manager: the interrupted
+        // operation re-runs to completion on the same arena and matches
+        // the ungoverned reference.
+        let spent = z.take_budget().expect("budget was installed");
+        assert!(spent.breached().is_some());
+        let union_after = z.union(f, g);
+        assert_eq!(z.count(union_after), expected_sets);
+    }
+
+    #[test]
+    fn ungoverned_zdd_managers_never_interrupt() {
+        let (mut z, f, g) = wide_families(8);
+        let u = z.try_union(f, g).expect("no budget installed");
+        let i = z.try_intersect(f, g).expect("no budget installed");
+        let d = z.try_diff(u, i).expect("no budget installed");
+        assert_eq!(z.count(d), z.count(u) - z.count(i));
     }
 }

@@ -25,8 +25,16 @@
 //! compares Bfs, Chaining and Saturation per net; `scaling` compares the
 //! parallel strategy at 1, 2 and 4 threads.
 //!
-//! A `check` run whose traversal was truncated (e.g. by an iteration cap)
-//! exits non-zero: a verdict over a partial state space is not definitive.
+//! `--time-budget=DUR` (e.g. `1ms`, `250us`, `2s`) and `--node-budget=N`
+//! put the table3/table4/smoke/properties/check analyses under a resource
+//! budget: a run that breaches returns a typed-truncated partial result
+//! (printed with its [`TruncationReason`](pnsym_core::TruncationReason))
+//! instead of running away. The budgets are recorded in the `--json`
+//! output alongside each record's `truncated`/`degraded` columns.
+//!
+//! A `check` run whose traversal was truncated (by an iteration cap or a
+//! budget) exits non-zero: a verdict over a partial state space is not
+//! definitive.
 //!
 //! Passing `--json[=PATH]` additionally writes the per-net timings, node
 //! counts and kernel statistics of the table3/table4/strategies/properties
@@ -51,16 +59,82 @@
 use pnsym_bench::json::Value;
 use pnsym_bench::{net_by_spec, table3_workloads, table4_workloads, Scale, Workload};
 use pnsym_core::{
-    analyze, analyze_zdd_with, toggling_activity, toggling_of_state_codes, AnalysisOptions,
-    AnalysisReport, AssignmentStrategy, ChainingOrder, Encoding, FixpointStrategy, Property,
-    SymbolicContext, TraversalOptions, ZddAnalysisReport,
+    analyze, analyze_zdd_governed, analyze_zdd_with, toggling_activity, toggling_of_state_codes,
+    AnalysisOptions, AnalysisReport, AssignmentStrategy, Budget, ChainingOrder, Encoding,
+    FixpointStrategy, Property, SymbolicContext, TraversalOptions, ZddAnalysisReport,
 };
 use pnsym_net::nets::{
     dme, figure1, muller, philosophers, property_suite, slotted_ring, DmeStyle, PropertySpec,
 };
 use pnsym_net::{Marking, PetriNet};
 use pnsym_structural::{find_smcs, select_smc_cover, CoverStrategy};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The resource-budget flags (`--time-budget=DUR`, `--node-budget=N`),
+/// threaded into every governed analysis. A budgeted run that breaches
+/// reports a typed truncation instead of hanging or dying, so the harness
+/// prints the reason and (except for `check`, where a truncated verdict is
+/// a failure) carries on.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetFlags {
+    time: Option<Duration>,
+    nodes: Option<usize>,
+}
+
+impl BudgetFlags {
+    fn is_set(&self) -> bool {
+        self.time.is_some() || self.nodes.is_some()
+    }
+
+    /// The flags applied to a set of analysis options.
+    fn analysis(&self, mut options: AnalysisOptions) -> AnalysisOptions {
+        options.traversal.time_budget = self.time;
+        options.traversal.node_budget = self.nodes;
+        options
+    }
+
+    /// The flags applied to traversal options (for direct context runs).
+    fn traversal(&self, mut options: TraversalOptions) -> TraversalOptions {
+        options.time_budget = self.time;
+        options.node_budget = self.nodes;
+        options
+    }
+
+    /// The flags as a kernel [`Budget`] (for the ZDD engine), when set.
+    fn zdd_budget(&self) -> Option<Budget> {
+        if !self.is_set() {
+            return None;
+        }
+        let mut budget = Budget::new();
+        if let Some(window) = self.time {
+            budget = budget.with_deadline(window);
+        }
+        if let Some(ceiling) = self.nodes {
+            budget = budget.with_node_ceiling(ceiling);
+        }
+        Some(budget)
+    }
+}
+
+/// Parses `--time-budget` durations: `1ms`, `250us`, `2s`, `500ns`, or a
+/// bare integer meaning milliseconds.
+fn parse_budget_duration(s: &str) -> Option<Duration> {
+    let (digits, nanos_per_unit) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = s.strip_suffix("ns") {
+        (v, 1)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        (s, 1_000_000)
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .map(|n| Duration::from_nanos(n.saturating_mul(nanos_per_unit)))
+}
 
 fn parse_strategy(name: &str, threads: usize) -> Option<FixpointStrategy> {
     match name {
@@ -115,6 +189,26 @@ fn main() {
     let check_path: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--check=").map(str::to_string));
+    let budgets = BudgetFlags {
+        time: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--time-budget="))
+            .map(|s| {
+                parse_budget_duration(s).unwrap_or_else(|| {
+                    eprintln!("--time-budget={s}: expected a duration like 1ms, 250us or 2s");
+                    std::process::exit(2);
+                })
+            }),
+        nodes: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--node-budget="))
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("--node-budget={s}: expected a positive integer");
+                    std::process::exit(2);
+                })
+            }),
+    };
     let non_flags: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -124,33 +218,38 @@ fn main() {
 
     let mut records: Vec<Value> = Vec::new();
     match command {
-        Some("table3") => table3(scale, strategy, &mut records),
-        Some("table4") => table4(scale, strategy, &mut records),
+        Some("table3") => table3(scale, strategy, budgets, &mut records),
+        Some("table4") => table4(scale, strategy, budgets, &mut records),
         Some("fig2") => figure2(),
         Some("table1") => table1(),
         Some("ablation") => ablation(),
         Some("strategies") => strategies(scale, &mut records),
         Some("scaling") => scaling(scale, &mut records),
-        Some("properties") => properties(strategy, &mut records),
-        Some("smoke") => smoke(strategy, &mut records),
+        Some("properties") => properties(strategy, budgets, &mut records),
+        Some("smoke") => smoke(strategy, budgets, &mut records),
         Some("check") => {
             let path = non_flags.get(1).map(|s| s.to_string()).or(check_path);
             let Some(path) = path else {
                 eprintln!("usage: experiments check <props-file> (or --check=FILE)");
                 std::process::exit(2);
             };
-            check(&path, strategy, &mut records);
+            check(&path, strategy, budgets, &mut records);
         }
         None if check_path.is_some() => {
-            check(&check_path.expect("just tested"), strategy, &mut records);
+            check(
+                &check_path.expect("just tested"),
+                strategy,
+                budgets,
+                &mut records,
+            );
         }
         Some("all") | None => {
             figure2();
             table1();
-            table3(scale, strategy, &mut records);
-            table4(scale, strategy, &mut records);
+            table3(scale, strategy, budgets, &mut records);
+            table4(scale, strategy, budgets, &mut records);
             strategies(scale, &mut records);
-            properties(strategy, &mut records);
+            properties(strategy, budgets, &mut records);
             ablation();
         }
         Some(other) => {
@@ -158,7 +257,8 @@ fn main() {
             eprintln!(
                 "usage: experiments \
                  [table3|table4|fig2|table1|ablation|strategies|scaling|properties|check|smoke|all] \
-                 [--paper-scale] [--strategy=NAME] [--threads=N] [--json[=PATH]] [--check=FILE]"
+                 [--paper-scale] [--strategy=NAME] [--threads=N] [--json[=PATH]] [--check=FILE] \
+                 [--time-budget=DUR] [--node-budget=N]"
             );
             std::process::exit(2);
         }
@@ -177,6 +277,18 @@ fn main() {
             (
                 "scale",
                 Value::Str(if paper_scale { "paper" } else { "default" }.into()),
+            ),
+            (
+                "time_budget_ms",
+                budgets.time.map_or(Value::Str("none".into()), |d| {
+                    Value::Float(d.as_secs_f64() * 1e3)
+                }),
+            ),
+            (
+                "node_budget",
+                budgets
+                    .nodes
+                    .map_or(Value::Str("none".into()), |n| Value::UInt(n as u64)),
             ),
             ("records", Value::Array(records)),
         ]);
@@ -221,6 +333,14 @@ fn bdd_record(experiment: &str, net: &str, scheme: &str, r: &AnalysisReport) -> 
         ("cache_capacity", Value::UInt(s.cache_capacity as u64)),
         ("gc_runs", Value::UInt(s.gc_runs as u64)),
         ("gc_reclaimed", Value::UInt(s.gc_reclaimed as u64)),
+        (
+            "truncated",
+            Value::Str(r.truncated.map_or("none".into(), |t| t.to_string())),
+        ),
+        (
+            "degraded",
+            Value::Str(r.degraded.map_or("none".into(), |d| format!("{d:?}"))),
+        ),
     ]);
     if let Value::Object(fields) = &mut record {
         for (name, op) in s.per_op() {
@@ -243,6 +363,10 @@ fn zdd_record(experiment: &str, net: &str, r: &ZddAnalysisReport) -> Value {
         ("zdd_nodes", Value::UInt(r.zdd_nodes as u64)),
         ("iterations", Value::UInt(r.iterations as u64)),
         ("total_ms", Value::Float(r.total_time.as_secs_f64() * 1e3)),
+        (
+            "truncated",
+            Value::Str(r.truncated.map_or("none".into(), |t| t.to_string())),
+        ),
     ])
 }
 
@@ -291,7 +415,12 @@ fn fmt_report(name: &str, r: &AnalysisReport) -> String {
 
 /// Table 3: sparse (one variable per place) vs dense (improved SMC)
 /// encoding on the Muller pipeline, dining philosophers and slotted ring.
-fn table3(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+fn table3(
+    scale: Scale,
+    strategy: FixpointStrategy,
+    budgets: BudgetFlags,
+    records: &mut Vec<Value>,
+) {
     println!("\n== Table 3: sparse vs dense encoding ({strategy}) =================");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
@@ -303,11 +432,25 @@ fn table3(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
     );
     for Workload { name, net } in table3_workloads(scale) {
         let start = Instant::now();
-        let sparse = analyze(&net, &AnalysisOptions::sparse().with_strategy(strategy));
-        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy));
+        let sparse = analyze(
+            &net,
+            &budgets.analysis(AnalysisOptions::sparse().with_strategy(strategy)),
+        );
+        let dense = analyze(
+            &net,
+            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
+        );
         match (sparse, dense) {
             (Ok(s), Ok(d)) => {
-                assert_eq!(s.num_markings, d.num_markings, "{name}: engines disagree");
+                if s.truncated.is_none() && d.truncated.is_none() {
+                    assert_eq!(s.num_markings, d.num_markings, "{name}: engines disagree");
+                } else {
+                    println!(
+                        "{name:<12} truncated (sparse: {}, dense: {}) — partial rows follow",
+                        s.truncated.map_or("no".to_string(), |t| t.to_string()),
+                        d.truncated.map_or("no".to_string(), |t| t.to_string()),
+                    );
+                }
                 println!(
                     "{}| {:>5} {:>9} {:>9.2}",
                     fmt_report(&name, &s),
@@ -333,7 +476,12 @@ fn table3(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
 
 /// Table 4: the ZDD-based sparse representation (Yoneda et al.) vs the dense
 /// BDD encoding on the DME and JJreg-style nets.
-fn table4(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+fn table4(
+    scale: Scale,
+    strategy: FixpointStrategy,
+    budgets: BudgetFlags,
+    records: &mut Vec<Value>,
+) {
     println!("\n== Table 4: ZDD compaction vs dense encoding ({strategy}) =========");
     println!(
         "{:<12} {:>12} | {:>5} {:>9} {:>9} | {:>5} {:>9} {:>9}",
@@ -344,11 +492,25 @@ fn table4(scale: Scale, strategy: FixpointStrategy, records: &mut Vec<Value>) {
         "", "", "ZDD (sparse)", "dense encoding"
     );
     for Workload { name, net } in table4_workloads(scale) {
-        let zdd = analyze_zdd_with(&net, strategy);
-        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy));
+        let zdd = match budgets.zdd_budget() {
+            Some(budget) => analyze_zdd_governed(&net, strategy, budget),
+            None => analyze_zdd_with(&net, strategy),
+        };
+        let dense = analyze(
+            &net,
+            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
+        );
         match dense {
             Ok(d) => {
-                assert_eq!(zdd.num_markings, d.num_markings, "{name}: engines disagree");
+                if zdd.truncated.is_none() && d.truncated.is_none() {
+                    assert_eq!(zdd.num_markings, d.num_markings, "{name}: engines disagree");
+                } else {
+                    println!(
+                        "{name:<12} truncated (zdd: {}, dense: {}) — partial rows follow",
+                        zdd.truncated.map_or("no".to_string(), |t| t.to_string()),
+                        d.truncated.map_or("no".to_string(), |t| t.to_string()),
+                    );
+                }
                 println!(
                     "{:<12} {:>12.3e} | {:>5} {:>9} {:>9.2} | {:>5} {:>9} {:>9.2}",
                     name,
@@ -494,25 +656,51 @@ fn table1() {
 /// smallest table-3 nets, cross-checked against explicit exploration, so a
 /// kernel regression (wrong counts or a pathological slowdown) surfaces
 /// without a full criterion sweep.
-fn smoke(strategy: FixpointStrategy, records: &mut Vec<Value>) {
+fn smoke(strategy: FixpointStrategy, budgets: BudgetFlags, records: &mut Vec<Value>) {
     println!("\n== Smoke: kernel sanity on the two smallest nets ({strategy}) =====");
     let mut workloads = table3_workloads(Scale::Default);
     workloads.sort_by_key(|w| w.net.num_places());
     for Workload { name, net } in workloads.into_iter().take(2) {
         let expected = net.explore().expect("smoke nets are tiny").num_markings() as f64;
         let start = Instant::now();
-        let sparse = analyze(&net, &AnalysisOptions::sparse().with_strategy(strategy))
-            .expect("sparse analysis");
-        let dense = analyze(&net, &AnalysisOptions::dense().with_strategy(strategy))
-            .expect("dense analysis");
-        assert_eq!(
-            sparse.num_markings, expected,
-            "{name}: sparse disagrees with explicit exploration"
-        );
-        assert_eq!(
-            dense.num_markings, expected,
-            "{name}: dense disagrees with explicit exploration"
-        );
+        let sparse = analyze(
+            &net,
+            &budgets.analysis(AnalysisOptions::sparse().with_strategy(strategy)),
+        )
+        .expect("sparse analysis");
+        let dense = analyze(
+            &net,
+            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
+        )
+        .expect("dense analysis");
+        // A budgeted smoke run may legitimately truncate (that is what the
+        // CI `--time-budget=1ms` step exercises): the typed reason is the
+        // verdict, and the partial counts are under-approximations that
+        // cannot be compared to the explicit oracle.
+        match (sparse.truncated, dense.truncated) {
+            (None, None) => {
+                assert_eq!(
+                    sparse.num_markings, expected,
+                    "{name}: sparse disagrees with explicit exploration"
+                );
+                assert_eq!(
+                    dense.num_markings, expected,
+                    "{name}: dense disagrees with explicit exploration"
+                );
+            }
+            (s, d) => {
+                assert!(
+                    sparse.num_markings <= expected && dense.num_markings <= expected,
+                    "{name}: a truncated run must under-approximate"
+                );
+                println!(
+                    "{name:<12} truncated (sparse: {}, dense: {}) — budgets honored, partial \
+                     results returned",
+                    s.map_or("no".to_string(), |t| t.to_string()),
+                    d.map_or("no".to_string(), |t| t.to_string()),
+                );
+            }
+        }
         println!(
             "{name:<12} {expected:>8} markings  sparse {:.3}s  dense {:.3}s  total {:.3}s",
             sparse.total_time.as_secs_f64(),
@@ -764,6 +952,7 @@ fn run_property_suite(
     net: &PetriNet,
     queries: &[PropertySpec],
     strategy: FixpointStrategy,
+    budgets: BudgetFlags,
     records: &mut Vec<Value>,
 ) -> bool {
     println!(
@@ -786,7 +975,10 @@ fn run_property_suite(
                 continue;
             }
         };
-        let report = ctx.check_property_with(&prop, TraversalOptions::with_strategy(strategy));
+        let report = ctx.check_property_with(
+            &prop,
+            budgets.traversal(TraversalOptions::with_strategy(strategy)),
+        );
         let verdict = if report.holds { "holds" } else { "fails" };
         let expect = match query.expect {
             Some(true) => "holds",
@@ -795,13 +987,18 @@ fn run_property_suite(
         };
         // A verdict over a truncated traversal is not definitive — never
         // count it as meeting an expectation, even when it happens to agree.
-        let met = query.expect.is_none_or(|e| e == report.holds) && !report.truncated;
+        let met = query.expect.is_none_or(|e| e == report.holds) && report.truncated.is_none();
         all_met &= met;
         let witness = report
             .trace
             .as_ref()
             .map_or("-".to_string(), |t| t.len().to_string());
         let ms = report.duration.as_secs_f64() * 1e3;
+        let marker = match report.truncated {
+            Some(reason) => format!("  <-- TRUNCATED ({reason}: not definitive)"),
+            None if met => String::new(),
+            None => "  <-- MISMATCH".to_string(),
+        };
         println!(
             "   {:<20} {:>7} {:>7} {:>12} {:>8} {:>9.2}  {}{}",
             query.name,
@@ -811,13 +1008,7 @@ fn run_property_suite(
             witness,
             ms,
             query.formula,
-            if report.truncated {
-                "  <-- TRUNCATED (not definitive)"
-            } else if met {
-                ""
-            } else {
-                "  <-- MISMATCH"
-            }
+            marker
         );
         records.push(Value::object(vec![
             ("experiment", Value::Str("properties".into())),
@@ -829,7 +1020,10 @@ fn run_property_suite(
             ("expected", Value::Str(expect.into())),
             ("sat_markings", Value::Float(report.sat_markings)),
             ("reached_markings", Value::Float(report.reached_markings)),
-            ("truncated", Value::Bool(report.truncated)),
+            (
+                "truncated",
+                Value::Str(report.truncated.map_or("none".into(), |t| t.to_string())),
+            ),
             (
                 "witness_len",
                 Value::Int(report.trace.as_ref().map_or(-1, |t| t.len() as i64)),
@@ -842,7 +1036,7 @@ fn run_property_suite(
 
 /// The bundled per-net CTL property suites (mutual exclusion, liveness,
 /// deadlock, ordering) on a representative instance of every family.
-fn properties(strategy: FixpointStrategy, records: &mut Vec<Value>) {
+fn properties(strategy: FixpointStrategy, budgets: BudgetFlags, records: &mut Vec<Value>) {
     println!("\n== Properties: bundled CTL suites ({strategy}) ====================");
     let nets = [
         figure1(),
@@ -854,9 +1048,17 @@ fn properties(strategy: FixpointStrategy, records: &mut Vec<Value>) {
     let mut all_met = true;
     for net in nets {
         let suite = property_suite(&net);
-        all_met &= run_property_suite(&net, &suite, strategy, records);
+        all_met &= run_property_suite(&net, &suite, strategy, budgets, records);
     }
-    assert!(all_met, "a bundled property suite missed its expectation");
+    if budgets.is_set() {
+        // Budgeted verdicts are typed-truncated, not definitive; report
+        // instead of asserting.
+        if !all_met {
+            println!("(budgeted run: some verdicts truncated or mismatched — not asserting)");
+        }
+    } else {
+        assert!(all_met, "a bundled property suite missed its expectation");
+    }
     println!("(verdicts are pinned against the explicit-state checker by tests/ctl_props.rs)");
 }
 
@@ -907,7 +1109,7 @@ fn parse_props_file(text: &str) -> Result<Vec<(PetriNet, Vec<PropertySpec>)>, St
 
 /// `experiments check <file>`: run every suite of a property file and exit
 /// non-zero when a recorded expectation is violated.
-fn check(path: &str, strategy: FixpointStrategy, records: &mut Vec<Value>) {
+fn check(path: &str, strategy: FixpointStrategy, budgets: BudgetFlags, records: &mut Vec<Value>) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("check: cannot read {path}: {e}");
         std::process::exit(2);
@@ -919,10 +1121,10 @@ fn check(path: &str, strategy: FixpointStrategy, records: &mut Vec<Value>) {
     println!("\n== Check: {path} ({strategy}) =====================================");
     let mut all_met = true;
     for (net, queries) in &suites {
-        all_met &= run_property_suite(net, queries, strategy, records);
+        all_met &= run_property_suite(net, queries, strategy, budgets, records);
     }
     if !all_met {
-        eprintln!("check: expectation mismatches in {path}");
+        eprintln!("check: expectation mismatches or truncated verdicts in {path}");
         std::process::exit(1);
     }
     println!("check OK ({} suites)", suites.len());

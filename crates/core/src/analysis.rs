@@ -5,6 +5,7 @@ use crate::context::SymbolicContext;
 use crate::encoding::{AssignmentStrategy, Encoding, SchemeKind};
 use crate::traverse::{FixpointStrategy, TraversalOptions};
 use crate::zdd_reach::ZddContext;
+use pnsym_bdd::TruncationReason;
 use pnsym_net::PetriNet;
 use pnsym_structural::{find_smcs_with, CoverStrategy, InvariantError, InvariantOptions};
 use std::fmt;
@@ -100,6 +101,33 @@ pub struct AnalysisReport {
     /// Kernel statistics of the BDD manager at the end of the analysis
     /// (unique-table load, computed-cache hit rate, GC activity).
     pub manager_stats: pnsym_bdd::ManagerStats,
+    /// Why the traversal stopped early, or `None` for a complete fixpoint.
+    /// When set, [`AnalysisReport::num_markings`] and
+    /// [`AnalysisReport::num_deadlocks`] describe a (sound)
+    /// under-approximation of the reachable state space, not the fixpoint.
+    pub truncated: Option<TruncationReason>,
+    /// The degradation step taken after a recoverable breach (see
+    /// [`DegradationStep`]), or `None` when the first attempt stood. When
+    /// set, every traversal-related field of the report describes the
+    /// *retry*, and [`AnalysisReport::truncated`] tells whether the retry
+    /// itself completed.
+    pub degraded: Option<DegradationStep>,
+}
+
+/// The one-shot degradation ladder of [`analyze`]: a recoverable breach is
+/// retried once under a cheaper profile before the truncated result is
+/// accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationStep {
+    /// The live-node ceiling breached: the partial result was released, a
+    /// garbage collection and a sifting pass shrank the working set, and
+    /// the traversal was retried once under
+    /// [`FixpointStrategy::Saturation`] (the lowest-peak-pressure
+    /// strategy), same budget.
+    NodeBudgetRetry,
+    /// A parallel worker died: the traversal was retried once under the
+    /// default sequential strategy on the same (still consistent) manager.
+    SequentialRetry,
 }
 
 impl fmt::Display for AnalysisReport {
@@ -191,7 +219,38 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
     let encoding_time = start.elapsed();
 
     let mut ctx = SymbolicContext::new(net, encoding);
-    let result = ctx.reachable_markings_with(options.traversal);
+    let mut result = ctx.reachable_markings_with(options.traversal);
+    let mut degraded = None;
+    match result.truncated {
+        Some(TruncationReason::NodeBudget) => {
+            // Degrade once: release the partial result, reclaim and compact
+            // the working set, and retry under the strategy with the lowest
+            // peak node pressure. The same budget applies to the retry; if
+            // the slimmer profile still breaches, the second truncated
+            // result stands.
+            ctx.manager_mut().unprotect(result.reached);
+            ctx.manager_mut().collect_garbage();
+            ctx.manager_mut().sift();
+            let retry = TraversalOptions {
+                strategy: FixpointStrategy::Saturation,
+                ..options.traversal
+            };
+            result = ctx.reachable_markings_with(retry);
+            degraded = Some(DegradationStep::NodeBudgetRetry);
+        }
+        Some(TruncationReason::WorkerLoss) => {
+            // The owner's manager survives a worker loss fully consistent;
+            // retry once without the pool.
+            ctx.manager_mut().unprotect(result.reached);
+            let retry = TraversalOptions {
+                strategy: FixpointStrategy::default(),
+                ..options.traversal
+            };
+            result = ctx.reachable_markings_with(retry);
+            degraded = Some(DegradationStep::SequentialRetry);
+        }
+        _ => {}
+    }
     let dead = ctx.deadlocks_in(result.reached);
     let num_deadlocks = ctx.count_markings(dead);
     let manager_stats = ctx.stats();
@@ -213,6 +272,8 @@ pub fn analyze(net: &PetriNet, options: &AnalysisOptions) -> Result<AnalysisRepo
         traversal_critical_path: result.critical_path,
         total_time: start.elapsed(),
         manager_stats,
+        truncated: result.truncated,
+        degraded,
     })
 }
 
@@ -234,6 +295,8 @@ pub struct ZddAnalysisReport {
     pub strategy: FixpointStrategy,
     /// Total wall-clock time.
     pub total_time: Duration,
+    /// Why the traversal stopped early, or `None` for a complete fixpoint.
+    pub truncated: Option<TruncationReason>,
 }
 
 /// Runs the ZDD-based sparse analysis of `net` (Yoneda et al.'s
@@ -245,9 +308,31 @@ pub fn analyze_zdd(net: &PetriNet) -> ZddAnalysisReport {
 /// Runs the ZDD-based sparse analysis of `net` under the given traversal
 /// strategy (the ZDD engine shares the fixpoint driver of the BDD engine).
 pub fn analyze_zdd_with(net: &PetriNet, strategy: FixpointStrategy) -> ZddAnalysisReport {
+    analyze_zdd_run(net, strategy, None)
+}
+
+/// [`analyze_zdd_with`] under a resource [`Budget`](pnsym_bdd::Budget): on
+/// a breach the report carries the partial (under-approximated) family and
+/// the typed [`TruncationReason`].
+pub fn analyze_zdd_governed(
+    net: &PetriNet,
+    strategy: FixpointStrategy,
+    budget: pnsym_bdd::Budget,
+) -> ZddAnalysisReport {
+    analyze_zdd_run(net, strategy, Some(budget))
+}
+
+fn analyze_zdd_run(
+    net: &PetriNet,
+    strategy: FixpointStrategy,
+    budget: Option<pnsym_bdd::Budget>,
+) -> ZddAnalysisReport {
     let start = Instant::now();
     let mut ctx = ZddContext::new(net);
-    let result = ctx.reachable_markings_with(strategy);
+    let result = match budget {
+        Some(budget) => ctx.reachable_markings_governed(strategy, budget),
+        None => ctx.reachable_markings_with(strategy),
+    };
     ZddAnalysisReport {
         net_name: net.name().to_string(),
         num_variables: net.num_places(),
@@ -256,6 +341,7 @@ pub fn analyze_zdd_with(net: &PetriNet, strategy: FixpointStrategy) -> ZddAnalys
         iterations: result.iterations,
         strategy,
         total_time: start.elapsed(),
+        truncated: result.truncated,
     }
 }
 
@@ -296,6 +382,70 @@ mod tests {
         let bdd = analyze(&net, &AnalysisOptions::sparse()).unwrap();
         assert_eq!(zdd.num_markings, bdd.num_markings);
         assert_eq!(zdd.num_variables, 14);
+    }
+
+    #[test]
+    fn an_untruncated_analysis_reports_no_degradation() {
+        let net = figure1();
+        let report = analyze(&net, &AnalysisOptions::dense()).unwrap();
+        assert_eq!(report.truncated, None);
+        assert_eq!(report.degraded, None);
+    }
+
+    #[test]
+    fn a_node_budget_breach_degrades_to_saturation_once() {
+        // A one-node ceiling cannot be met by any profile, so both the
+        // first attempt and the degraded retry truncate — but the ladder
+        // must have run exactly once, the report must say so, and the
+        // partial result must stay a sound under-approximation.
+        let net = philosophers(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut options = AnalysisOptions::dense();
+        options.traversal.node_budget = Some(1);
+        let report = analyze(&net, &options).unwrap();
+        assert_eq!(report.degraded, Some(DegradationStep::NodeBudgetRetry));
+        assert_eq!(report.truncated, Some(TruncationReason::NodeBudget));
+        assert_eq!(report.strategy, FixpointStrategy::Saturation);
+        assert!(report.num_markings <= expected);
+    }
+
+    #[test]
+    fn a_generous_node_budget_completes_without_degrading() {
+        let net = philosophers(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut options = AnalysisOptions::dense();
+        options.traversal.node_budget = Some(usize::MAX);
+        let report = analyze(&net, &options).unwrap();
+        assert_eq!(report.truncated, None);
+        assert_eq!(report.degraded, None);
+        assert_eq!(report.num_markings, expected);
+    }
+
+    #[test]
+    fn a_tiny_deadline_truncates_with_a_typed_reason() {
+        use std::time::Duration;
+        let net = muller(6);
+        let mut options = AnalysisOptions::dense();
+        options.traversal.time_budget = Some(Duration::ZERO);
+        let report = analyze(&net, &options).unwrap();
+        assert_eq!(report.truncated, Some(TruncationReason::Deadline));
+        assert_eq!(report.degraded, None, "deadlines are not retried");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn a_worker_loss_degrades_to_a_sequential_retry() {
+        let net = philosophers(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut options =
+            AnalysisOptions::dense().with_strategy(FixpointStrategy::Parallel { threads: 2 });
+        let mut faults = pnsym_bdd::FaultSchedule::none();
+        faults.worker_panic = Some((0, 0));
+        options.traversal.faults = Some(faults);
+        let report = analyze(&net, &options).unwrap();
+        assert_eq!(report.degraded, Some(DegradationStep::SequentialRetry));
+        assert_eq!(report.truncated, None, "the sequential retry completes");
+        assert_eq!(report.num_markings, expected);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::context::SymbolicContext;
 use crate::encoding::{Block, Encoding};
-use pnsym_bdd::{Ref, VarId};
+use pnsym_bdd::{Interrupt, Ref, VarId};
 use pnsym_net::{PetriNet, TransitionId};
 
 /// The effect of one transition on the state variables: which variables
@@ -113,19 +113,27 @@ impl SymbolicContext {
     /// shared quantification cube is walked once per member, and the
     /// members' partial images are OR-folded.
     pub fn cluster_image(&mut self, cluster: usize, from: Ref) -> Ref {
+        self.try_cluster_image(cluster, from)
+            .expect("budget breached inside an infallible image computation; governed callers must use try_cluster_image")
+    }
+
+    /// Fallible [`SymbolicContext::cluster_image`]: unwinds with a typed
+    /// [`Interrupt`] when the manager's installed budget breaches inside
+    /// one of the member firings, leaving no partial protections behind.
+    pub fn try_cluster_image(&mut self, cluster: usize, from: Ref) -> Result<Ref, Interrupt> {
         let plan = self.image_plan();
         let c = &plan.clusters()[cluster];
         let mut acc = self.manager().zero();
         for member in &c.members {
             let m = self.manager_mut();
-            let quantified = m.and_exists_cube(from, member.enabling, c.quant_cube);
+            let quantified = m.try_and_exists_cube(from, member.enabling, c.quant_cube)?;
             if quantified == m.zero() {
                 continue;
             }
-            let img = m.and(quantified, member.target);
-            acc = m.or(acc, img);
+            let img = m.try_and(quantified, member.target)?;
+            acc = m.try_or(acc, img)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// The image of `from` under *all* transitions: one symbolic step of the

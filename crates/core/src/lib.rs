@@ -68,8 +68,8 @@ mod traverse;
 mod zdd_reach;
 
 pub use analysis::{
-    analyze, analyze_zdd, analyze_zdd_with, build_encoding, AnalysisError, AnalysisOptions,
-    AnalysisReport, ZddAnalysisReport,
+    analyze, analyze_zdd, analyze_zdd_governed, analyze_zdd_with, build_encoding, AnalysisError,
+    AnalysisOptions, AnalysisReport, DegradationStep, ZddAnalysisReport,
 };
 pub use context::SymbolicContext;
 pub use encoding::{AssignmentStrategy, Block, Encoding, SchemeKind};
@@ -85,3 +85,10 @@ pub use traverse::{
     ChainingOrder, FixpointStrategy, ReachabilityResult, SiftPolicy, TraversalOptions,
 };
 pub use zdd_reach::{ZddContext, ZddReachabilityResult};
+
+// Re-export the kernel's resource-governance vocabulary so downstream
+// crates can configure budgets and match truncation reasons without
+// depending on `pnsym-bdd` directly.
+pub use pnsym_bdd::{Budget, Interrupt, TruncationReason};
+#[cfg(feature = "fault-inject")]
+pub use pnsym_bdd::{FaultSchedule, FaultSite};

@@ -29,7 +29,7 @@ use crate::context::SymbolicContext;
 use crate::property::Property;
 use crate::trace::WitnessTrace;
 use crate::traverse::TraversalOptions;
-use pnsym_bdd::Ref;
+use pnsym_bdd::{Ref, TruncationReason};
 use pnsym_net::TransitionId;
 use std::time::{Duration, Instant};
 
@@ -63,14 +63,15 @@ pub struct CheckReport {
     pub trace: Option<WitnessTrace>,
     /// What [`CheckReport::trace`] demonstrates; `None` iff `trace` is.
     pub trace_kind: Option<TraceKind>,
-    /// Whether the underlying reachability fixpoint was truncated by
-    /// [`TraversalOptions::max_iterations`]. A truncated run explores only
-    /// a subset of the reachable markings, so [`CheckReport::holds`] and
-    /// [`CheckReport::sat_markings`] describe that explored prefix, **not a
-    /// definitive verdict** over the full state space — callers must
-    /// surface this instead of trusting the verdict (the bench `check`
-    /// runner fails truncated verdicts).
-    pub truncated: bool,
+    /// Why the underlying reachability fixpoint stopped early
+    /// ([`TraversalOptions::max_iterations`], a budget breach, a worker
+    /// loss), or `None` for a complete fixpoint. A truncated run explores
+    /// only a subset of the reachable markings, so [`CheckReport::holds`]
+    /// and [`CheckReport::sat_markings`] describe that explored prefix,
+    /// **not a definitive verdict** over the full state space — callers
+    /// must surface this instead of trusting the verdict (the bench
+    /// `check` runner prints the reason and fails truncated verdicts).
+    pub truncated: Option<TruncationReason>,
     /// Wall-clock time of the query (including the reachability fixpoint).
     pub duration: Duration,
 }
@@ -806,12 +807,13 @@ mod tests {
             ..TraversalOptions::default()
         };
         let capped = ctx.check_property_with(&prop, options);
-        assert!(
+        assert_eq!(
             capped.truncated,
+            Some(TruncationReason::Iterations),
             "a capped traversal must flag its verdict as non-definitive"
         );
         let full = ctx.check_property(&prop);
-        assert!(!full.truncated);
+        assert!(full.truncated.is_none());
         assert!(!full.holds);
         assert!(
             capped.reached_markings < full.reached_markings,

@@ -55,14 +55,24 @@
 
 use crate::context::SymbolicContext;
 use crate::plan::ImagePlan;
-use crate::traverse::{FixpointRun, SiftPolicy};
-use pnsym_bdd::{replica_manager, BddManager, Ref, SerializedBdd, SiftConfig, VarId};
+use crate::traverse::{governed, FixpointRun, SiftPolicy};
+#[cfg(feature = "fault-inject")]
+use pnsym_bdd::FaultSite;
+use pnsym_bdd::{
+    replica_manager, BddManager, Budget, Interrupt, Ref, SerializedBdd, SiftConfig,
+    TruncationReason, VarId,
+};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long the owner waits on the reply channel before probing the worker
+/// threads for deaths. Purely a liveness knob: a healthy pool never waits
+/// out even one interval without either a reply or real work in flight.
+const WORKER_PROBE_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Owner-to-worker requests. Serialized sets are shared by `Arc`, so a
 /// broadcast costs one serialization regardless of the thread count.
@@ -110,11 +120,15 @@ enum FromWorker {
         worker: usize,
         reached: SerializedBdd,
         iterations: usize,
-        truncated: bool,
+        truncated: Option<TruncationReason>,
         peak: usize,
         /// Wall time the worker spent saturating its components.
         busy: Duration,
     },
+    /// The worker's replica budget breached mid-request: the request
+    /// produced no usable partial, but the worker is alive and in protocol
+    /// lockstep (one reply per request).
+    Interrupted { reason: TruncationReason },
 }
 
 /// The result of one [`WorkerState::fire_all`] call: the pre-diffed
@@ -208,11 +222,15 @@ impl WorkerState {
     /// Alongside the image, reports what each slot's firing *cost* as a
     /// computed-cache lookup delta — the deterministic per-cluster work
     /// measure the owner rebalances the next pass's deal with.
-    fn fire_all(&mut self, source: &SerializedBdd, assigned: &[usize]) -> FiredImage {
+    fn fire_all(
+        &mut self,
+        source: &SerializedBdd,
+        assigned: &[usize],
+    ) -> Result<FiredImage, Interrupt> {
         let from = self.manager.import_subgraph(source)[0];
         // Every broadcast frontier OR-ed together is the owner's current
         // reached set, so the replica advances in lockstep for free.
-        let next = self.manager.or(self.reached, from);
+        let next = self.manager.try_or(self.reached, from)?;
         self.manager.protect(next);
         self.manager.unprotect(self.reached);
         self.reached = next;
@@ -222,58 +240,67 @@ impl WorkerState {
             let before = self.manager.cache_lookups();
             let cluster = &self.clusters[slot];
             for &(enabling, target) in &cluster.members {
-                let quantified = self
-                    .manager
-                    .and_exists_cube(from, enabling, cluster.quant_cube);
+                let quantified =
+                    self.manager
+                        .try_and_exists_cube(from, enabling, cluster.quant_cube)?;
                 if quantified == self.manager.zero() {
                     continue;
                 }
-                let img = self.manager.and(quantified, target);
-                acc = self.manager.or(acc, img);
+                let img = self.manager.try_and(quantified, target)?;
+                acc = self.manager.try_or(acc, img)?;
             }
             costs.push(self.manager.cache_lookups() - before);
         }
-        let fresh = self.manager.diff(acc, self.reached);
+        let fresh = self.manager.try_diff(acc, self.reached)?;
         let image = self.manager.export_subgraph(&[fresh]);
         let peak = self.manager.peak_live_nodes();
         // Nothing but the protected artefacts and the reached replica must
         // survive between passes, so collection can run now, after the
         // image left the arena.
         self.maybe_collect();
-        FiredImage { image, peak, costs }
+        Ok(FiredImage { image, peak, costs })
     }
 
     /// Runs the assigned clusters to a local chaining fixpoint from the
     /// serialized initial set (the disjoint-support partitioned mode: the
     /// clusters of other workers cannot interact with these, so the local
     /// fixpoint is exact on this worker's variables).
+    /// On a budget breach the local fixpoint stops where it stands and the
+    /// partial reached set is shipped back with the typed reason — a valid
+    /// under-approximation of the component's fixpoint, so the owner's
+    /// conjunction still yields a sound truncated result.
     fn saturate(
         &mut self,
         init: &SerializedBdd,
         max_iterations: Option<usize>,
-    ) -> (SerializedBdd, usize, bool, usize) {
+    ) -> (SerializedBdd, usize, Option<TruncationReason>, usize) {
         let mut reached = self.manager.import_subgraph(init)[0];
         self.manager.protect(reached);
         let mut iterations = 0usize;
-        let mut truncated = false;
-        loop {
+        let mut truncated = None;
+        'run: loop {
             if let Some(limit) = max_iterations {
                 if iterations >= limit {
-                    truncated = true;
+                    truncated = Some(TruncationReason::Iterations);
                     break;
                 }
             }
+            governed!(truncated, 'run, self.manager.force_checkpoint());
             let mut changed = false;
             for cluster in &self.clusters {
                 for &(enabling, target) in &cluster.members {
-                    let quantified =
+                    let quantified = governed!(
+                        truncated,
+                        'run,
                         self.manager
-                            .and_exists_cube(reached, enabling, cluster.quant_cube);
+                            .try_and_exists_cube(reached, enabling, cluster.quant_cube)
+                    );
                     if quantified == self.manager.zero() {
                         continue;
                     }
-                    let img = self.manager.and(quantified, target);
-                    let next_reached = self.manager.or(reached, img);
+                    let img = governed!(truncated, 'run, self.manager.try_and(quantified, target));
+                    let next_reached =
+                        governed!(truncated, 'run, self.manager.try_or(reached, img));
                     if next_reached == reached {
                         continue;
                     }
@@ -308,30 +335,59 @@ impl WorkerState {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     member_counts: Vec<usize>,
     artefacts: Arc<SerializedBdd>,
     gc_threshold: usize,
     max_iterations: Option<usize>,
+    budget: Option<Budget>,
     inbox: Receiver<ToWorker>,
     outbox: Sender<FromWorker>,
 ) {
     let mut state = WorkerState::build(&artefacts, &member_counts, gc_threshold);
+    if let Some(budget) = budget {
+        // A copy of the owner's budget: the absolute deadline is shared, so
+        // every replica of a governed query expires together; step and node
+        // accounting run against the replica's own work.
+        state.manager.install_budget(budget);
+    }
+    #[cfg(feature = "fault-inject")]
+    let injected_panic = budget.and_then(|b| b.faults().worker_panic);
+    #[cfg(feature = "fault-inject")]
+    let mut pass = 0u32;
     while let Ok(message) = inbox.recv() {
         match message {
             ToWorker::Fire { source, assigned } => {
+                #[cfg(feature = "fault-inject")]
+                if injected_panic == Some((worker, pass)) {
+                    panic!("injected fault: worker {worker} dies at pass {pass}");
+                }
                 let start = Instant::now();
-                let fired = state.fire_all(&source, &assigned);
-                let _ = outbox.send(FromWorker::Partial {
-                    worker,
-                    image: fired.image,
-                    peak: fired.peak,
-                    costs: fired.costs,
-                    busy: start.elapsed(),
-                });
+                let reply = match state.fire_all(&source, &assigned) {
+                    Ok(fired) => FromWorker::Partial {
+                        worker,
+                        image: fired.image,
+                        peak: fired.peak,
+                        costs: fired.costs,
+                        busy: start.elapsed(),
+                    },
+                    Err(interrupt) => FromWorker::Interrupted {
+                        reason: interrupt.reason,
+                    },
+                };
+                let _ = outbox.send(reply);
+                #[cfg(feature = "fault-inject")]
+                {
+                    pass += 1;
+                }
             }
             ToWorker::Saturate(init) => {
+                #[cfg(feature = "fault-inject")]
+                if injected_panic == Some((worker, pass)) {
+                    panic!("injected fault: worker {worker} dies at pass {pass}");
+                }
                 let start = Instant::now();
                 let (reached, iterations, truncated, peak) = state.saturate(&init, max_iterations);
                 let _ = outbox.send(FromWorker::Saturated {
@@ -342,9 +398,19 @@ fn worker_loop(
                     peak,
                     busy: start.elapsed(),
                 });
+                #[cfg(feature = "fault-inject")]
+                {
+                    pass += 1;
+                }
             }
             ToWorker::Resync { artefacts, reached } => {
+                // Carry the budget (with its consumed step count and any
+                // sticky breach) across the replica rebuild.
+                let carried = state.manager.take_budget();
                 state = WorkerState::build(&artefacts, &member_counts, gc_threshold);
+                if let Some(budget) = carried {
+                    state.manager.install_budget(budget);
+                }
                 state.restore_reached(&reached);
             }
             ToWorker::Shutdown => break,
@@ -466,6 +532,7 @@ impl Pool {
         shards: Vec<(Arc<SerializedBdd>, Vec<usize>)>,
         gc_threshold: usize,
         max_iterations: Option<usize>,
+        budget: Option<Budget>,
     ) -> Pool {
         let threads = shards.len();
         let (result_tx, results) = channel();
@@ -481,6 +548,7 @@ impl Pool {
                     artefacts,
                     gc_threshold,
                     max_iterations,
+                    budget,
                     rx,
                     outbox,
                 )
@@ -504,17 +572,42 @@ impl Pool {
         self.senders.len()
     }
 
-    fn recv(&self) -> FromWorker {
-        self.results
-            .recv()
-            .expect("a parallel traversal worker died")
+    /// Waits for the next worker reply, probing the worker threads between
+    /// timeouts: a worker that died (panicked) before replying surfaces as
+    /// a typed [`TruncationReason::WorkerLoss`] interrupt instead of the
+    /// previous behaviour (blocking on the channel forever, or aborting
+    /// through an `expect`). The owner then unwinds, shuts the pool down
+    /// and keeps its own manager fully usable for a sequential retry.
+    fn recv(&self) -> Result<FromWorker, Interrupt> {
+        loop {
+            match self.results.recv_timeout(WORKER_PROBE_INTERVAL) {
+                Ok(reply) => return Ok(reply),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Mid-pass every worker is either computing or has
+                    // already replied; a finished thread here can only be a
+                    // death, because Shutdown is not sent while replies are
+                    // outstanding.
+                    if self.handles.iter().any(|handle| handle.is_finished()) {
+                        return Err(Interrupt::new(TruncationReason::WorkerLoss));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Interrupt::new(TruncationReason::WorkerLoss));
+                }
+            }
+        }
     }
 
-    fn shutdown(self) {
+    /// Stops the pool: asks every worker to exit and joins them all,
+    /// capturing (not propagating) panics. Returns `true` when every worker
+    /// exited cleanly.
+    fn shutdown(self) -> bool {
         self.broadcast(|| ToWorker::Shutdown);
+        let mut clean = true;
         for handle in self.handles {
-            let _ = handle.join();
+            clean &= handle.join().is_ok();
         }
+        clean
     }
 }
 
@@ -613,10 +706,23 @@ fn owner_maintain(ctx: &mut SymbolicContext, sift: SiftPolicy, iteration: usize)
     ctx.manager().order_generation() != before
 }
 
+/// Reports one [`FaultSite::WorkerSpawn`] event per worker to the owner's
+/// budget: an armed schedule then fails the pool start deterministically,
+/// before any thread exists.
+#[cfg(feature = "fault-inject")]
+fn spawn_fault_events(ctx: &mut SymbolicContext, threads: usize) -> Result<(), Interrupt> {
+    for _ in 0..threads {
+        ctx.manager_mut().fault_event(FaultSite::WorkerSpawn)?;
+    }
+    Ok(())
+}
+
 /// Entry point of [`FixpointStrategy::Parallel`](crate::FixpointStrategy):
 /// picks the execution layer and runs the pool. On return the reached set
 /// carries one protection in the owning manager, matching the sequential
-/// driver's contract.
+/// driver's contract — a typed truncation (budget breach, injected fault
+/// or worker loss) returns the last completed pass's reached set the same
+/// way.
 pub(crate) fn parallel_fixpoint(
     ctx: &mut SymbolicContext,
     plan: Rc<ImagePlan>,
@@ -664,7 +770,19 @@ fn sharded_bfs(
     let shards = (0..threads)
         .map(|_| (Arc::clone(&artefacts), member_counts.clone()))
         .collect();
-    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations);
+    #[cfg(feature = "fault-inject")]
+    if let Err(interrupt) = spawn_fault_events(ctx, threads) {
+        let reached = ctx.initial_set();
+        ctx.manager_mut().protect(reached);
+        return FixpointRun {
+            reached,
+            iterations: 0,
+            truncated: Some(interrupt.reason),
+            critical_path: Some(run_start.elapsed()),
+        };
+    }
+    let budget = ctx.manager().budget().copied();
+    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations, budget);
 
     // Latest known cost per cluster slot, refreshed from every reply and
     // fed to the balancer. Until a slot has been fired once, its member
@@ -679,14 +797,15 @@ fn sharded_bfs(
     ctx.manager_mut().protect(frontier);
 
     let mut iterations = 0usize;
-    let mut truncated = false;
-    loop {
+    let mut truncated = None;
+    'run: loop {
         if let Some(limit) = max_iterations {
             if iterations >= limit {
-                truncated = true;
+                truncated = Some(TruncationReason::Iterations);
                 break;
             }
         }
+        governed!(truncated, 'run, ctx.manager_mut().force_checkpoint());
         // Replicate: one serialization of the frontier, shared by Arc, and
         // this pass's deal — rebalanced from the latest measured costs.
         let source = Arc::new(ctx.manager().export_subgraph(&[frontier]));
@@ -707,19 +826,26 @@ fn sharded_bfs(
                 assigned: Arc::clone(slots),
             });
         }
-        // Fire happens worker-locally; collect every partial image.
+        // Fire happens worker-locally; collect every partial image. A
+        // worker whose replica budget breached replies `Interrupted` (it
+        // stays in protocol lockstep); a worker that *died* surfaces as a
+        // `WorkerLoss` interrupt from the probing receive. Either way the
+        // pass is abandoned: the previous pass's reached set is the
+        // result, still protected, and the owner manager stays usable.
         let wait_start = Instant::now();
         let mut partials: Vec<(usize, SerializedBdd, usize)> = Vec::with_capacity(pool.len());
         let mut pass_busy = Duration::ZERO;
-        for _ in 0..pool.len() {
+        let mut interrupted: Option<TruncationReason> = None;
+        let mut expected = pool.len();
+        while expected > 0 {
             match pool.recv() {
-                FromWorker::Partial {
+                Ok(FromWorker::Partial {
                     worker,
                     image,
                     peak,
                     costs,
                     busy,
-                } => {
+                }) => {
                     for (&slot, &c) in assigned[worker].iter().zip(&costs) {
                         // Halfway-damped update: one freshly migrated slot
                         // fires cold and reports an inflated cost; averaging
@@ -729,29 +855,52 @@ fn sharded_bfs(
                     }
                     partials.push((worker, image, peak));
                     pass_busy = pass_busy.max(busy);
+                    expected -= 1;
                 }
-                FromWorker::Saturated { .. } => unreachable!("no saturation was requested"),
+                Ok(FromWorker::Interrupted { reason, .. }) => {
+                    interrupted.get_or_insert(reason);
+                    expected -= 1;
+                }
+                Ok(FromWorker::Saturated { .. }) => unreachable!("no saturation was requested"),
+                Err(interrupt) => {
+                    // A worker died before replying; stop waiting for the
+                    // rest — the pool is torn down below.
+                    interrupted.get_or_insert(interrupt.reason);
+                    break;
+                }
             }
         }
         blocked += wait_start.elapsed();
         slowest_busy += pass_busy;
+        if let Some(reason) = interrupted {
+            truncated = Some(reason);
+            break 'run;
+        }
         // Merge in worker-id order: the owner's operation sequence is then
         // independent of the arrival interleaving.
         partials.sort_by_key(|&(worker, _, _)| worker);
         let mut image = empty;
         let mut pass_peak = 0usize;
         for (_, serialized, peak) in &partials {
+            #[cfg(feature = "fault-inject")]
+            {
+                governed!(
+                    truncated,
+                    'run,
+                    ctx.manager_mut().fault_event(FaultSite::ReplicaImport)
+                );
+            }
             let partial = ctx.manager_mut().import_subgraph(serialized)[0];
-            image = ctx.manager_mut().or(image, partial);
+            image = governed!(truncated, 'run, ctx.manager_mut().try_or(image, partial));
             pass_peak += peak;
         }
         ctx.manager_mut().absorb_shard_peak(pass_peak);
 
-        let new = ctx.manager_mut().diff(image, reached);
+        let new = governed!(truncated, 'run, ctx.manager_mut().try_diff(image, reached));
         if new == empty {
             break;
         }
-        let next_reached = ctx.manager_mut().or(reached, new);
+        let next_reached = governed!(truncated, 'run, ctx.manager_mut().try_or(reached, new));
         ctx.manager_mut().protect(next_reached);
         ctx.manager_mut().protect(new);
         ctx.manager_mut().unprotect(reached);
@@ -777,7 +926,11 @@ fn sharded_bfs(
     }
     ctx.manager_mut().unprotect(frontier);
     let critical_path = run_start.elapsed().saturating_sub(blocked) + slowest_busy;
-    pool.shutdown();
+    if !pool.shutdown() {
+        // A worker panicked at some point (possibly after its last useful
+        // reply): surface it rather than report a clean run.
+        truncated.get_or_insert(TruncationReason::WorkerLoss);
+    }
     FixpointRun {
         reached,
         iterations,
@@ -832,37 +985,75 @@ fn partitioned_fixpoint(
     // plus the slowest worker's saturation time (there is only one
     // owner-blocked wait here — the components saturate independently).
     let run_start = Instant::now();
-    let shards = assignment
+    let shards: Vec<(Arc<SerializedBdd>, Vec<usize>)> = assignment
         .iter()
         .map(|clusters| {
             let (artefacts, member_counts) = serialize_artefacts(ctx.manager(), plan, clusters);
             (Arc::new(artefacts), member_counts)
         })
         .collect();
-    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations);
+    #[cfg(feature = "fault-inject")]
+    if let Err(interrupt) = spawn_fault_events(ctx, shards.len()) {
+        let reached = ctx.initial_set();
+        ctx.manager_mut().protect(reached);
+        return FixpointRun {
+            reached,
+            iterations: 0,
+            truncated: Some(interrupt.reason),
+            critical_path: Some(run_start.elapsed()),
+        };
+    }
+    let budget = ctx.manager().budget().copied();
+    let pool = Pool::spawn(shards, ctx.manager().gc_threshold(), max_iterations, budget);
     let init = Arc::new(ctx.manager().export_subgraph(&[ctx.initial_set()]));
     pool.broadcast(|| ToWorker::Saturate(Arc::clone(&init)));
     let wait_start = Instant::now();
-    let mut done: Vec<(usize, SerializedBdd, usize, bool, usize)> = Vec::with_capacity(pool.len());
+    let mut done: Vec<(usize, SerializedBdd, usize, Option<TruncationReason>, usize)> =
+        Vec::with_capacity(pool.len());
     let mut slowest_busy = Duration::ZERO;
+    let mut lost: Option<TruncationReason> = None;
     for _ in 0..pool.len() {
         match pool.recv() {
-            FromWorker::Saturated {
+            Ok(FromWorker::Saturated {
                 worker,
                 reached,
                 iterations,
                 truncated,
                 peak,
                 busy,
-            } => {
+            }) => {
                 done.push((worker, reached, iterations, truncated, peak));
                 slowest_busy = slowest_busy.max(busy);
             }
-            FromWorker::Partial { .. } => unreachable!("no per-pass firing was requested"),
+            Ok(FromWorker::Interrupted { reason, .. }) => {
+                // The worker shipped no partial for its components, so the
+                // conjunction below would be unsound; fall back to the
+                // initial set as the (typed) truncated result.
+                lost.get_or_insert(reason);
+            }
+            Ok(FromWorker::Partial { .. }) => unreachable!("no per-pass firing was requested"),
+            Err(interrupt) => {
+                lost.get_or_insert(interrupt.reason);
+                break;
+            }
         }
     }
     let blocked = wait_start.elapsed();
-    pool.shutdown();
+    if !pool.shutdown() {
+        lost.get_or_insert(TruncationReason::WorkerLoss);
+    }
+    if let Some(reason) = lost {
+        // One or more components have no sub-fixpoint at all. The only
+        // sound under-approximation still available is the initial set.
+        let reached = ctx.initial_set();
+        ctx.manager_mut().protect(reached);
+        return FixpointRun {
+            reached,
+            iterations: 0,
+            truncated: Some(reason),
+            critical_path: Some(run_start.elapsed().saturating_sub(blocked) + slowest_busy),
+        };
+    }
     done.sort_by_key(|&(worker, ..)| worker);
 
     // Recombine: each sub-fixpoint constrains its own component variables
@@ -874,9 +1065,21 @@ fn partitioned_fixpoint(
     let current = ctx.current_vars().to_vec();
     let mut reached = ctx.manager().one();
     let mut iterations = 0usize;
-    let mut truncated = false;
+    let mut truncated = None;
     let mut shard_peaks = 0usize;
-    for &(worker, ref serialized, its, trunc, peak) in &done {
+    // The merge is governed too: a budget breach (or injected import
+    // fault) mid-recombination degrades to the initial set, the only sound
+    // under-approximation once a factor is missing from the conjunction.
+    let mut merge_interrupt = None;
+    'merge: for &(worker, ref serialized, its, trunc, peak) in &done {
+        #[cfg(feature = "fault-inject")]
+        {
+            governed!(
+                merge_interrupt,
+                'merge,
+                ctx.manager_mut().fault_event(FaultSite::ReplicaImport)
+            );
+        }
         let sub = ctx.manager_mut().import_subgraph(serialized)[0];
         let other_vars: Vec<VarId> = worker_vars
             .iter()
@@ -884,11 +1087,26 @@ fn partitioned_fixpoint(
             .filter(|&(w, _)| w != worker)
             .flat_map(|(_, vars)| vars.iter().map(|&i| current[i]))
             .collect();
-        let projected = ctx.manager_mut().exists(sub, &other_vars);
-        reached = ctx.manager_mut().and(reached, projected);
+        let projected = governed!(
+            merge_interrupt,
+            'merge,
+            ctx.manager_mut().try_exists(sub, &other_vars)
+        );
+        reached = governed!(
+            merge_interrupt,
+            'merge,
+            ctx.manager_mut().try_and(reached, projected)
+        );
         iterations = iterations.max(its);
-        truncated |= trunc;
+        if let Some(reason) = trunc {
+            truncated.get_or_insert(reason);
+        }
         shard_peaks += peak;
+    }
+    if let Some(reason) = merge_interrupt {
+        reached = ctx.initial_set();
+        truncated = Some(reason);
+        iterations = 0;
     }
     ctx.manager_mut().absorb_shard_peak(shard_peaks);
     ctx.manager_mut().protect(reached);
@@ -984,7 +1202,58 @@ mod tests {
                 FixpointStrategy::Parallel { threads },
             ));
             assert_eq!(result.num_markings, expected, "threads={threads}");
-            assert!(!result.truncated);
+            assert!(result.truncated.is_none());
         }
+    }
+
+    /// The regression pin for the pool's hang risk: a worker that dies
+    /// mid-pass (here: a deterministically injected panic) must surface as
+    /// a typed `WorkerLoss` truncation — not a channel deadlock, not an
+    /// abort — and the owner's manager must stay fully usable for a
+    /// sequential retry on the same context.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn a_panicking_worker_surfaces_as_typed_worker_loss() {
+        use pnsym_bdd::FaultSchedule;
+
+        let net = philosophers(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let mut faults = FaultSchedule::none();
+        faults.worker_panic = Some((1, 0));
+        let mut options =
+            TraversalOptions::with_strategy(FixpointStrategy::Parallel { threads: 2 });
+        options.faults = Some(faults);
+        let result = ctx.reachable_markings_with(options);
+        assert_eq!(result.truncated, Some(TruncationReason::WorkerLoss));
+        ctx.manager().check_invariants().unwrap();
+        // Sequential retry on the very same context completes and matches
+        // the explicit oracle.
+        let retry = ctx.reachable_markings_with(TraversalOptions::default());
+        assert!(retry.truncated.is_none());
+        assert_eq!(retry.num_markings, expected);
+    }
+
+    /// A worker panic injected at a *later* pass exercises the mid-run
+    /// path: earlier passes already merged partials into the owner.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn a_mid_run_worker_panic_returns_a_partial_reached_set() {
+        use pnsym_bdd::FaultSchedule;
+
+        let net = muller(6);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        let mut faults = FaultSchedule::none();
+        faults.worker_panic = Some((0, 2));
+        let mut options =
+            TraversalOptions::with_strategy(FixpointStrategy::Parallel { threads: 2 });
+        options.faults = Some(faults);
+        let result = ctx.reachable_markings_with(options);
+        assert_eq!(result.truncated, Some(TruncationReason::WorkerLoss));
+        assert!(result.num_markings < expected);
+        assert!(result.num_markings >= 1.0);
+        let retry = ctx.reachable_markings_with(TraversalOptions::default());
+        assert_eq!(retry.num_markings, expected);
     }
 }

@@ -32,9 +32,26 @@
 
 use crate::context::SymbolicContext;
 use crate::plan::ImagePlan;
-use pnsym_bdd::{Ref, SiftConfig};
+use pnsym_bdd::{Budget, Interrupt, Ref, SiftConfig, TruncationReason};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+/// Unwraps a governed kernel call inside a fixpoint driver: on an
+/// [`Interrupt`] the macro records the typed truncation reason and breaks
+/// out of the labelled traversal loop, so the driver's epilogue releases
+/// the intermediate protections and returns the partial result.
+macro_rules! governed {
+    ($truncated:ident, $label:lifetime, $e:expr) => {
+        match $e {
+            Ok(value) => value,
+            Err(interrupt) => {
+                $truncated = Some(interrupt.reason);
+                break $label;
+            }
+        }
+    };
+}
+pub(crate) use governed;
 
 /// When to run dynamic variable reordering during traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +163,21 @@ pub struct TraversalOptions {
     pub sift: SiftPolicy,
     /// Abort after this many iterations (safety valve for experiments).
     pub max_iterations: Option<usize>,
+    /// Wall-clock budget: the traversal unwinds with
+    /// [`TruncationReason::Deadline`] once this much time has elapsed,
+    /// checked cooperatively inside the kernel recursions (amortized over
+    /// cache misses) and at every pass boundary.
+    pub time_budget: Option<Duration>,
+    /// Live-node ceiling of the backing manager: breaching it unwinds the
+    /// traversal with [`TruncationReason::NodeBudget`].
+    pub node_budget: Option<usize>,
+    /// Kernel-step ceiling (one step per governed cache miss): breaching
+    /// it unwinds the traversal with [`TruncationReason::StepBudget`].
+    pub step_budget: Option<u64>,
+    /// Deterministic fault-injection schedule driven through the budget's
+    /// checkpoints (see [`pnsym_bdd::FaultSchedule`]).
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<pnsym_bdd::FaultSchedule>,
 }
 
 impl Default for TraversalOptions {
@@ -155,6 +187,11 @@ impl Default for TraversalOptions {
             gc_threshold: 500_000,
             sift: SiftPolicy::Never,
             max_iterations: None,
+            time_budget: None,
+            node_budget: None,
+            step_budget: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 }
@@ -166,6 +203,31 @@ impl TraversalOptions {
             strategy,
             ..TraversalOptions::default()
         }
+    }
+
+    /// The [`Budget`] these options describe, or `None` when the traversal
+    /// is entirely unconstrained (the kernel hot paths then pay nothing).
+    pub(crate) fn budget(&self) -> Option<Budget> {
+        let mut budget = Budget::new();
+        let mut governed = false;
+        if let Some(window) = self.time_budget {
+            budget = budget.with_deadline(window);
+            governed = true;
+        }
+        if let Some(ceiling) = self.node_budget {
+            budget = budget.with_node_ceiling(ceiling);
+            governed = true;
+        }
+        if let Some(ceiling) = self.step_budget {
+            budget = budget.with_step_ceiling(ceiling);
+            governed = true;
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = self.faults {
+            budget = budget.with_faults(faults);
+            governed = true;
+        }
+        governed.then_some(budget)
     }
 }
 
@@ -198,9 +260,13 @@ pub struct ReachabilityResult {
     /// should read this field; for sequential strategies it equals
     /// [`ReachabilityResult::duration`].
     pub critical_path: Duration,
-    /// Whether the traversal stopped early because of
-    /// [`TraversalOptions::max_iterations`].
-    pub truncated: bool,
+    /// Why the traversal stopped early, if it did:
+    /// [`TruncationReason::Iterations`] for the
+    /// [`TraversalOptions::max_iterations`] safety valve, the budget
+    /// reasons for a governed run, `None` for a completed fixpoint. A
+    /// truncated `reached` set is a valid *under*-approximation of the
+    /// reachable markings, protected in the manager like a complete one.
+    pub truncated: Option<TruncationReason>,
     /// The strategy that produced this result.
     pub strategy: FixpointStrategy,
 }
@@ -213,8 +279,9 @@ pub(crate) struct FixpointRun<S> {
     pub reached: S,
     /// Iterations (BFS steps or productive chaining passes).
     pub iterations: usize,
-    /// Whether the iteration limit truncated the run.
-    pub truncated: bool,
+    /// Why the run stopped early (iteration limit or budget breach), or
+    /// `None` for a completed fixpoint.
+    pub truncated: Option<TruncationReason>,
     /// Modeled wall time on a host with one free core per worker: the
     /// owner's serial work plus the slowest worker's busy time of every
     /// pass. `None` for sequential runs, where it coincides with the
@@ -252,12 +319,24 @@ pub(crate) trait FixpointKernel {
     /// over-approximation is fine and only costs redundant sweeps; a
     /// missed pair silently truncates the fixpoint).
     fn cluster_feeds(&self, from: usize, to: usize) -> bool;
-    /// The image of `from` under every transition of `cluster`.
-    fn cluster_image(&mut self, cluster: usize, from: Self::Set) -> Self::Set;
-    /// Set union.
-    fn union(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
-    /// Set difference `a \ b`.
-    fn diff(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+    /// The image of `from` under every transition of `cluster`, or a typed
+    /// [`Interrupt`] when the backend's budget breached mid-computation.
+    /// On `Err` the backend must be left consistent: every completed node
+    /// and cache entry valid, no protection acquired for the partial work.
+    fn cluster_image(&mut self, cluster: usize, from: Self::Set) -> Result<Self::Set, Interrupt>;
+    /// Set union (fallible like [`FixpointKernel::cluster_image`]).
+    fn union(&mut self, a: Self::Set, b: Self::Set) -> Result<Self::Set, Interrupt>;
+    /// Set difference `a \ b` (fallible like
+    /// [`FixpointKernel::cluster_image`]).
+    fn diff(&mut self, a: Self::Set, b: Self::Set) -> Result<Self::Set, Interrupt>;
+    /// Forced budget check at a pass boundary. Unlike the amortized checks
+    /// inside the kernel recursions this fires every time it is called, so
+    /// even a traversal whose passes are too cheap to reach the amortized
+    /// check interval honours its deadline between passes. The default is
+    /// a no-op for ungoverned backends.
+    fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        Ok(())
+    }
     /// Protects `s` from backend garbage collection (no-op by default).
     fn protect(&mut self, _s: Self::Set) {}
     /// Releases one protection of `s` (no-op by default).
@@ -292,9 +371,10 @@ pub(crate) trait FixpointKernel {
     }
 }
 
-/// Runs the fixpoint under the given strategy. On return the reached set
-/// carries one protection in the backend (for backends with GC); every
-/// intermediate protection has been released.
+/// Runs the fixpoint under the given strategy. On return — *including* a
+/// truncated return after a budget breach — the reached set carries one
+/// protection in the backend (for backends with GC); every intermediate
+/// protection has been released.
 pub(crate) fn run_fixpoint<K: FixpointKernel>(
     kernel: &mut K,
     strategy: FixpointStrategy,
@@ -320,25 +400,26 @@ fn bfs<K: FixpointKernel>(
     kernel.protect(frontier);
 
     let mut iterations = 0usize;
-    let mut truncated = false;
-    loop {
+    let mut truncated = None;
+    'run: loop {
         if let Some(limit) = max_iterations {
             if iterations >= limit {
-                truncated = true;
+                truncated = Some(TruncationReason::Iterations);
                 break;
             }
         }
+        governed!(truncated, 'run, kernel.checkpoint());
         let source = if use_frontier { frontier } else { reached };
         let mut image = empty;
         for cluster in 0..kernel.num_clusters() {
-            let img = kernel.cluster_image(cluster, source);
-            image = kernel.union(image, img);
+            let img = governed!(truncated, 'run, kernel.cluster_image(cluster, source));
+            image = governed!(truncated, 'run, kernel.union(image, img));
         }
-        let new = kernel.diff(image, reached);
+        let new = governed!(truncated, 'run, kernel.diff(image, reached));
         if new == empty {
             break;
         }
-        let next_reached = kernel.union(reached, new);
+        let next_reached = governed!(truncated, 'run, kernel.union(reached, new));
 
         // Re-protect the updated sets and release the previous ones.
         kernel.protect(next_reached);
@@ -370,20 +451,21 @@ fn chaining<K: FixpointKernel>(
     kernel.protect(reached);
 
     let mut iterations = 0usize;
-    let mut truncated = false;
-    loop {
+    let mut truncated = None;
+    'run: loop {
         if let Some(limit) = max_iterations {
             if iterations >= limit {
-                truncated = true;
+                truncated = Some(TruncationReason::Iterations);
                 break;
             }
         }
+        governed!(truncated, 'run, kernel.checkpoint());
         let mut changed = false;
         for &cluster in &sequence {
-            let img = kernel.cluster_image(cluster, reached);
+            let img = governed!(truncated, 'run, kernel.cluster_image(cluster, reached));
             // `union != reached` detects productivity directly; computing
             // the difference first would walk the same diagrams twice.
-            let next_reached = kernel.union(reached, img);
+            let next_reached = governed!(truncated, 'run, kernel.union(reached, img));
             if next_reached == reached {
                 continue;
             }
@@ -458,7 +540,7 @@ fn saturation<K: FixpointKernel>(
     kernel.protect(reached);
 
     let mut iterations = 0usize;
-    let mut truncated = false;
+    let mut truncated = None;
     // Bottom-up passes over the level buckets, firing only *dirty*
     // clusters: every cluster starts dirty, firing cleans it, and a
     // productive firing re-dirties exactly the clusters it feeds. A dirty
@@ -480,10 +562,11 @@ fn saturation<K: FixpointKernel>(
             loop {
                 if let Some(limit) = max_iterations {
                     if iterations >= limit {
-                        truncated = true;
+                        truncated = Some(TruncationReason::Iterations);
                         break 'outer;
                     }
                 }
+                governed!(truncated, 'outer, kernel.checkpoint());
                 dirty_level[li] = false;
                 let mut changed = false;
                 for &cluster in &levels[li] {
@@ -491,11 +574,11 @@ fn saturation<K: FixpointKernel>(
                         continue;
                     }
                     dirty[cluster] = false;
-                    let img = kernel.cluster_image(cluster, reached);
+                    let img = governed!(truncated, 'outer, kernel.cluster_image(cluster, reached));
                     // `union != reached` detects productivity directly;
                     // computing the difference first would walk the same
                     // diagrams twice.
-                    let next_reached = kernel.union(reached, img);
+                    let next_reached = governed!(truncated, 'outer, kernel.union(reached, img));
                     if next_reached == reached {
                         continue;
                     }
@@ -593,16 +676,20 @@ impl FixpointKernel for BddFixpointKernel<'_> {
         self.plan.cluster_feeds(from, to)
     }
 
-    fn cluster_image(&mut self, cluster: usize, from: Ref) -> Ref {
-        self.ctx.cluster_image(cluster, from)
+    fn cluster_image(&mut self, cluster: usize, from: Ref) -> Result<Ref, Interrupt> {
+        self.ctx.try_cluster_image(cluster, from)
     }
 
-    fn union(&mut self, a: Ref, b: Ref) -> Ref {
-        self.ctx.manager_mut().or(a, b)
+    fn union(&mut self, a: Ref, b: Ref) -> Result<Ref, Interrupt> {
+        self.ctx.manager_mut().try_or(a, b)
     }
 
-    fn diff(&mut self, a: Ref, b: Ref) -> Ref {
-        self.ctx.manager_mut().diff(a, b)
+    fn diff(&mut self, a: Ref, b: Ref) -> Result<Ref, Interrupt> {
+        self.ctx.manager_mut().try_diff(a, b)
+    }
+
+    fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        self.ctx.manager_mut().force_checkpoint()
     }
 
     fn protect(&mut self, s: Ref) {
@@ -663,6 +750,9 @@ impl SymbolicContext {
         // The manager's advisory threshold is the single source of truth for
         // the adaptive GC policy in the kernel's maintenance hook.
         self.manager_mut().set_gc_threshold(options.gc_threshold);
+        if let Some(budget) = options.budget() {
+            self.manager_mut().install_budget(budget);
+        }
         let plan = self.image_plan();
         let mut kernel = BddFixpointKernel {
             ctx: self,
@@ -670,6 +760,10 @@ impl SymbolicContext {
             sift: options.sift,
         };
         let run = run_fixpoint(&mut kernel, options.strategy, options.max_iterations);
+        // Remove the (possibly breached) budget before computing the result
+        // statistics: the manager is back to ungoverned operation and an
+        // uninterrupted re-run on the same context completes normally.
+        self.manager_mut().take_budget();
 
         let num_markings = self.count_markings(run.reached);
         let bdd_nodes = self.bdd_size(run.reached);
@@ -755,7 +849,7 @@ mod tests {
                     net.name(),
                     scheme
                 );
-                assert!(!result.truncated);
+                assert!(result.truncated.is_none());
                 assert!(result.iterations > 0);
             }
         }
@@ -779,7 +873,7 @@ mod tests {
                         strategy
                     );
                     assert_eq!(result.strategy, strategy);
-                    assert!(!result.truncated);
+                    assert!(result.truncated.is_none());
                 }
             }
         }
@@ -867,7 +961,7 @@ mod tests {
             max_iterations: Some(1),
             ..TraversalOptions::default()
         });
-        assert!(result.truncated);
+        assert_eq!(result.truncated, Some(TruncationReason::Iterations));
         let full = SymbolicContext::new(&net, Encoding::sparse(&net))
             .reachable_markings()
             .num_markings;
@@ -893,7 +987,7 @@ mod tests {
                 FixpointStrategy::Saturation,
             ));
             assert_eq!(bfs.num_markings, sat.num_markings, "{}", net.name());
-            assert!(!sat.truncated);
+            assert!(sat.truncated.is_none());
             assert!(sat.iterations > 0);
             assert_eq!(sat.strategy, FixpointStrategy::Saturation);
             if net.name().starts_with("muller") {
@@ -924,7 +1018,7 @@ mod tests {
             strategy: FixpointStrategy::Saturation,
             ..TraversalOptions::default()
         });
-        assert!(result.truncated);
+        assert_eq!(result.truncated, Some(TruncationReason::Iterations));
         assert_eq!(result.iterations, 1);
         let full = SymbolicContext::new(&net, Encoding::sparse(&net))
             .reachable_markings()
@@ -943,7 +1037,7 @@ mod tests {
             },
             ..TraversalOptions::default()
         });
-        assert!(result.truncated);
+        assert_eq!(result.truncated, Some(TruncationReason::Iterations));
         assert_eq!(result.iterations, 1);
     }
 
@@ -985,19 +1079,19 @@ mod tests {
         fn cluster_feeds(&self, from: usize, to: usize) -> bool {
             to == from + 1
         }
-        fn cluster_image(&mut self, cluster: usize, from: u64) -> u64 {
+        fn cluster_image(&mut self, cluster: usize, from: u64) -> Result<u64, Interrupt> {
             self.log.push((cluster, self.generation));
-            if from & (1 << cluster) != 0 {
+            Ok(if from & (1 << cluster) != 0 {
                 1 << (cluster + 1)
             } else {
                 0
-            }
+            })
         }
-        fn union(&mut self, a: u64, b: u64) -> u64 {
-            a | b
+        fn union(&mut self, a: u64, b: u64) -> Result<u64, Interrupt> {
+            Ok(a | b)
         }
-        fn diff(&mut self, a: u64, b: u64) -> u64 {
-            a & !b
+        fn diff(&mut self, a: u64, b: u64) -> Result<u64, Interrupt> {
+            Ok(a & !b)
         }
         fn maintain(&mut self, iteration: usize) {
             if iteration == self.reorder_at {
@@ -1018,7 +1112,7 @@ mod tests {
         };
         let run = run_fixpoint(&mut kernel, FixpointStrategy::Saturation, None);
         assert_eq!(run.reached, 0b1111);
-        assert!(!run.truncated);
+        assert!(run.truncated.is_none());
         assert_eq!(kernel.generation, 1, "the mock must have reordered mid-run");
         // After the reorder, cluster 2 owns the deepest bucket, so the
         // bottom-up scan must visit it before cluster 1. With stale buckets

@@ -21,7 +21,9 @@
 
 use crate::plan::structural_transition_ranks;
 use crate::traverse::{run_fixpoint, ChainingOrder, FixpointKernel, FixpointStrategy};
-use pnsym_bdd::{ZddManager, ZddRef, ZddUpdate, ZddUpdateAction};
+use pnsym_bdd::{
+    Budget, Interrupt, TruncationReason, ZddManager, ZddRef, ZddUpdate, ZddUpdateAction,
+};
 use pnsym_net::{PetriNet, TransitionId};
 use std::time::{Duration, Instant};
 
@@ -43,10 +45,11 @@ pub struct ZddReachabilityResult {
     pub total_nodes: usize,
     /// Wall-clock time of the traversal.
     pub duration: Duration,
-    /// Whether an iteration limit truncated the run (never, for the
-    /// entry points currently exposed; kept for parity with
-    /// [`ReachabilityResult`](crate::ReachabilityResult)).
-    pub truncated: bool,
+    /// Why the run stopped early, or `None` for a completed fixpoint. A
+    /// truncated `reached` family is still a valid under-approximation of
+    /// the reachable markings. Mirrors
+    /// [`ReachabilityResult`](crate::ReachabilityResult).
+    pub truncated: Option<TruncationReason>,
     /// The strategy that produced this result.
     pub strategy: FixpointStrategy,
 }
@@ -237,9 +240,37 @@ impl ZddContext {
     /// Computes the set of reachable markings under `strategy`, through the
     /// same generic fixpoint driver as the BDD engine.
     pub fn reachable_markings_with(&mut self, strategy: FixpointStrategy) -> ZddReachabilityResult {
+        self.run_reachability(strategy, None)
+    }
+
+    /// Like [`ZddContext::reachable_markings_with`], but under a resource
+    /// [`Budget`]: the budget is installed into the ZDD manager for the
+    /// duration of the run and every cluster firing checks it
+    /// cooperatively. On a breach the driver unwinds with the partial
+    /// reached family and records the [`TruncationReason`].
+    pub fn reachable_markings_governed(
+        &mut self,
+        strategy: FixpointStrategy,
+        budget: Budget,
+    ) -> ZddReachabilityResult {
+        self.run_reachability(strategy, Some(budget))
+    }
+
+    fn run_reachability(
+        &mut self,
+        strategy: FixpointStrategy,
+        budget: Option<Budget>,
+    ) -> ZddReachabilityResult {
         let start = Instant::now();
+        if let Some(budget) = budget {
+            self.manager.install_budget(budget);
+        }
         let mut kernel = ZddFixpointKernel { ctx: self };
         let run = run_fixpoint(&mut kernel, strategy, None);
+        // Disarm the governor before computing stats, so the counting and
+        // node-walking below run on an ungoverned manager even after a
+        // breach.
+        self.manager.take_budget();
         ZddReachabilityResult {
             reached: run.reached,
             num_markings: self.manager.count(run.reached),
@@ -293,16 +324,24 @@ impl FixpointKernel for ZddFixpointKernel<'_> {
             .any(|(&p, &q)| p & q != 0)
     }
 
-    fn cluster_image(&mut self, cluster: usize, from: ZddRef) -> ZddRef {
-        self.ctx.image_of(cluster, from)
+    fn cluster_image(&mut self, cluster: usize, from: ZddRef) -> Result<ZddRef, Interrupt> {
+        let update = self.ctx.ops[cluster].fwd;
+        self.ctx.manager.try_apply_update(from, update)
     }
 
-    fn union(&mut self, a: ZddRef, b: ZddRef) -> ZddRef {
-        self.ctx.manager.union(a, b)
+    fn union(&mut self, a: ZddRef, b: ZddRef) -> Result<ZddRef, Interrupt> {
+        self.ctx.manager.try_union(a, b)
     }
 
-    fn diff(&mut self, a: ZddRef, b: ZddRef) -> ZddRef {
-        self.ctx.manager.diff(a, b)
+    fn diff(&mut self, a: ZddRef, b: ZddRef) -> Result<ZddRef, Interrupt> {
+        self.ctx.manager.try_diff(a, b)
+    }
+
+    fn checkpoint(&mut self) -> Result<(), Interrupt> {
+        // Forced (non-amortized) check at pass boundaries: even a net
+        // whose per-pass work never reaches the amortization interval
+        // honors a wall-clock deadline between passes.
+        self.ctx.manager.force_checkpoint()
     }
 }
 
@@ -355,7 +394,7 @@ mod tests {
                     net.name(),
                     strategy
                 );
-                assert!(!result.truncated);
+                assert!(result.truncated.is_none());
             }
         }
     }
@@ -495,6 +534,37 @@ mod tests {
         let rg = net.explore().unwrap();
         let expected = (rg.num_markings() - rg.deadlocks(&net).len()) as f64;
         assert_eq!(ctx.manager().count(live), expected);
+    }
+
+    #[test]
+    fn a_governed_zdd_run_truncates_with_a_typed_reason() {
+        let net = philosophers(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut ctx = ZddContext::new(&net);
+        let budget = Budget::new().with_step_ceiling(1);
+        let result = ctx.reachable_markings_governed(FixpointStrategy::default(), budget);
+        assert_eq!(result.truncated, Some(TruncationReason::StepBudget));
+        assert!(
+            result.num_markings <= expected,
+            "a truncated family is an under-approximation"
+        );
+        // The budget was disarmed on return: the same context completes
+        // an ungoverned re-run and reaches the full fixpoint.
+        assert!(ctx.manager().budget().is_none());
+        let full = ctx.reachable_markings();
+        assert!(full.truncated.is_none());
+        assert_eq!(full.num_markings, expected);
+    }
+
+    #[test]
+    fn a_generous_zdd_budget_never_truncates() {
+        let net = figure1();
+        let expected = net.explore().unwrap().num_markings() as f64;
+        let mut ctx = ZddContext::new(&net);
+        let budget = Budget::new().with_step_ceiling(u64::MAX);
+        let result = ctx.reachable_markings_governed(FixpointStrategy::default(), budget);
+        assert!(result.truncated.is_none());
+        assert_eq!(result.num_markings, expected);
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn parallel_strategies() -> [FixpointStrategy; 3] {
 fn counts(net: &PetriNet, strategy: FixpointStrategy) -> (f64, f64) {
     let mut ctx = context(net);
     let run = ctx.reachable_markings_with(TraversalOptions::with_strategy(strategy));
-    assert!(!run.truncated, "{}: {strategy} truncated", net.name());
+    assert!(
+        run.truncated.is_none(),
+        "{}: {strategy} truncated",
+        net.name()
+    );
     let dead = ctx.deadlocks_in(run.reached);
     (run.num_markings, ctx.count_markings(dead))
 }
@@ -102,7 +106,7 @@ fn ctl_verdicts_are_identical_across_thread_counts() {
                 let mut ctx = context(net);
                 let report =
                     ctx.check_property_with(&prop, TraversalOptions::with_strategy(strategy));
-                assert!(!report.truncated);
+                assert!(report.truncated.is_none());
                 verdicts.push((report.holds, report.sat_markings, report.reached_markings));
             }
             assert!(

@@ -48,13 +48,16 @@ pub use pnsym_net as net;
 pub use pnsym_structural as structural;
 
 pub use pnsym_core::{
-    analyze, analyze_zdd, analyze_zdd_with, build_encoding, toggling_activity,
-    toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport, AssignmentStrategy,
-    Block, ChainingOrder, CheckReport, Encoding, ExplicitChecker, FixpointStrategy, ImageCluster,
-    ImagePlan, PreImageCluster, PreImagePlan, Property, PropertyParseError, ReachabilityResult,
-    SchemeKind, SiftPolicy, SymbolicContext, TogglingReport, TraceKind, TransitionEffect,
-    TraversalOptions, WitnessTrace, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
+    analyze, analyze_zdd, analyze_zdd_governed, analyze_zdd_with, build_encoding,
+    toggling_activity, toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport,
+    AssignmentStrategy, Block, Budget, ChainingOrder, CheckReport, DegradationStep, Encoding,
+    ExplicitChecker, FixpointStrategy, ImageCluster, ImagePlan, Interrupt, PreImageCluster,
+    PreImagePlan, Property, PropertyParseError, ReachabilityResult, SchemeKind, SiftPolicy,
+    SymbolicContext, TogglingReport, TraceKind, TransitionEffect, TraversalOptions,
+    TruncationReason, WitnessTrace, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
 };
+#[cfg(feature = "fault-inject")]
+pub use pnsym_core::{FaultSchedule, FaultSite};
 
 /// Commonly used items for quick scripting against the library.
 pub mod prelude {

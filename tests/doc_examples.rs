@@ -1,11 +1,15 @@
 //! Pins the examples quoted in `README.md` and the `pnsym` crate-level
 //! docs: the quick-start numbers (`philosophers(2)` has 22 reachable
 //! markings, encoded with 14 variables under the sparse scheme and 8 under
-//! the dense SMC-based scheme, Table 1 of the paper) and the two
-//! model-checking walkthroughs of the "Model checking" section.
+//! the dense SMC-based scheme, Table 1 of the paper), the two
+//! model-checking walkthroughs of the "Model checking" section and the
+//! budgeted-traversal example of "Resource governance & failure model".
 
-use pnsym::net::nets::philosophers;
-use pnsym::{analyze, AnalysisOptions, Encoding, Property, SymbolicContext};
+use pnsym::net::nets::{muller, philosophers};
+use pnsym::{
+    analyze, AnalysisOptions, Encoding, Property, SymbolicContext, TraversalOptions,
+    TruncationReason,
+};
 
 #[test]
 fn quick_start_numbers_match_table1() {
@@ -52,6 +56,28 @@ fn readme_model_checking_counterexample_example() {
     assert!(lasso.is_lasso().is_some());
     let eating0 = net.place_by_name("eating.0").unwrap();
     assert!(lasso.markings.iter().all(|m| !m.is_marked(eating0)));
+}
+
+/// The README "Resource governance & failure model" section, verbatim:
+/// an expired deadline truncates with a typed reason, the partial set
+/// under-approximates, and the same context completes an ungoverned run.
+#[test]
+fn readme_resource_governance_example() {
+    use std::time::Duration;
+
+    let net = muller(6);
+    let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+    let governed = TraversalOptions {
+        time_budget: Some(Duration::ZERO), // already expired: trips at once
+        ..TraversalOptions::default()
+    };
+    let partial = ctx.reachable_markings_with(governed);
+    assert_eq!(partial.truncated, Some(TruncationReason::Deadline));
+    // The budget is disarmed when the traversal returns: the same context
+    // completes an ungoverned re-run, and the partial set under-approximates.
+    let full = ctx.reachable_markings_with(TraversalOptions::default());
+    assert!(full.truncated.is_none());
+    assert!(partial.num_markings <= full.num_markings);
 }
 
 #[test]
