@@ -5,8 +5,14 @@
 //! than hash sets: node indices are dense, so a `Vec` lookup is one load
 //! with no hashing, which matters for the node counts taken after every
 //! traversal iteration of the experiment harness.
+//!
+//! With complement edges, structure lives in *nodes* while polarity lives
+//! in *edges*: the structural walks (support, node counts) strip the
+//! complement bit and traverse node indices, while the semantic walks
+//! (eval, sat counting, enumeration) push the accumulated complement
+//! parity through each step.
 
-use crate::manager::{BddManager, Ref, VarId, FALSE, TERMINAL_LEVEL, TRUE};
+use crate::manager::{BddManager, Ref, VarId, ONE, TERMINAL_LEVEL, ZERO};
 use std::collections::HashSet;
 
 impl BddManager {
@@ -16,12 +22,13 @@ impl BddManager {
         let mut cur = f.0;
         loop {
             match cur {
-                FALSE => return false,
-                TRUE => return true,
+                ONE => return true,
+                ZERO => return false,
                 _ => {
-                    let n = &self.nodes[cur as usize];
+                    let c = cur & 1;
+                    let n = &self.nodes[(cur >> 1) as usize];
                     let var = self.var_at(n.level);
-                    cur = if assignment(var) { n.high } else { n.low };
+                    cur = (if assignment(var) { n.high } else { n.low }) ^ c;
                 }
             }
         }
@@ -31,16 +38,19 @@ impl BddManager {
     pub fn support(&self, f: Ref) -> Vec<VarId> {
         let mut seen = vec![false; self.nodes.len()];
         let mut in_support = vec![false; self.num_vars()];
-        let mut stack = vec![f.0];
+        let mut stack = vec![f.0 >> 1];
         while let Some(idx) = stack.pop() {
-            if idx == FALSE || idx == TRUE || seen[idx as usize] {
+            if seen[idx as usize] {
                 continue;
             }
             seen[idx as usize] = true;
             let n = &self.nodes[idx as usize];
+            if n.level == TERMINAL_LEVEL {
+                continue;
+            }
             in_support[self.var_at(n.level).index()] = true;
-            stack.push(n.low);
-            stack.push(n.high);
+            stack.push(n.low >> 1);
+            stack.push(n.high >> 1);
         }
         in_support
             .iter()
@@ -50,17 +60,19 @@ impl BddManager {
             .collect()
     }
 
-    /// Number of nodes in the diagram rooted at `f`, terminals included.
+    /// Number of nodes in the diagram rooted at `f`, the shared terminal
+    /// included. `f` and `¬f` have the same count: complement lives on the
+    /// edges, not in the nodes.
     pub fn node_count(&self, f: Ref) -> usize {
         self.shared_node_count(&[f])
     }
 
     /// Number of distinct nodes reachable from any of `roots`
-    /// (the "shared size" of a set of functions), terminals included.
+    /// (the "shared size" of a set of functions), the terminal included.
     pub fn shared_node_count(&self, roots: &[Ref]) -> usize {
         let mut seen = vec![false; self.nodes.len()];
         let mut count = 0usize;
-        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0 >> 1).collect();
         while let Some(idx) = stack.pop() {
             if seen[idx as usize] {
                 continue;
@@ -69,8 +81,8 @@ impl BddManager {
             count += 1;
             let n = &self.nodes[idx as usize];
             if n.level != TERMINAL_LEVEL {
-                stack.push(n.low);
-                stack.push(n.high);
+                stack.push(n.low >> 1);
+                stack.push(n.high >> 1);
             }
         }
         count
@@ -106,25 +118,33 @@ impl BddManager {
     }
 
     fn sat_count_rec(&self, f: u32, levels: &[u32], depth: usize, memo: &mut Vec<f64>) -> f64 {
-        // Number of support levels strictly below `depth` position.
-        if f == FALSE {
+        if f == ZERO {
             return 0.0;
         }
-        if f == TRUE {
+        if f == ONE {
             return 2f64.powi((levels.len() - depth) as i32);
         }
-        let n = &self.nodes[f as usize];
+        let idx = (f >> 1) as usize;
+        let n = &self.nodes[idx];
         // Position of this node's level within the support levels.
         let pos = levels.partition_point(|&l| l < n.level);
         debug_assert!(pos < levels.len() && levels[pos] == n.level);
-        let sub = if memo[f as usize].is_nan() {
+        // The memo stores the count of the node's *regular* function over
+        // the support levels from `pos` on; a complemented edge reads the
+        // complementary count of the same entry, so `f` and `¬f` share it.
+        let sub = if memo[idx].is_nan() {
             let low = self.sat_count_rec(n.low, levels, pos + 1, memo);
             let high = self.sat_count_rec(n.high, levels, pos + 1, memo);
             let c = low + high;
-            memo[f as usize] = c;
+            memo[idx] = c;
             c
         } else {
-            memo[f as usize]
+            memo[idx]
+        };
+        let sub = if f & 1 == 1 {
+            2f64.powi((levels.len() - pos) as i32) - sub
+        } else {
+            sub
         };
         // Scale for the support variables skipped between `depth` and `pos`.
         sub * 2f64.powi((pos - depth) as i32)
@@ -133,20 +153,22 @@ impl BddManager {
     /// Returns one satisfying assignment of `f` as `(variable, value)` pairs
     /// over the support of `f`, or `None` if `f` is unsatisfiable.
     pub fn pick_one(&self, f: Ref) -> Option<Vec<(VarId, bool)>> {
-        if f.0 == FALSE {
+        if f.0 == ZERO {
             return None;
         }
         let mut out = Vec::new();
         let mut cur = f.0;
-        while cur != TRUE {
-            let n = &self.nodes[cur as usize];
+        while cur != ONE {
+            let c = cur & 1;
+            let n = &self.nodes[(cur >> 1) as usize];
             let var = self.var_at(n.level);
-            if n.low != FALSE {
+            let low = n.low ^ c;
+            if low != ZERO {
                 out.push((var, false));
-                cur = n.low;
+                cur = low;
             } else {
                 out.push((var, true));
-                cur = n.high;
+                cur = n.high ^ c;
             }
         }
         Some(out)
@@ -177,7 +199,7 @@ impl BddManager {
             manager: self,
             order,
             stack: vec![Frame {
-                node: f.0,
+                edge: f.0,
                 depth: 0,
                 bits: Vec::new(),
             }],
@@ -186,7 +208,7 @@ impl BddManager {
 }
 
 struct Frame {
-    node: u32,
+    edge: u32,
     depth: usize,
     bits: Vec<bool>,
 }
@@ -206,11 +228,11 @@ impl Iterator for SatAssignments<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         while let Some(frame) = self.stack.pop() {
-            if frame.node == FALSE {
+            if frame.edge == ZERO {
                 continue;
             }
             if frame.depth == self.order.len() {
-                debug_assert_eq!(frame.node, TRUE);
+                debug_assert_eq!(frame.edge, ONE);
                 let mut out = vec![false; self.order.len()];
                 for (i, &(_, pos)) in self.order.iter().enumerate() {
                     out[pos] = frame.bits[i];
@@ -218,25 +240,26 @@ impl Iterator for SatAssignments<'_> {
                 return Some(out);
             }
             let (level, _) = self.order[frame.depth];
-            let node_level = self.manager.level(frame.node);
+            let node_level = self.manager.level(frame.edge);
             let (low, high) = if node_level == level {
-                let n = &self.manager.nodes[frame.node as usize];
-                (n.low, n.high)
+                let c = frame.edge & 1;
+                let n = &self.manager.nodes[(frame.edge >> 1) as usize];
+                (n.low ^ c, n.high ^ c)
             } else {
                 // The variable is free at this node: both branches stay here.
-                (frame.node, frame.node)
+                (frame.edge, frame.edge)
             };
             let mut bits_high = frame.bits.clone();
             bits_high.push(true);
             let mut bits_low = frame.bits;
             bits_low.push(false);
             self.stack.push(Frame {
-                node: high,
+                edge: high,
                 depth: frame.depth + 1,
                 bits: bits_high,
             });
             self.stack.push(Frame {
-                node: low,
+                edge: low,
                 depth: frame.depth + 1,
                 bits: bits_low,
             });
@@ -257,8 +280,13 @@ mod tests {
         let c = m.var(v[2]);
         let f = m.xor(a, c);
         assert_eq!(m.support(f), vec![v[0], v[2]]);
-        // x0 xor x2: 3 internal nodes + 2 terminals
-        assert_eq!(m.node_count(f), 5);
+        // x0 xor x2 under complement edges: two internal nodes (the x2
+        // literal serves both branches through its polarities) + the
+        // single shared terminal.
+        assert_eq!(m.node_count(f), 3);
+        // Complement lives on the edge: ¬f costs nothing.
+        let nf = m.not(f);
+        assert_eq!(m.node_count(nf), m.node_count(f));
         let g = m.and(a, c);
         assert!(m.shared_node_count(&[f, g]) <= m.node_count(f) + m.node_count(g));
     }
@@ -276,6 +304,9 @@ mod tests {
         assert_eq!(m.sat_count(g, 3), 6.0);
         assert_eq!(m.sat_count(m.one(), 3), 8.0);
         assert_eq!(m.sat_count(m.zero(), 3), 0.0);
+        // Counting through a complemented root.
+        let nf = m.not(f);
+        assert_eq!(m.sat_count(nf, 3), 6.0);
     }
 
     #[test]
@@ -300,6 +331,11 @@ mod tests {
         let lookup = |var: VarId| sol.iter().find(|(v2, _)| *v2 == var).map(|&(_, b)| b);
         assert!(m.eval(f, |var| lookup(var).unwrap_or(false)));
         assert!(m.pick_one(m.zero()).is_none());
+        // A complemented root enumerates the complementary set.
+        let nf = m.not(f);
+        let sol2 = m.pick_one(nf).unwrap();
+        let lookup2 = |var: VarId| sol2.iter().find(|(v2, _)| *v2 == var).map(|&(_, b)| b);
+        assert!(!m.eval(f, |var| lookup2(var).unwrap_or(false)));
     }
 
     #[test]
@@ -317,5 +353,12 @@ mod tests {
         // With a free variable included, the count doubles.
         let sols3: Vec<Vec<bool>> = m.sat_assignments(f, &[v[0], v[1], v[2]]).collect();
         assert_eq!(sols3.len(), 4);
+        // The complemented root enumerates exactly the other assignments.
+        let nf = m.not(f);
+        let nsols: Vec<Vec<bool>> = m.sat_assignments(nf, &[v[0], v[1]]).collect();
+        assert_eq!(nsols.len(), 2);
+        for s in &nsols {
+            assert!(!(s[0] ^ s[1]));
+        }
     }
 }

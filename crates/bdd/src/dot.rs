@@ -1,39 +1,53 @@
 //! Graphviz DOT export of BDDs, for debugging and documentation figures.
 
-use crate::manager::{BddManager, Ref, FALSE, TERMINAL_LEVEL, TRUE};
+use crate::manager::{BddManager, Ref, TERMINAL, TERMINAL_LEVEL};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
 impl BddManager {
     /// Renders the diagrams rooted at `roots` as a Graphviz DOT digraph.
     ///
-    /// Solid edges are `then` (high) edges, dashed edges are `else` (low)
-    /// edges. Each `(name, root)` pair adds a labelled entry arrow.
+    /// There is a single terminal box `1`; `FALSE` is the complemented edge
+    /// to it. Solid edges are `then` (high) edges — by the canonical form
+    /// they are never complemented — dotted edges are regular `else` (low)
+    /// edges, and dashed edges (including dashed entry arrows) carry the
+    /// complement attribute. Each `(name, root)` pair adds a labelled entry
+    /// arrow.
     pub fn to_dot(&self, roots: &[(&str, Ref)]) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "digraph bdd {{");
         let _ = writeln!(out, "  rankdir=TB;");
-        let _ = writeln!(out, "  node0 [label=\"0\", shape=box];");
-        let _ = writeln!(out, "  node1 [label=\"1\", shape=box];");
+        let _ = writeln!(out, "  node0 [label=\"1\", shape=box];");
         let mut seen: HashSet<u32> = HashSet::new();
         let mut stack: Vec<u32> = Vec::new();
         for (name, root) in roots {
             let _ = writeln!(out, "  root_{name} [label=\"{name}\", shape=plaintext];");
-            let _ = writeln!(out, "  root_{name} -> node{};", root.0);
-            stack.push(root.0);
+            let style = if root.is_complemented() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  root_{name} -> node{}{style};", root.0 >> 1);
+            stack.push(root.0 >> 1);
         }
         while let Some(idx) = stack.pop() {
-            if idx == FALSE || idx == TRUE || !seen.insert(idx) {
+            if idx == TERMINAL || !seen.insert(idx) {
                 continue;
             }
             let n = &self.nodes[idx as usize];
             debug_assert_ne!(n.level, TERMINAL_LEVEL);
             let var = self.var_at(n.level);
             let _ = writeln!(out, "  node{idx} [label=\"{var}\", shape=circle];");
-            let _ = writeln!(out, "  node{idx} -> node{} [style=dashed];", n.low);
-            let _ = writeln!(out, "  node{idx} -> node{};", n.high);
-            stack.push(n.low);
-            stack.push(n.high);
+            let low_style = if n.low & 1 == 1 { "dashed" } else { "dotted" };
+            let _ = writeln!(
+                out,
+                "  node{idx} -> node{} [style={low_style}];",
+                n.low >> 1
+            );
+            debug_assert_eq!(n.high & 1, 0, "then-edges are regular by canonicity");
+            let _ = writeln!(out, "  node{idx} -> node{};", n.high >> 1);
+            stack.push(n.low >> 1);
+            stack.push(n.high >> 1);
         }
         let _ = writeln!(out, "}}");
         out
@@ -64,5 +78,25 @@ mod tests {
         let m = BddManager::with_vars(1);
         let dot = m.to_dot(&[("t", m.one())]);
         assert!(!dot.contains("shape=circle"));
+    }
+
+    #[test]
+    fn dot_renders_complement_edges_dashed() {
+        let mut m = BddManager::with_vars(2);
+        let v = m.variables();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        // A complemented entry arrow is dashed.
+        let dot = m.to_dot(&[("nf", nf)]);
+        assert!(dot.contains("root_nf -> node") && dot.contains("[style=dashed];"));
+        // ¬(a ∧ b) forces a complemented internal else-edge somewhere.
+        let or = m.or(a, b); // = ¬(¬a ∧ ¬b): internal complement edges
+        let dot2 = m.to_dot(&[("or", or)]);
+        assert!(dot2.contains("style=dashed"));
+        // Then-edges stay solid: no "-> nodeX [style=...]" on the high arcs
+        // is asserted structurally by check_canonical.
+        assert!(m.check_canonical().is_ok());
     }
 }

@@ -4,7 +4,7 @@
 //! reporting: the reproduction uses it to print the characteristic
 //! functions of places (Table 2 of the paper) in a human-readable form.
 
-use crate::manager::{BddManager, Ref, VarId, FALSE, TRUE};
+use crate::manager::{BddManager, Ref, VarId, ONE, ZERO};
 
 /// A product term: a conjunction of literals `(variable, polarity)`.
 /// The empty cube is the constant `true`.
@@ -55,13 +55,13 @@ impl BddManager {
     /// whose function `g` satisfies `lower ⊆ g ⊆ upper`, together with the
     /// BDD of `g`.
     fn isop(&mut self, lower: u32, upper: u32) -> (Vec<Cube>, u32) {
-        if lower == FALSE {
-            return (Vec::new(), FALSE);
+        if lower == ZERO {
+            return (Vec::new(), ZERO);
         }
-        if upper == TRUE {
-            return (vec![Vec::new()], TRUE);
+        if upper == ONE {
+            return (vec![Vec::new()], ONE);
         }
-        debug_assert_ne!(upper, FALSE, "interval must be non-empty");
+        debug_assert_ne!(upper, ZERO, "interval must be non-empty");
         // Branch on the topmost variable of either bound.
         let level = self.level(lower).min(self.level(upper));
         let var = self.var_at(level);
@@ -96,16 +96,15 @@ impl BddManager {
         cover.extend(cover1);
         cover.extend(cover_d);
 
-        let with_v = self.mk(level, FALSE, g1);
-        let without_v = self.mk(level, g0, FALSE);
+        let with_v = self.mk(level, ZERO, g1);
+        let without_v = self.mk(level, g0, ZERO);
         let parts = self.or_idx_pub(with_v, without_v);
         let g = self.or_idx_pub(parts, gd);
         (cover, g)
     }
 
     fn not_idx(&mut self, f: u32) -> u32 {
-        let r = self.not(Ref(f));
-        r.0
+        f ^ 1
     }
 
     fn and_idx(&mut self, f: u32, g: u32) -> u32 {

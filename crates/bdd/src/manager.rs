@@ -2,15 +2,29 @@
 //! collection and variable bookkeeping.
 //!
 //! The manager stores every node of every BDD it ever created in a single
-//! arena. Nodes are identified by [`Ref`] handles (plain `u32` indices), so
-//! handles are `Copy` and comparing two handles for equality decides function
-//! equality in O(1) (the manager maintains strong canonicity).
+//! arena. Functions are identified by [`Ref`] handles carrying a
+//! *complement attribute* (Brace–Rudell–Bryant): a `Ref` packs a node index
+//! and a complement bit (`edge = node_index << 1 | complemented`), so `f`
+//! and `¬f` share one subgraph and negation is a bit flip. There is a
+//! single terminal node (arena index 0); the constant `TRUE` is the regular
+//! edge to it and `FALSE` the complemented one.
 //!
-//! Canonicity is enforced by one open-addressing [`UniqueTable`] per level
+//! Canonicity rests on two rules enforced by [`BddManager::mk`]:
+//!
+//! 1. the classic reduction rule (no redundant tests, no duplicate nodes),
+//! 2. the *regular then-edge* rule: a stored node's high (then) edge is
+//!    never complemented. A candidate node with a complemented then-edge is
+//!    stored with both children flipped and handed out as a complemented
+//!    edge instead.
+//!
+//! With both rules, equal `Ref`s ⇔ equal functions, in O(1). Canonicity is
+//! enforced by one open-addressing [`UniqueTable`] per level
 //! (multiplicative hashing, linear probing, no per-entry allocation) and
 //! operations are memoised in a direct-mapped lossy [`ComputedCache`]
 //! invalidated by generation counter — see [`crate::table`] and
-//! [`crate::cache`] for the rationale.
+//! [`crate::cache`] for the rationale. [`BddManager::check_canonical`]
+//! audits the whole arena against these rules (debug-asserted after every
+//! collection and sift).
 
 use crate::budget::{Budget, Interrupt};
 use crate::cache::ComputedCache;
@@ -18,11 +32,14 @@ use crate::table::UniqueTable;
 use std::collections::HashMap;
 use std::fmt;
 
-/// A handle to a BDD node owned by a [`BddManager`].
+/// A handle to a BDD function owned by a [`BddManager`]: a packed edge
+/// `node_index << 1 | complement`.
 ///
 /// Two `Ref`s obtained from the *same* manager denote the same boolean
 /// function if and only if they are equal. A `Ref` is only meaningful
-/// together with the manager that produced it.
+/// together with the manager that produced it. Negating a function flips
+/// the complement bit (see [`BddManager::not`]) — `f` and `¬f` share every
+/// node.
 ///
 /// # Examples
 ///
@@ -33,25 +50,34 @@ use std::fmt;
 /// let a = m.var(x);
 /// let b = m.var(x);
 /// assert_eq!(a, b); // canonicity: same function, same handle
+/// let na = m.not(a);
+/// assert_ne!(na, a);
+/// assert_eq!(m.not(na), a); // double negation is the identity bit flip
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ref(pub(crate) u32);
 
 impl Ref {
-    /// The raw index of the node inside the manager's arena.
+    /// The raw packed edge value (`node_index << 1 | complement_bit`).
     ///
     /// Only useful for diagnostics (e.g. DOT export labels).
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Whether this edge carries the complement attribute.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
     }
 }
 
 impl fmt::Display for Ref {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.0 {
-            0 => write!(f, "FALSE"),
-            1 => write!(f, "TRUE"),
-            i => write!(f, "@{i}"),
+            ONE => write!(f, "TRUE"),
+            ZERO => write!(f, "FALSE"),
+            e if e & 1 == 1 => write!(f, "!@{}", e >> 1),
+            e => write!(f, "@{}", e >> 1),
         }
     }
 }
@@ -76,15 +102,19 @@ impl fmt::Display for VarId {
     }
 }
 
-/// Index of the constant `FALSE` node.
-pub(crate) const FALSE: u32 = 0;
-/// Index of the constant `TRUE` node.
-pub(crate) const TRUE: u32 = 1;
-/// Pseudo-level used for terminal nodes: below every variable level.
+/// The constant `TRUE` as an edge: the regular edge to the terminal node.
+pub(crate) const ONE: u32 = 0;
+/// The constant `FALSE` as an edge: the complemented edge to the terminal.
+pub(crate) const ZERO: u32 = 1;
+/// Arena index of the single terminal node.
+pub(crate) const TERMINAL: u32 = 0;
+/// Pseudo-level used for the terminal node: below every variable level.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 /// An internal BDD node. `level` is the position of the node's variable in
-/// the current variable order (low levels are close to the root).
+/// the current variable order (low levels are close to the root). `low` and
+/// `high` are packed edges; the canonical form guarantees `high` is regular
+/// (complement bit clear).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Node {
     pub(crate) level: u32,
@@ -100,12 +130,13 @@ pub(crate) struct Node {
 }
 
 /// Operation tags used as part of computed-cache keys.
+///
+/// `not` needs no tag (it is a bit flip) and `or` none either (De Morgan
+/// delegates to `And` with complemented operands, sharing its entries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Op {
     And,
-    Or,
     Xor,
-    Not,
     Ite,
     Exists,
     AndExists,
@@ -141,7 +172,7 @@ impl OpCacheStats {
 /// Statistics snapshot of a [`BddManager`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Number of live (allocated, non-free) nodes, including terminals.
+    /// Number of live (allocated, non-free) nodes, including the terminal.
     pub live_nodes: usize,
     /// Total arena capacity (live + freed slots).
     pub arena_size: usize,
@@ -167,11 +198,17 @@ pub struct ManagerStats {
     pub cache_misses: u64,
     /// Computed-cache inserts that evicted a live entry (lossy collisions).
     pub cache_overwrites: u64,
-    /// Per-operation cache counters of `and`.
+    /// Per-operation cache counters of `and` (also carries the traffic of
+    /// `or` and `diff`, which are derived through De Morgan on complement
+    /// edges and share the `and` cache entries).
     pub op_and: OpCacheStats,
-    /// Per-operation cache counters of `or` (the image-fold workhorse).
+    /// Per-operation cache counters of `or`. Always zero under complement
+    /// edges: `or` is derived (`¬(¬f ∧ ¬g)`) and its traffic is accounted
+    /// to [`ManagerStats::op_and`]. Kept for reporting compatibility.
     pub op_or: OpCacheStats,
-    /// Per-operation cache counters of `not`.
+    /// Per-operation cache counters of `not`. Always zero under complement
+    /// edges: negation is an O(1) bit flip that touches neither the cache
+    /// nor the arena. Kept for reporting compatibility.
     pub op_not: OpCacheStats,
     /// Per-operation cache counters of `exists`.
     pub op_exists: OpCacheStats,
@@ -201,7 +238,9 @@ impl ManagerStats {
     }
 
     /// The per-operation counters paired with their operation names, for
-    /// iteration (statistics tables, JSON records).
+    /// iteration (statistics tables, JSON records). `or` and `not` remain
+    /// listed (as all-zero entries) so long-lived consumers of the record
+    /// format can observe their traffic vanishing under complement edges.
     pub fn per_op(&self) -> [(&'static str, OpCacheStats); 5] {
         [
             ("and", self.op_and),
@@ -213,7 +252,8 @@ impl ManagerStats {
     }
 }
 
-/// A shared-storage manager for Reduced Ordered Binary Decision Diagrams.
+/// A shared-storage manager for Reduced Ordered Binary Decision Diagrams
+/// with complement edges.
 ///
 /// The manager owns the node arena, the per-level unique tables enforcing
 /// canonicity, and the computed cache used to memoise boolean operations.
@@ -225,6 +265,8 @@ impl ManagerStats {
 /// roots that must survive, then [`BddManager::collect_garbage`] (or
 /// [`sift`](crate::reorder) which garbage-collects internally). Any
 /// unprotected `Ref` may dangle after a collection or a reordering.
+/// Protection attaches to the *node*, so protecting `f` protects `¬f` too
+/// (they are one subgraph).
 ///
 /// # Examples
 ///
@@ -240,7 +282,7 @@ impl ManagerStats {
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    /// Per-level unique tables: `(low, high) -> node index`.
+    /// Per-level unique tables: `(low_edge, high_edge) -> node index`.
     pub(crate) unique: Vec<UniqueTable>,
     /// Computed cache for memoised operations.
     pub(crate) cache: ComputedCache,
@@ -250,7 +292,8 @@ pub struct BddManager {
     pub(crate) level_of_var: Vec<u32>,
     /// Free arena slots available for reuse.
     pub(crate) free_list: Vec<u32>,
-    /// Externally protected roots with protection counts.
+    /// Externally protected roots with protection counts, keyed by *node
+    /// index* (protection is complement-agnostic).
     pub(crate) protected: HashMap<u32, usize>,
     pub(crate) gc_runs: usize,
     pub(crate) gc_reclaimed: usize,
@@ -304,7 +347,7 @@ impl BddManager {
             protected: HashMap::new(),
             gc_runs: 0,
             gc_reclaimed: 0,
-            peak_live: 2,
+            peak_live: 1,
             gc_hint_threshold: 1 << 20,
             order_generation: 0,
             shard_peak: 0,
@@ -312,19 +355,12 @@ impl BddManager {
             #[cfg(feature = "fault-inject")]
             growths_seen: (0, 0),
         };
-        // Terminal nodes FALSE (0) and TRUE (1).
+        // The single terminal node: TRUE is the regular edge to it, FALSE
+        // the complemented one.
         m.nodes.push(Node {
             level: TERMINAL_LEVEL,
-            low: FALSE,
-            high: FALSE,
-            refcount: 0,
-            marked: false,
-            free: false,
-        });
-        m.nodes.push(Node {
-            level: TERMINAL_LEVEL,
-            low: TRUE,
-            high: TRUE,
+            low: ONE,
+            high: ONE,
             refcount: 0,
             marked: false,
             free: false,
@@ -372,33 +408,34 @@ impl BddManager {
         (0..self.level_of_var.len() as u32).map(VarId).collect()
     }
 
-    /// The constant `FALSE` function.
+    /// The constant `FALSE` function (the complemented terminal edge).
     pub fn zero(&self) -> Ref {
-        Ref(FALSE)
+        Ref(ZERO)
     }
 
-    /// The constant `TRUE` function.
+    /// The constant `TRUE` function (the regular terminal edge).
     pub fn one(&self) -> Ref {
-        Ref(TRUE)
+        Ref(ONE)
     }
 
     /// Returns `true` if `f` is one of the two constant functions.
     pub fn is_constant(&self, f: Ref) -> bool {
-        f.0 == FALSE || f.0 == TRUE
+        f.0 <= 1
     }
 
     /// The positive literal of variable `v` as a BDD.
     pub fn var(&mut self, v: VarId) -> Ref {
         let level = self.level_of(v);
-        let idx = self.mk(level, FALSE, TRUE);
-        Ref(idx)
+        Ref(self.mk(level, ZERO, ONE))
     }
 
     /// The negative literal of variable `v` as a BDD.
+    ///
+    /// Shares its single node with [`BddManager::var`] of the same
+    /// variable: the negative literal is the complemented edge.
     pub fn nvar(&mut self, v: VarId) -> Ref {
         let level = self.level_of(v);
-        let idx = self.mk(level, TRUE, FALSE);
-        Ref(idx)
+        Ref(self.mk(level, ONE, ZERO))
     }
 
     /// Current level (position in the variable order) of variable `v`.
@@ -426,7 +463,7 @@ impl BddManager {
 
     /// Variable labelling the root node of `f`, or `None` for constants.
     pub fn root_var(&self, f: Ref) -> Option<VarId> {
-        let n = &self.nodes[f.0 as usize];
+        let n = &self.nodes[(f.0 >> 1) as usize];
         if n.level == TERMINAL_LEVEL {
             None
         } else {
@@ -434,33 +471,46 @@ impl BddManager {
         }
     }
 
-    /// Low (else) child of `f`.
+    /// Low (else) cofactor of `f` at its root variable, with the complement
+    /// attribute of `f` pushed through.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a constant.
     pub fn low(&self, f: Ref) -> Ref {
         assert!(!self.is_constant(f), "constants have no children");
-        Ref(self.nodes[f.0 as usize].low)
+        Ref(self.nodes[(f.0 >> 1) as usize].low ^ (f.0 & 1))
     }
 
-    /// High (then) child of `f`.
+    /// High (then) cofactor of `f` at its root variable, with the
+    /// complement attribute of `f` pushed through.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a constant.
     pub fn high(&self, f: Ref) -> Ref {
         assert!(!self.is_constant(f), "constants have no children");
-        Ref(self.nodes[f.0 as usize].high)
+        Ref(self.nodes[(f.0 >> 1) as usize].high ^ (f.0 & 1))
     }
 
+    /// Level of the node an edge points at (terminals report
+    /// [`TERMINAL_LEVEL`], i.e. below every variable).
     #[inline]
-    pub(crate) fn level(&self, idx: u32) -> u32 {
-        self.nodes[idx as usize].level
+    pub(crate) fn level(&self, edge: u32) -> u32 {
+        self.nodes[(edge >> 1) as usize].level
     }
 
-    /// Find-or-create a node `(level, low, high)`, applying the reduction
-    /// rule (redundant test elimination).
+    /// The node an edge points at.
+    #[inline]
+    pub(crate) fn node(&self, edge: u32) -> Node {
+        self.nodes[(edge >> 1) as usize]
+    }
+
+    /// Find-or-create the function `var(level) ? high : low` and return it
+    /// as a packed edge. Applies the reduction rule (redundant test
+    /// elimination) and the regular then-edge canonicalisation: when `high`
+    /// is complemented, the node is stored with both children flipped and
+    /// the result edge carries the complement attribute instead.
     pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
         debug_assert!(level != TERMINAL_LEVEL);
         debug_assert!(
@@ -470,17 +520,24 @@ impl BddManager {
         if low == high {
             return low;
         }
-        if let Some(idx) = self.unique[level as usize].get(low, high) {
-            return idx;
-        }
-        let idx = self.alloc(level, low, high);
-        self.unique[level as usize].insert(low, high, idx);
-        idx
+        // Canonical rule: the stored then-edge is always regular.
+        let c = high & 1;
+        let (low, high) = (low ^ c, high ^ c);
+        let idx = if let Some(idx) = self.unique[level as usize].get(low, high) {
+            idx
+        } else {
+            let idx = self.alloc(level, low, high);
+            self.unique[level as usize].insert(low, high, idx);
+            idx
+        };
+        (idx << 1) | c
     }
 
     fn alloc(&mut self, level: u32, low: u32, high: u32) -> u32 {
-        self.nodes[low as usize].refcount = self.nodes[low as usize].refcount.saturating_add(1);
-        self.nodes[high as usize].refcount = self.nodes[high as usize].refcount.saturating_add(1);
+        let low_node = (low >> 1) as usize;
+        let high_node = (high >> 1) as usize;
+        self.nodes[low_node].refcount = self.nodes[low_node].refcount.saturating_add(1);
+        self.nodes[high_node].refcount = self.nodes[high_node].refcount.saturating_add(1);
         let idx = if let Some(idx) = self.free_list.pop() {
             self.nodes[idx as usize] = Node {
                 level,
@@ -521,23 +578,24 @@ impl BddManager {
     /// Protects `f` (and implicitly every node reachable from it) from
     /// garbage collection and reordering invalidation. Protection is
     /// counted: call [`BddManager::unprotect`] the same number of times.
+    /// Protection attaches to the node, so `f` and `¬f` share it.
     pub fn protect(&mut self, f: Ref) {
-        *self.protected.entry(f.0).or_insert(0) += 1;
+        *self.protected.entry(f.0 >> 1).or_insert(0) += 1;
     }
 
     /// Releases one protection previously acquired with [`BddManager::protect`].
     ///
     /// Unprotecting a node that is not protected is a no-op.
     pub fn unprotect(&mut self, f: Ref) {
-        if let Some(count) = self.protected.get_mut(&f.0) {
+        if let Some(count) = self.protected.get_mut(&(f.0 >> 1)) {
             *count -= 1;
             if *count == 0 {
-                self.protected.remove(&f.0);
+                self.protected.remove(&(f.0 >> 1));
             }
         }
     }
 
-    /// Number of live nodes (including the two terminals).
+    /// Number of live nodes (including the terminal).
     pub fn live_node_count(&self) -> usize {
         self.nodes.len() - self.free_list.len()
     }
@@ -727,8 +785,10 @@ impl BddManager {
             cache_misses: counters.misses(),
             cache_overwrites: counters.overwrites,
             op_and: op(Op::And),
-            op_or: op(Op::Or),
-            op_not: op(Op::Not),
+            // `or` and `not` are derived under complement edges: zero cache
+            // traffic by construction (see the field docs).
+            op_or: OpCacheStats::default(),
+            op_not: OpCacheStats::default(),
             op_exists: op(Op::Exists),
             op_and_exists: op(Op::AndExists),
         }
@@ -749,13 +809,12 @@ impl BddManager {
     /// generation counter, so a collection costs one pass over the arena and
     /// nothing else. Unprotected `Ref`s held by the caller are invalidated.
     pub fn collect_garbage(&mut self) {
-        // Mark phase.
+        // Mark phase (roots are node indices).
         let roots: Vec<u32> = self.protected.keys().copied().collect();
         for r in roots {
             self.mark(r);
         }
-        self.nodes[FALSE as usize].marked = true;
-        self.nodes[TRUE as usize].marked = true;
+        self.nodes[TERMINAL as usize].marked = true;
         // Sweep phase: empty the tables without freeing their storage.
         let mut reclaimed = 0usize;
         for level_table in &mut self.unique {
@@ -775,7 +834,7 @@ impl BddManager {
                 let n = &mut self.nodes[idx as usize];
                 n.marked = false;
                 n.refcount = 0;
-            } else if idx != FALSE && idx != TRUE {
+            } else if idx != TERMINAL {
                 let n = &mut self.nodes[idx as usize];
                 n.free = true;
                 n.refcount = 0;
@@ -784,18 +843,23 @@ impl BddManager {
             }
         }
         // Re-insert survivors into the kept storage and rebuild refcounts.
-        for idx in 2..self.nodes.len() as u32 {
+        for idx in 1..self.nodes.len() as u32 {
             let n = self.nodes[idx as usize];
             if n.free {
                 continue;
             }
             self.unique[n.level as usize].insert(n.low, n.high, idx);
-            self.nodes[n.low as usize].refcount += 1;
-            self.nodes[n.high as usize].refcount += 1;
+            self.nodes[(n.low >> 1) as usize].refcount += 1;
+            self.nodes[(n.high >> 1) as usize].refcount += 1;
         }
         self.cache.invalidate_all();
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed;
+        debug_assert!(
+            self.check_canonical().is_ok(),
+            "canonical-form audit failed after GC: {:?}",
+            self.check_canonical()
+        );
     }
 
     fn mark(&mut self, root: u32) {
@@ -807,8 +871,8 @@ impl BddManager {
             }
             n.marked = true;
             if n.level != TERMINAL_LEVEL {
-                stack.push(n.low);
-                stack.push(n.high);
+                stack.push(n.low >> 1);
+                stack.push(n.high >> 1);
             }
         }
     }
@@ -829,15 +893,32 @@ impl BddManager {
         self.cache.invalidate_all();
     }
 
-    /// Checks internal invariants: canonicity (no duplicate or redundant
-    /// nodes) and order consistency (children below parents). Intended for
-    /// tests; cost is linear in the arena size.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Audits the whole arena against the canonical form of the
+    /// complement-edge representation. Checks, for every live node:
+    ///
+    /// * the then-edge is regular (never complemented),
+    /// * the node is not redundant (`low != high`),
+    /// * both children sit strictly below it in the variable order,
+    /// * neither child is a freed slot,
+    /// * no two live nodes share `(level, low, high)`,
+    /// * the node is registered in its level's unique table under exactly
+    ///   its own index.
+    ///
+    /// Intended for tests and the CI fault-injection job; cost is linear in
+    /// the arena size. Debug-asserted after every garbage collection and
+    /// every sift.
+    pub fn check_canonical(&self) -> Result<(), String> {
         let mut seen: HashMap<(u32, u32, u32), u32> = HashMap::new();
-        for idx in 2..self.nodes.len() as u32 {
+        for idx in 1..self.nodes.len() as u32 {
             let n = &self.nodes[idx as usize];
             if n.free {
                 continue;
+            }
+            if n.level == TERMINAL_LEVEL {
+                return Err(format!("internal node {idx} has the terminal level"));
+            }
+            if n.high & 1 == 1 {
+                return Err(format!("node {idx} has a complemented then-edge"));
             }
             if n.low == n.high {
                 return Err(format!("node {idx} is redundant (low == high)"));
@@ -845,7 +926,7 @@ impl BddManager {
             if self.level(n.low) <= n.level || self.level(n.high) <= n.level {
                 return Err(format!("node {idx} violates the variable order"));
             }
-            if self.nodes[n.low as usize].free || self.nodes[n.high as usize].free {
+            if self.nodes[(n.low >> 1) as usize].free || self.nodes[(n.high >> 1) as usize].free {
                 return Err(format!("node {idx} points at a freed node"));
             }
             if let Some(&other) = seen.get(&(n.level, n.low, n.high)) {
@@ -859,6 +940,13 @@ impl BddManager {
         }
         Ok(())
     }
+
+    /// Checks internal invariants; an alias of
+    /// [`BddManager::check_canonical`] kept for the pre-complement-edge
+    /// test suites.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_canonical()
+    }
 }
 
 #[cfg(test)]
@@ -871,6 +959,10 @@ mod tests {
         assert_ne!(m.zero(), m.one());
         assert!(m.is_constant(m.zero()));
         assert!(m.is_constant(m.one()));
+        // One shared terminal node: FALSE is the complemented edge to it.
+        assert_eq!(m.zero().0 >> 1, m.one().0 >> 1);
+        assert!(m.zero().is_complemented());
+        assert!(!m.one().is_complemented());
     }
 
     #[test]
@@ -886,10 +978,36 @@ mod tests {
     }
 
     #[test]
+    fn literals_share_one_node() {
+        let mut m = BddManager::with_vars(1);
+        let v = m.var_id(0);
+        let before = m.live_node_count();
+        let pos = m.var(v);
+        let neg = m.nvar(v);
+        // Positive and negative literals differ only in the complement bit.
+        assert_eq!(pos.0 ^ 1, neg.0);
+        assert_eq!(m.live_node_count(), before + 1);
+        assert_eq!(m.low(neg), m.one());
+        assert_eq!(m.high(neg), m.zero());
+    }
+
+    #[test]
     fn mk_applies_reduction_rule() {
         let mut m = BddManager::with_vars(1);
-        let idx = m.mk(0, TRUE, TRUE);
-        assert_eq!(idx, TRUE);
+        let e = m.mk(0, ONE, ONE);
+        assert_eq!(e, ONE);
+    }
+
+    #[test]
+    fn mk_keeps_then_edges_regular() {
+        let mut m = BddManager::with_vars(2);
+        // Ask for a node whose then-edge is complemented: mk must flip both
+        // children and hand back a complemented edge to a canonical node.
+        let e = m.mk(0, ONE, ZERO);
+        assert_eq!(e & 1, 1, "edge must carry the complement attribute");
+        let n = m.node(e);
+        assert_eq!(n.high & 1, 0, "stored then-edge must be regular");
+        assert!(m.check_canonical().is_ok());
     }
 
     #[test]
@@ -902,7 +1020,7 @@ mod tests {
             f = m.and(f, lit);
         }
         let before = m.live_node_count();
-        assert!(before > 2);
+        assert!(before > 1);
         m.protect(f);
         m.collect_garbage();
         assert!(m.live_node_count() <= before);
@@ -911,9 +1029,26 @@ mod tests {
         assert!(!m.eval(f, |v| v.0 != 0));
         m.unprotect(f);
         m.collect_garbage();
-        // Only terminals remain.
-        assert_eq!(m.live_node_count(), 2);
-        assert!(m.check_invariants().is_ok());
+        // Only the terminal remains.
+        assert_eq!(m.live_node_count(), 1);
+        assert!(m.check_canonical().is_ok());
+    }
+
+    #[test]
+    fn protecting_a_complemented_edge_protects_the_node() {
+        let mut m = BddManager::with_vars(2);
+        let a = m.var(m.var_id(0));
+        let b = m.var(m.var_id(1));
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        m.protect(nf);
+        m.collect_garbage();
+        // The shared subgraph survived: both polarities still evaluate.
+        assert!(m.eval(f, |_| true));
+        assert!(!m.eval(nf, |_| true));
+        m.unprotect(f); // node-keyed: unprotecting via the other polarity works
+        m.collect_garbage();
+        assert_eq!(m.live_node_count(), 1);
     }
 
     #[test]
@@ -928,8 +1063,11 @@ mod tests {
         m.collect_garbage();
         let s = m.stats();
         assert_eq!(s.num_vars, 2);
-        assert!(s.live_nodes >= 4);
+        assert!(s.live_nodes >= 3);
         assert_eq!(s.gc_runs, 1);
+        // Negation and disjunction report no cache traffic of their own.
+        assert_eq!(s.op_not.lookups(), 0);
+        assert_eq!(s.op_or.lookups(), 0);
     }
 
     #[test]
@@ -944,6 +1082,6 @@ mod tests {
         assert_eq!(m.root_var(f), Some(x));
         m.unprotect(f);
         m.collect_garbage();
-        assert_eq!(m.live_node_count(), 2);
+        assert_eq!(m.live_node_count(), 1);
     }
 }

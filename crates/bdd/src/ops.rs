@@ -1,6 +1,17 @@
 //! Boolean operations on BDDs: the Shannon-expansion `apply` family,
 //! if-then-else, quantification, the relational product and variable
-//! renaming.
+//! renaming — all over complement edges.
+//!
+//! Under complement edges negation is a bit flip (no recursion, no cache,
+//! no allocation), so the derived operations collapse: `or` is De Morgan
+//! over `and` (`f ∨ g = ¬(¬f ∧ ¬g)`) and *shares its cache entries with
+//! `and`*, `diff` is `f ∧ ¬g` at the cost of one flip, and `forall` wraps
+//! `exists`. Every cache key is complement-normalised (standard-triple
+//! canonicalisation): `xor` strips the operand complement bits into an
+//! output parity, `ite` rotates its triple so the predicate and the then
+//! branch are regular, and `constrain` factors the complement of its first
+//! operand out of the key. As a result `f ∧ g`, `¬(¬f ∨ ¬g)`,
+//! `¬f ∨ ¬g` … all hit one cache line.
 //!
 //! Every memoised recursion exists in two forms: a fallible `try_*` entry
 //! point returning `Result<Ref, Interrupt>` that checks the manager's
@@ -14,7 +25,7 @@
 //! completion once the budget is removed.
 
 use crate::budget::Interrupt;
-use crate::manager::{BddManager, Op, Ref, VarId, FALSE, TERMINAL_LEVEL, TRUE};
+use crate::manager::{BddManager, Op, Ref, VarId, ONE, TERMINAL_LEVEL, ZERO};
 use std::collections::HashMap;
 
 /// Panic message of the infallible wrappers; only reachable when a budget
@@ -24,35 +35,16 @@ const UNGOVERNED: &str =
     "budget breached inside an infallible BDD operation; governed callers must use the try_* API";
 
 impl BddManager {
-    /// Logical negation `¬f`.
+    /// Logical negation `¬f`: an O(1) complement-bit flip. Allocates
+    /// nothing, touches no cache, cannot be interrupted.
     pub fn not(&mut self, f: Ref) -> Ref {
-        self.try_not(f).expect(UNGOVERNED)
+        Ref(f.0 ^ 1)
     }
 
-    /// Fallible [`BddManager::not`]: unwinds with a typed [`Interrupt`] if
-    /// the installed budget breaches mid-recursion.
+    /// Fallible [`BddManager::not`]; kept for API symmetry — negation is a
+    /// bit flip and never observes the budget.
     pub fn try_not(&mut self, f: Ref) -> Result<Ref, Interrupt> {
-        Ok(Ref(self.not_rec(f.0)?))
-    }
-
-    fn not_rec(&mut self, f: u32) -> Result<u32, Interrupt> {
-        match f {
-            FALSE => Ok(TRUE),
-            TRUE => Ok(FALSE),
-            _ => {
-                let key = (Op::Not, f, 0, 0);
-                if let Some(r) = self.cache_get(key) {
-                    return Ok(r);
-                }
-                self.checkpoint()?;
-                let n = self.nodes[f as usize];
-                let low = self.not_rec(n.low)?;
-                let high = self.not_rec(n.high)?;
-                let r = self.mk(n.level, low, high);
-                self.cache_put(key, r);
-                Ok(r)
-            }
-        }
+        Ok(Ref(f.0 ^ 1))
     }
 
     /// Conjunction `f ∧ g`.
@@ -70,13 +62,17 @@ impl BddManager {
         if f == g {
             return Ok(f);
         }
-        if f == FALSE || g == FALSE {
-            return Ok(FALSE);
+        if f ^ g == 1 {
+            // f ∧ ¬f
+            return Ok(ZERO);
         }
-        if f == TRUE {
+        if f == ZERO || g == ZERO {
+            return Ok(ZERO);
+        }
+        if f == ONE {
             return Ok(g);
         }
-        if g == TRUE {
+        if g == ONE {
             return Ok(f);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
@@ -98,36 +94,12 @@ impl BddManager {
         self.try_or(f, g).expect(UNGOVERNED)
     }
 
-    /// Fallible [`BddManager::or`].
+    /// Fallible [`BddManager::or`]: De Morgan over `and` — with complement
+    /// edges the three negations are free bit flips, so the disjunction
+    /// shares the conjunction's computed-cache entries instead of carrying
+    /// a dedicated recursion and cache op slot.
     pub fn try_or(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
-        // A dedicated recursion (rather than De Morgan over `and`) keeps the
-        // direct-mapped computed cache from carrying three negation results
-        // per disjunction.
-        Ok(Ref(self.or_rec(f.0, g.0)?))
-    }
-
-    fn or_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
-        if f == g || g == FALSE {
-            return Ok(f);
-        }
-        if f == FALSE {
-            return Ok(g);
-        }
-        if f == TRUE || g == TRUE {
-            return Ok(TRUE);
-        }
-        let (a, b) = if f < g { (f, g) } else { (g, f) };
-        let key = (Op::Or, a, b, 0);
-        if let Some(r) = self.cache_get(key) {
-            return Ok(r);
-        }
-        self.checkpoint()?;
-        let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
-        let low = self.or_rec(fl, gl)?;
-        let high = self.or_rec(fh, gh)?;
-        let r = self.mk(level, low, high);
-        self.cache_put(key, r);
-        Ok(r)
+        Ok(Ref(self.and_rec(f.0 ^ 1, g.0 ^ 1)? ^ 1))
     }
 
     /// Exclusive or `f ⊕ g`.
@@ -141,25 +113,24 @@ impl BddManager {
     }
 
     fn xor_rec(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
+        // Complement-normalise: ¬f ⊕ g = f ⊕ ¬g = ¬(f ⊕ g), so both operand
+        // complement bits fold into one output parity and the cache key is
+        // over regular edges only.
+        let parity = (f ^ g) & 1;
+        let (f, g) = (f & !1, g & !1);
         if f == g {
-            return Ok(FALSE);
+            return Ok(ZERO ^ parity);
         }
-        if f == FALSE {
-            return Ok(g);
+        if f == ONE {
+            return Ok(g ^ 1 ^ parity);
         }
-        if g == FALSE {
-            return Ok(f);
-        }
-        if f == TRUE {
-            return self.not_rec(g);
-        }
-        if g == TRUE {
-            return self.not_rec(f);
+        if g == ONE {
+            return Ok(f ^ 1 ^ parity);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
         let key = (Op::Xor, a, b, 0);
         if let Some(r) = self.cache_get(key) {
-            return Ok(r);
+            return Ok(r ^ parity);
         }
         self.checkpoint()?;
         let (level, fl, fh, gl, gh) = self.cofactor_pair(f, g);
@@ -167,7 +138,7 @@ impl BddManager {
         let high = self.xor_rec(fh, gh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        Ok(r)
+        Ok(r ^ parity)
     }
 
     /// Equivalence `f ≡ g` (XNOR).
@@ -175,16 +146,15 @@ impl BddManager {
         self.try_iff(f, g).expect(UNGOVERNED)
     }
 
-    /// Fallible [`BddManager::iff`].
+    /// Fallible [`BddManager::iff`]: `¬(f ⊕ g)` with a free negation.
     pub fn try_iff(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
-        let x = self.try_xor(f, g)?;
-        self.try_not(x)
+        Ok(Ref(self.xor_rec(f.0, g.0)? ^ 1))
     }
 
-    /// Implication `f ⇒ g`.
+    /// Implication `f ⇒ g`, i.e. `¬(f ∧ ¬g)`.
     pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
-        let nf = self.not(f);
-        self.or(nf, g)
+        let conj = self.and(f, Ref(g.0 ^ 1));
+        Ref(conj.0 ^ 1)
     }
 
     /// Difference `f ∧ ¬g`.
@@ -192,10 +162,10 @@ impl BddManager {
         self.try_diff(f, g).expect(UNGOVERNED)
     }
 
-    /// Fallible [`BddManager::diff`].
+    /// Fallible [`BddManager::diff`]: one free flip plus a conjunction
+    /// (shares the `and` cache entries).
     pub fn try_diff(&mut self, f: Ref, g: Ref) -> Result<Ref, Interrupt> {
-        let ng = self.try_not(g)?;
-        self.try_and(f, ng)
+        Ok(Ref(self.and_rec(f.0, g.0 ^ 1)?))
     }
 
     /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
@@ -208,25 +178,64 @@ impl BddManager {
         Ok(Ref(self.ite_rec(f.0, g.0, h.0)?))
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, Interrupt> {
-        if f == TRUE {
+    fn ite_rec(&mut self, mut f: u32, mut g: u32, mut h: u32) -> Result<u32, Interrupt> {
+        if f == ONE {
             return Ok(g);
         }
-        if f == FALSE {
+        if f == ZERO {
             return Ok(h);
         }
         if g == h {
             return Ok(g);
         }
-        if g == TRUE && h == FALSE {
-            return Ok(f);
+        if g ^ h == 1 {
+            // ite(f, g, ¬g) = f ≡ g
+            return self.xor_rec(f, g ^ 1);
         }
-        if g == FALSE && h == TRUE {
-            return self.not_rec(f);
+        // Operand-equality collapses (f is non-constant here).
+        if f == g {
+            // ite(f, f, h) = f ∨ h
+            return Ok(self.and_rec(f ^ 1, h ^ 1)? ^ 1);
         }
+        if f ^ h == 1 {
+            // ite(f, g, ¬f) = ¬f ∨ g
+            return Ok(self.and_rec(f, g ^ 1)? ^ 1);
+        }
+        if f ^ g == 1 {
+            // ite(f, ¬f, h) = ¬f ∧ h
+            return self.and_rec(f ^ 1, h);
+        }
+        if f == h {
+            // ite(f, g, f) = f ∧ g
+            return self.and_rec(f, g);
+        }
+        // Constant-branch collapses: delegate to `and`, sharing its cache.
+        if g == ONE {
+            return Ok(self.and_rec(f ^ 1, h ^ 1)? ^ 1); // f + h
+        }
+        if g == ZERO {
+            return self.and_rec(f ^ 1, h); // ¬f ∧ h
+        }
+        if h == ZERO {
+            return self.and_rec(f, g); // f ∧ g
+        }
+        if h == ONE {
+            return Ok(self.and_rec(f, g ^ 1)? ^ 1); // ¬f + g = f ⇒ g
+        }
+        // Standard-triple canonicalisation: make the predicate regular
+        // (ite(¬f, g, h) = ite(f, h, g)), then make the then-branch regular
+        // by factoring the complement into the output
+        // (ite(f, ¬g, ¬h) = ¬ite(f, g, h)).
+        if f & 1 == 1 {
+            f ^= 1;
+            std::mem::swap(&mut g, &mut h);
+        }
+        let out = g & 1;
+        g ^= out;
+        h ^= out;
         let key = (Op::Ite, f, g, h);
         if let Some(r) = self.cache_get(key) {
-            return Ok(r);
+            return Ok(r ^ out);
         }
         self.checkpoint()?;
         let lf = self.level(f);
@@ -240,7 +249,7 @@ impl BddManager {
         let high = self.ite_rec(fh, gh, hh)?;
         let r = self.mk(level, low, high);
         self.cache_put(key, r);
-        Ok(r)
+        Ok(r ^ out)
     }
 
     /// Conjunction of many operands (`TRUE` for an empty slice).
@@ -288,10 +297,12 @@ impl BddManager {
             .collect();
         sorted.sort_unstable_by_key(|&(level, _)| std::cmp::Reverse(level));
         for (level, sign) in sorted {
+            // mk's then-edge normalisation handles the polarity: a negative
+            // literal's node is shared with the positive one.
             let idx = if sign {
-                self.mk(level, FALSE, acc.0)
+                self.mk(level, ZERO, acc.0)
             } else {
-                self.mk(level, acc.0, FALSE)
+                self.mk(level, acc.0, ZERO)
             };
             acc = Ref(idx);
         }
@@ -329,10 +340,20 @@ impl BddManager {
         Ok(Ref(self.exists_rec(f.0, cube.0)?))
     }
 
+    /// Next variable of a positive quantification cube (the cube's
+    /// then-cofactor).
+    #[inline]
+    fn cube_next(&self, c: u32) -> u32 {
+        self.nodes[(c >> 1) as usize].high ^ (c & 1)
+    }
+
     fn exists_rec(&mut self, f: u32, cube: u32) -> Result<u32, Interrupt> {
-        if f == FALSE || f == TRUE || cube == TRUE {
+        if f <= 1 || cube == ONE {
             return Ok(f);
         }
+        // Existential quantification does NOT commute with complement
+        // (∃x.¬f ≠ ¬∃x.f), so the operand keeps its complement bit in the
+        // cache key.
         let key = (Op::Exists, f, cube, 0);
         if let Some(r) = self.cache_get(key) {
             return Ok(r);
@@ -342,36 +363,42 @@ impl BddManager {
         // Skip cube variables above the root of f.
         let mut c = cube;
         while self.level(c) < fl {
-            c = self.nodes[c as usize].high;
+            c = self.cube_next(c);
         }
-        if c == TRUE {
+        if c == ONE {
             self.cache_put(key, f);
             return Ok(f);
         }
         let cl = self.level(c);
-        let n = self.nodes[f as usize];
+        let cf = f & 1;
+        let n = self.node(f);
         let r = if fl == cl {
-            let low = self.exists_rec(n.low, self.nodes[c as usize].high)?;
-            let high = self.exists_rec(n.high, self.nodes[c as usize].high)?;
-            self.or_idx(low, high)?
+            let next_cube = self.cube_next(c);
+            let low = self.exists_rec(n.low ^ cf, next_cube)?;
+            if low == ONE {
+                ONE
+            } else {
+                let high = self.exists_rec(n.high ^ cf, next_cube)?;
+                self.or_idx(low, high)?
+            }
         } else {
             // fl < cl: keep the variable.
-            let low = self.exists_rec(n.low, c)?;
-            let high = self.exists_rec(n.high, c)?;
+            let low = self.exists_rec(n.low ^ cf, c)?;
+            let high = self.exists_rec(n.high ^ cf, c)?;
             self.mk(fl, low, high)
         };
         self.cache_put(key, r);
         Ok(r)
     }
 
-    /// Universal quantification `∀ vars. f`.
+    /// Universal quantification `∀ vars. f = ¬∃ vars. ¬f` (both negations
+    /// are free bit flips).
     pub fn forall(&mut self, f: Ref, vars: &[VarId]) -> Ref {
         if vars.is_empty() {
             return f;
         }
-        let nf = self.not(f);
-        let e = self.exists(nf, vars);
-        self.not(e)
+        let e = self.exists(Ref(f.0 ^ 1), vars);
+        Ref(e.0 ^ 1)
     }
 
     /// The relational product `∃ vars. (f ∧ g)` computed in one pass, the
@@ -392,19 +419,19 @@ impl BddManager {
     }
 
     fn and_exists_rec(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, Interrupt> {
-        if f == FALSE || g == FALSE {
-            return Ok(FALSE);
+        if f == ZERO || g == ZERO || f ^ g == 1 {
+            return Ok(ZERO);
         }
-        if cube == TRUE {
+        if cube == ONE {
             return self.and_rec(f, g);
         }
         // The conjunction collapsed to a single operand: fall through to the
         // plain quantifier, whose cache entries are shared with stand-alone
         // `exists` calls on the same operand.
-        if f == g || g == TRUE {
+        if f == g || g == ONE {
             return self.exists_rec(f, cube);
         }
-        if f == TRUE {
+        if f == ONE {
             return self.exists_rec(g, cube);
         }
         let (a, b) = if f < g { (f, g) } else { (g, f) };
@@ -419,9 +446,9 @@ impl BddManager {
         // Skip cube variables above the top of both operands.
         let mut c = cube;
         while self.level(c) < level {
-            c = self.nodes[c as usize].high;
+            c = self.cube_next(c);
         }
-        if c == TRUE {
+        if c == ONE {
             let r = self.and_rec(f, g)?;
             self.cache_put(key, r);
             return Ok(r);
@@ -430,10 +457,10 @@ impl BddManager {
         let (fl_, fh_) = self.cofactors_at(f, level);
         let (gl_, gh_) = self.cofactors_at(g, level);
         let r = if level == cl {
-            let next_cube = self.nodes[c as usize].high;
+            let next_cube = self.cube_next(c);
             let low = self.and_exists_rec(fl_, gl_, next_cube)?;
-            if low == TRUE {
-                TRUE
+            if low == ONE {
+                ONE
             } else {
                 let high = self.and_exists_rec(fh_, gh_, next_cube)?;
                 self.or_idx(low, high)?
@@ -468,16 +495,17 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let n = self.nodes[f as usize];
+        let cf = f & 1;
+        let n = self.node(f);
         let r = if fl == level {
             if value {
-                n.high
+                n.high ^ cf
             } else {
-                n.low
+                n.low ^ cf
             }
         } else {
-            let low = self.restrict_rec(n.low, level, value, memo);
-            let high = self.restrict_rec(n.high, level, value, memo);
+            let low = self.restrict_rec(n.low ^ cf, level, value, memo);
+            let high = self.restrict_rec(n.high ^ cf, level, value, memo);
             self.mk(fl, low, high)
         };
         memo.insert(f, r);
@@ -523,15 +551,16 @@ impl BddManager {
         level_map: &HashMap<u32, u32>,
         memo: &mut HashMap<u32, u32>,
     ) -> u32 {
-        if f == FALSE || f == TRUE {
+        if f <= 1 {
             return f;
         }
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let n = self.nodes[f as usize];
-        let low = self.rename_rec(n.low, level_map, memo);
-        let high = self.rename_rec(n.high, level_map, memo);
+        let cf = f & 1;
+        let n = self.node(f);
+        let low = self.rename_rec(n.low ^ cf, level_map, memo);
+        let high = self.rename_rec(n.high ^ cf, level_map, memo);
         let new_level = *level_map.get(&n.level).unwrap_or(&n.level);
         let r = self.mk(new_level, low, high);
         memo.insert(f, r);
@@ -559,52 +588,60 @@ impl BddManager {
     }
 
     fn constrain_rec(&mut self, f: u32, c: u32) -> Result<u32, Interrupt> {
-        if c == TRUE || f == FALSE || f == TRUE {
+        if c == ONE || f <= 1 {
             return Ok(f);
         }
-        if c == FALSE {
-            return Ok(FALSE);
+        if c == ZERO {
+            return Ok(ZERO);
         }
-        if f == c {
-            return Ok(TRUE);
+        // constrain(¬f, c) = ¬constrain(f, c): normalise the first operand
+        // regular and carry its complement to the output, halving the key
+        // space.
+        let cf = f & 1;
+        let f = f ^ cf;
+        if f == c & !1 {
+            // f equals c up to complement: constrain(c, c) = TRUE and
+            // constrain(¬c, c) = FALSE (then re-apply the output bit).
+            return Ok(ONE ^ (c & 1) ^ cf);
         }
         let key = (Op::Constrain, f, c, 0);
         if let Some(r) = self.cache_get(key) {
-            return Ok(r);
+            return Ok(r ^ cf);
         }
         self.checkpoint()?;
         let lf = self.level(f);
         let lc = self.level(c);
         let level = lf.min(lc);
         let (cl, ch) = self.cofactors_at(c, level);
-        let r = if cl == FALSE {
-            let (_, fh) = self.cofactors_at(f, level);
-            self.constrain_rec(fh, ch)?
-        } else if ch == FALSE {
-            let (fl_, _) = self.cofactors_at(f, level);
+        let (fl_, fh_) = self.cofactors_at(f, level);
+        let r = if cl == ZERO {
+            self.constrain_rec(fh_, ch)?
+        } else if ch == ZERO {
             self.constrain_rec(fl_, cl)?
         } else {
-            let (fl_, fh) = self.cofactors_at(f, level);
             let low = self.constrain_rec(fl_, cl)?;
-            let high = self.constrain_rec(fh, ch)?;
+            let high = self.constrain_rec(fh_, ch)?;
             self.mk(level, low, high)
         };
         self.cache_put(key, r);
-        Ok(r)
+        Ok(r ^ cf)
     }
 
+    /// Disjunction on raw edges through De Morgan (shared `and` cache).
     #[inline]
-    fn or_idx(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
-        self.or_rec(f, g)
+    pub(crate) fn or_idx(&mut self, f: u32, g: u32) -> Result<u32, Interrupt> {
+        Ok(self.and_rec(f ^ 1, g ^ 1)? ^ 1)
     }
 
     /// Cofactors of `f` with respect to the variable at `level`
-    /// (identity if `f`'s root is below `level`).
+    /// (identity if `f`'s root is below `level`), complement attribute
+    /// pushed through.
     #[inline]
     pub(crate) fn cofactors_at(&self, f: u32, level: u32) -> (u32, u32) {
-        let n = &self.nodes[f as usize];
+        let n = &self.nodes[(f >> 1) as usize];
         if n.level == level {
-            (n.low, n.high)
+            let c = f & 1;
+            (n.low ^ c, n.high ^ c)
         } else {
             (f, f)
         }
@@ -665,6 +702,50 @@ mod tests {
     }
 
     #[test]
+    fn negation_is_free() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.xor(a, b);
+        let live = m.live_node_count();
+        let before = m.stats();
+        let nf = m.not(f);
+        let after = m.stats();
+        // ¬f allocated nothing and issued no cache lookups.
+        assert_eq!(m.live_node_count(), live);
+        assert_eq!(after.cache_hits, before.cache_hits);
+        assert_eq!(after.cache_misses, before.cache_misses);
+        assert_eq!(nf.0, f.0 ^ 1);
+        assert_eq!(m.not(nf), f);
+        assert_equals(&m, nf, |x| !(x[0] ^ x[1]));
+    }
+
+    #[test]
+    fn or_shares_the_and_cache_through_de_morgan() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.xor(a, b);
+        let g = m.xor(b, c);
+        // Populate via `or`...
+        let or = m.or(f, g);
+        let mid = m.stats();
+        // ...then the De-Morgan-equivalent `and` on complemented operands
+        // must be answered entirely from the same cache entries.
+        let nf = m.not(f);
+        let ng = m.not(g);
+        let nand = m.and(nf, ng);
+        let after = m.stats();
+        assert_eq!(nand, m.not(or));
+        assert_eq!(
+            after.cache_misses, mid.cache_misses,
+            "¬f ∧ ¬g must reuse the cache entries of f ∨ g"
+        );
+        assert!(after.cache_hits > mid.cache_hits);
+    }
+
+    #[test]
     fn ite_matches_definition() {
         let (mut m, v) = setup();
         let a = m.var(v[0]);
@@ -672,6 +753,16 @@ mod tests {
         let c = m.var(v[2]);
         let f = m.ite(a, b, c);
         assert_equals(&m, f, |x| if x[0] { x[1] } else { x[2] });
+        // Complemented-operand variants of the same triple.
+        let na = m.not(a);
+        let g = m.ite(na, c, b);
+        assert_eq!(g, f, "ite(¬f, h, g) = ite(f, g, h)");
+        let nb = m.not(b);
+        let nc = m.not(c);
+        let h = m.ite(a, nb, nc);
+        assert_eq!(h, m.not(f), "ite(f, ¬g, ¬h) = ¬ite(f, g, h)");
+        let eq = m.ite(a, b, nb);
+        assert_equals(&m, eq, |x| if x[0] { x[1] } else { !x[1] });
     }
 
     #[test]
@@ -707,6 +798,10 @@ mod tests {
         // quantifying a variable not in the support is the identity
         let e2 = m.exists(f, &[v[3]]);
         assert_eq!(e2, f);
+        // ∃ does not commute with complement: ∃b. ¬(a ∧ b) = TRUE.
+        let nf = m.not(f);
+        let e3 = m.exists(nf, &[v[1]]);
+        assert_eq!(e3, m.one());
     }
 
     #[test]
@@ -721,6 +816,12 @@ mod tests {
         let expect = m.exists(conj, &[v[1]]);
         let got = m.and_exists(f, g, &[v[1]]);
         assert_eq!(got, expect);
+        // Complemented operands too.
+        let nf = m.not(f);
+        let conj2 = m.and(nf, g);
+        let expect2 = m.exists(conj2, &[v[1]]);
+        let got2 = m.and_exists(nf, g, &[v[1]]);
+        assert_eq!(got2, expect2);
     }
 
     #[test]
@@ -739,6 +840,10 @@ mod tests {
         assert_eq!(comp, c);
         let fixed = m.restrict_many(f, &[(v[0], true), (v[1], false)]);
         assert_eq!(fixed, m.zero());
+        // Restriction of a complemented edge.
+        let nf = m.not(f);
+        let n1 = m.restrict(nf, v[0], true);
+        assert_eq!(n1, m.not(b));
     }
 
     #[test]
@@ -751,6 +856,10 @@ mod tests {
         let g = m.rename(f, &[(v[0], v[2]), (v[1], v[3])]);
         assert_equals(&m, g, |x| x[2] && x[3]);
         assert_eq!(m.rename(f, &[]), f);
+        // Renaming commutes with complement.
+        let nf = m.not(f);
+        let ng = m.rename(nf, &[(v[0], v[2]), (v[1], v[3])]);
+        assert_eq!(ng, m.not(g));
     }
 
     #[test]
@@ -772,6 +881,10 @@ mod tests {
                 );
             }
         }
+        // constrain(¬f, c) = ¬constrain(f, c).
+        let nf = m.not(f);
+        let ng = m.constrain(nf, care);
+        assert_eq!(ng, m.not(g));
     }
 
     #[test]
@@ -819,6 +932,33 @@ mod tests {
     }
 
     #[test]
+    fn xor_parity_shares_cache_entries() {
+        let (mut m, v) = setup();
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let c = m.var(v[2]);
+        let f = m.and(a, b);
+        let g = m.or(b, c);
+        let fwd = m.xor(f, g);
+        let mid = m.stats();
+        // All four complement variants of the operands reduce to the same
+        // normalised key: no new misses.
+        let nf = m.not(f);
+        let ng = m.not(g);
+        let r1 = m.xor(nf, g);
+        let r2 = m.xor(f, ng);
+        let r3 = m.xor(nf, ng);
+        let after = m.stats();
+        assert_eq!(r1, m.not(fwd));
+        assert_eq!(r2, m.not(fwd));
+        assert_eq!(r3, fwd);
+        assert_eq!(
+            after.cache_misses, mid.cache_misses,
+            "complemented xor operands must reuse the normalised entry"
+        );
+    }
+
+    #[test]
     fn results_are_canonical() {
         let (mut m, v) = setup();
         let a = m.var(v[0]);
@@ -831,7 +971,7 @@ mod tests {
         let nb = m.not(b);
         let g2 = m.and(na, nb);
         assert_eq!(g, g2);
-        assert!(m.check_invariants().is_ok());
+        assert!(m.check_canonical().is_ok());
     }
 
     /// Builds a function wide enough that operations on it take thousands
@@ -873,10 +1013,10 @@ mod tests {
         );
         // The manager is untouched structurally: invariants hold, no
         // protection leaked, GC is still legal...
-        assert!(m.check_invariants().is_ok());
+        assert!(m.check_canonical().is_ok());
         assert_eq!(m.protected_root_count(), before_protected);
         m.collect_garbage();
-        assert!(m.check_invariants().is_ok());
+        assert!(m.check_canonical().is_ok());
         // ...and after removing the budget the very same query completes
         // and matches an ungoverned reference run.
         let budget = m.take_budget().expect("budget still installed");

@@ -50,12 +50,13 @@ impl BddManager {
         self.unique[y].clear_in_place();
 
         // Pass A: nodes at level x that do not depend on the level-y variable
-        // keep their variable and simply move down to level y.
+        // keep their variable and simply move down to level y. Children are
+        // packed edges: the pointed-at node sits at `edge >> 1`.
         let mut dependent: Vec<u32> = Vec::new();
         for idx in x_nodes {
             let n = self.nodes[idx as usize];
-            let low_at_y = self.nodes[n.low as usize].level == y as u32;
-            let high_at_y = self.nodes[n.high as usize].level == y as u32;
+            let low_at_y = self.nodes[(n.low >> 1) as usize].level == y as u32;
+            let high_at_y = self.nodes[(n.high >> 1) as usize].level == y as u32;
             if low_at_y || high_at_y {
                 dependent.push(idx);
             } else {
@@ -65,17 +66,25 @@ impl BddManager {
             }
         }
 
-        // Pass B: rewrite the nodes that depend on both variables.
+        // Pass B: rewrite the nodes that depend on both variables. The
+        // grandchild cofactors push the else-edge's complement attribute
+        // through; the then-edge is regular by canonicity, so `f11` is
+        // regular and the rewritten then-edge `mk(y, f01, f11)` stays
+        // regular — the in-place rewrite cannot break the canonical form.
         for idx in dependent {
             let n = self.nodes[idx as usize];
             let (f0, f1) = (n.low, n.high);
-            let (f00, f01) = if self.nodes[f0 as usize].level == y as u32 {
-                (self.nodes[f0 as usize].low, self.nodes[f0 as usize].high)
+            let c0 = f0 & 1;
+            let (f00, f01) = if self.nodes[(f0 >> 1) as usize].level == y as u32 {
+                let child = self.nodes[(f0 >> 1) as usize];
+                (child.low ^ c0, child.high ^ c0)
             } else {
                 (f0, f0)
             };
-            let (f10, f11) = if self.nodes[f1 as usize].level == y as u32 {
-                (self.nodes[f1 as usize].low, self.nodes[f1 as usize].high)
+            debug_assert_eq!(f1 & 1, 0, "then-edges are regular by canonicity");
+            let (f10, f11) = if self.nodes[(f1 >> 1) as usize].level == y as u32 {
+                let child = self.nodes[(f1 >> 1) as usize];
+                (child.low, child.high)
             } else {
                 (f1, f1)
             };
@@ -90,10 +99,13 @@ impl BddManager {
                 self.mk(y as u32, f01, f11)
             };
             debug_assert_ne!(new_low, new_high, "swapped node became redundant");
-            self.nodes[new_low as usize].refcount += 1;
-            self.nodes[new_high as usize].refcount += 1;
-            self.nodes[f0 as usize].refcount = self.nodes[f0 as usize].refcount.saturating_sub(1);
-            self.nodes[f1 as usize].refcount = self.nodes[f1 as usize].refcount.saturating_sub(1);
+            debug_assert_eq!(new_high & 1, 0, "rewritten then-edge must stay regular");
+            self.nodes[(new_low >> 1) as usize].refcount += 1;
+            self.nodes[(new_high >> 1) as usize].refcount += 1;
+            self.nodes[(f0 >> 1) as usize].refcount =
+                self.nodes[(f0 >> 1) as usize].refcount.saturating_sub(1);
+            self.nodes[(f1 >> 1) as usize].refcount =
+                self.nodes[(f1 >> 1) as usize].refcount.saturating_sub(1);
             let node = &mut self.nodes[idx as usize];
             node.low = new_low;
             node.high = new_high;
@@ -107,10 +119,11 @@ impl BddManager {
             let n = self.nodes[idx as usize];
             let dead = n.refcount == 0 && !self.protected.contains_key(&idx);
             if dead {
-                self.nodes[n.low as usize].refcount =
-                    self.nodes[n.low as usize].refcount.saturating_sub(1);
-                self.nodes[n.high as usize].refcount =
-                    self.nodes[n.high as usize].refcount.saturating_sub(1);
+                self.nodes[(n.low >> 1) as usize].refcount =
+                    self.nodes[(n.low >> 1) as usize].refcount.saturating_sub(1);
+                self.nodes[(n.high >> 1) as usize].refcount = self.nodes[(n.high >> 1) as usize]
+                    .refcount
+                    .saturating_sub(1);
                 self.nodes[idx as usize].free = true;
                 self.free_list.push(idx);
             } else {
@@ -192,6 +205,11 @@ impl BddManager {
             self.sift_one(var, config.max_growth);
         }
         self.collect_garbage();
+        debug_assert!(
+            self.check_canonical().is_ok(),
+            "canonical-form audit failed after sifting: {:?}",
+            self.check_canonical()
+        );
         self.live_node_count()
     }
 
@@ -254,13 +272,19 @@ impl BddManager {
 
     #[allow(dead_code)]
     pub(crate) fn debug_assert_levels(&self) {
-        for (idx, n) in self.nodes.iter().enumerate().skip(2) {
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
             if n.free {
                 continue;
             }
             debug_assert!(n.level != TERMINAL_LEVEL);
-            debug_assert!(self.nodes[n.low as usize].level > n.level, "node {idx}");
-            debug_assert!(self.nodes[n.high as usize].level > n.level, "node {idx}");
+            debug_assert!(
+                self.nodes[(n.low >> 1) as usize].level > n.level,
+                "node {idx}"
+            );
+            debug_assert!(
+                self.nodes[(n.high >> 1) as usize].level > n.level,
+                "node {idx}"
+            );
         }
     }
 }

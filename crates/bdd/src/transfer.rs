@@ -4,32 +4,40 @@
 //! worker-thread replicas.
 //!
 //! A [`SerializedBdd`] is a bottom-up node-arena slice: children always
-//! precede parents, references are plain indices into the slice (with the
-//! two terminals pre-assigned), and the variable order of the source
-//! manager is recorded so the importer can verify both managers agree on
-//! it. Import rebuilds the nodes through the ordinary reduction rules, so
-//! an imported root is canonical in the destination manager and shares
-//! structure with everything already there.
+//! precede parents, references are packed *edges* over slice-local serial
+//! numbers — `edge = serial << 1 | complement`, with serial `0` reserved
+//! for the terminal — so the complement attribute survives the round-trip
+//! on roots and internal edges alike, and the two constant edges (`TRUE` =
+//! `0`, `FALSE` = `1`) are identical in every manager. The variable order
+//! of the source manager is recorded so the importer can verify both
+//! managers agree on it. Import rebuilds the nodes through the ordinary
+//! reduction rules, so an imported root is canonical in the destination
+//! manager (regular then-edges included) and shares structure with
+//! everything already there.
 
-use crate::manager::{BddManager, Node, Ref, VarId};
+use crate::manager::{BddManager, Node, Ref, VarId, TERMINAL};
 use std::collections::HashMap;
 
 /// A manager-independent serialization of one or more BDD roots.
 ///
 /// Produced by [`BddManager::export_subgraph`] and consumed by
 /// [`BddManager::import_subgraph`]. The encoding is a bottom-up slice of
-/// `(level, low, high)` triples where reference `0` is `FALSE`, `1` is
-/// `TRUE`, and `i + 2` is the `i`-th triple of the slice. The type is
-/// `Send + Sync`, so serialized sets can cross thread boundaries (e.g. via
-/// `Arc`) without touching either manager.
+/// `(level, low, high)` triples whose references are packed edges
+/// `serial << 1 | complement`: serial `0` is the terminal node (so edge
+/// `0` is `TRUE` and edge `1` is `FALSE`) and serial `i + 1` is the `i`-th
+/// triple of the slice. Then-edges are regular in the slice exactly as in
+/// the arena. The type is `Send + Sync`, so serialized sets can cross
+/// thread boundaries (e.g. via `Arc`) without touching either manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SerializedBdd {
     /// The source manager's variable order, top level first
     /// (`order[level] = variable id`).
     order: Vec<u32>,
-    /// The nodes as `(level, low, high)`, children before parents.
+    /// The nodes as `(level, low, high)` with packed-edge children,
+    /// children before parents.
     nodes: Vec<(u32, u32, u32)>,
-    /// The exported roots, in the order given to `export_subgraph`.
+    /// The exported roots as packed edges, in the order given to
+    /// `export_subgraph`.
     roots: Vec<u32>,
 }
 
@@ -44,7 +52,7 @@ impl SerializedBdd {
         self.order.iter().map(|&v| VarId(v)).collect()
     }
 
-    /// Number of serialized internal nodes (terminals excluded).
+    /// Number of serialized internal nodes (the terminal excluded).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
@@ -55,12 +63,15 @@ impl SerializedBdd {
     }
 }
 
+/// Maps a serialized edge to a destination-manager edge, re-applying the
+/// serialized complement bit on top of the (always regular) local entry.
 #[inline]
-fn resolve(r: u32, local: &[u32]) -> u32 {
-    if r < 2 {
-        r
+fn resolve(e: u32, local: &[u32]) -> u32 {
+    let serial = e >> 1;
+    if serial == 0 {
+        e // constant edges are manager-independent
     } else {
-        local[(r - 2) as usize]
+        local[(serial - 1) as usize] ^ (e & 1)
     }
 }
 
@@ -69,17 +80,27 @@ impl BddManager {
     /// manager-independent [`SerializedBdd`].
     ///
     /// Shared structure is serialized once: a node reachable from several
-    /// roots appears a single time in the slice, so exporting a plan's
-    /// artefacts together costs no more than their true combined size.
+    /// roots appears a single time in the slice — and since `f` and `¬f`
+    /// are one subgraph under complement edges, exporting both costs one
+    /// copy plus a root edge each.
     pub fn export_subgraph(&self, roots: &[Ref]) -> SerializedBdd {
+        // `map`: arena node index -> slice serial (1-based; 0 = terminal).
         let mut map: HashMap<u32, u32> = HashMap::new();
         let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
+        let ser_edge = |e: u32, map: &HashMap<u32, u32>| -> u32 {
+            if e >> 1 == TERMINAL {
+                e
+            } else {
+                (map[&(e >> 1)] << 1) | (e & 1)
+            }
+        };
         for &root in roots {
-            if root.0 < 2 || map.contains_key(&root.0) {
+            let root_idx = root.0 >> 1;
+            if root_idx == TERMINAL || map.contains_key(&root_idx) {
                 continue;
             }
-            stack.push(root.0);
+            stack.push(root_idx);
             // Iterative postorder: a node is emitted only once both
             // children are, so the slice is bottom-up by construction.
             while let Some(&top) = stack.last() {
@@ -89,29 +110,26 @@ impl BddManager {
                 }
                 let n: Node = self.nodes[top as usize];
                 debug_assert!(!n.free, "exporting a freed node");
-                let low_ready = n.low < 2 || map.contains_key(&n.low);
-                let high_ready = n.high < 2 || map.contains_key(&n.high);
+                let low_ready = n.low >> 1 == TERMINAL || map.contains_key(&(n.low >> 1));
+                let high_ready = n.high >> 1 == TERMINAL || map.contains_key(&(n.high >> 1));
                 if low_ready && high_ready {
                     stack.pop();
-                    let low = if n.low < 2 { n.low } else { map[&n.low] };
-                    let high = if n.high < 2 { n.high } else { map[&n.high] };
-                    let serial = nodes.len() as u32 + 2;
+                    let low = ser_edge(n.low, &map);
+                    let high = ser_edge(n.high, &map);
+                    let serial = nodes.len() as u32 + 1;
                     nodes.push((n.level, low, high));
                     map.insert(top, serial);
                 } else {
                     if !low_ready {
-                        stack.push(n.low);
+                        stack.push(n.low >> 1);
                     }
                     if !high_ready {
-                        stack.push(n.high);
+                        stack.push(n.high >> 1);
                     }
                 }
             }
         }
-        let roots = roots
-            .iter()
-            .map(|&r| if r.0 < 2 { r.0 } else { map[&r.0] })
-            .collect();
+        let roots = roots.iter().map(|&r| ser_edge(r.0, &map)).collect();
         SerializedBdd {
             order: self.var_at_level.clone(),
             nodes,
@@ -122,11 +140,11 @@ impl BddManager {
     /// Rebuilds a serialized subgraph in this manager and returns the
     /// imported roots, in the order they were exported.
     ///
-    /// The imported nodes go through the ordinary reduction rules, so the
-    /// returned roots are canonical here and share structure with the
-    /// manager's existing nodes. The imported roots are **not** protected;
-    /// protect them before the next garbage collection if they must
-    /// survive.
+    /// The imported nodes go through the ordinary reduction rules — which
+    /// re-establish the regular-then-edge canonical form — so the returned
+    /// roots are canonical here and share structure with the manager's
+    /// existing nodes. The imported roots are **not** protected; protect
+    /// them before the next garbage collection if they must survive.
     ///
     /// # Panics
     ///
@@ -142,7 +160,11 @@ impl BddManager {
         for &(level, low, high) in &serialized.nodes {
             let low = resolve(low, &local);
             let high = resolve(high, &local);
-            local.push(self.mk(level, low, high));
+            // Serialized then-edges are regular and `local` entries are
+            // regular by induction, so `mk` hands back a regular edge here.
+            let e = self.mk(level, low, high);
+            debug_assert_eq!(e & 1, 0, "import of a canonical slice stays regular");
+            local.push(e);
         }
         serialized
             .roots
@@ -192,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn complemented_roots_round_trip() {
+        let mut src = BddManager::with_vars(6);
+        let f = sample(&mut src);
+        let nf = src.not(f);
+        // Export both polarities: one subgraph, two root edges.
+        let ser = src.export_subgraph(&[nf, f]);
+        let mut dst = replica_manager(&ser);
+        let roots = dst.import_subgraph(&ser);
+        assert_eq!(roots[0], dst.not(roots[1]));
+        for bits in 0u32..64 {
+            let assign = |v: VarId| bits & (1 << v.index()) != 0;
+            assert_eq!(src.eval(nf, assign), dst.eval(roots[0], assign));
+        }
+        assert!(dst.check_canonical().is_ok());
+    }
+
+    #[test]
     fn shared_structure_is_serialized_once() {
         let mut src = BddManager::with_vars(4);
         let f = sample_pair(&mut src);
@@ -201,9 +240,10 @@ mod tests {
             .map(|&r| src.export_subgraph(&[r]).num_nodes())
             .sum();
         assert!(together.num_nodes() <= alone);
-        // And the combined size equals the true shared node count.
+        // And the combined size equals the true shared node count
+        // (one extra for the terminal the slice leaves implicit).
         assert_eq!(
-            together.num_nodes() + 2,
+            together.num_nodes() + 1,
             src.shared_node_count(&[f.0, f.1]),
             "export must deduplicate shared subgraphs"
         );

@@ -299,13 +299,48 @@ proptest! {
             prop_assert_eq!(rebuilt, *f);
         }
         // Releasing every root must let a final collection empty the arena;
-        // the rebuilt tables may then hold only the two terminals.
+        // the rebuilt tables may then hold only the single shared terminal.
         for (_, f) in &roots {
             m.unprotect(*f);
         }
         m.collect_garbage();
-        prop_assert_eq!(m.live_node_count(), 2);
+        prop_assert_eq!(m.live_node_count(), 1);
         prop_assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn transfer_round_trips_complement_bits(
+        exprs in proptest::collection::vec(arb_expr(), 1..4)
+    ) {
+        // Serialize a shared multi-root subgraph where every function is
+        // exported alongside its negation — so complement bits appear both
+        // on roots and on interior edges — and import it into a fresh
+        // replica. Semantics, the f/¬f pairing (one shared subgraph, a bit
+        // flip apart) and the serialized form itself must all survive.
+        let mut m = BddManager::with_vars(NVARS);
+        let mut roots = Vec::new();
+        for expr in &exprs {
+            let f = expr.build(&mut m);
+            roots.push(f);
+            roots.push(m.not(f));
+        }
+        let serialized = m.export_subgraph(&roots);
+        let mut replica = BddManager::with_vars(NVARS);
+        let imported = replica.import_subgraph(&serialized);
+        prop_assert_eq!(imported.len(), roots.len());
+        for (i, expr) in exprs.iter().enumerate() {
+            let f = imported[2 * i];
+            let nf = imported[2 * i + 1];
+            prop_assert_eq!(replica.not(f), nf);
+            for a in all_assignments() {
+                prop_assert_eq!(replica.eval(f, |v| a[v.index()]), expr.eval(&a));
+                prop_assert_eq!(replica.eval(nf, |v| a[v.index()]), !expr.eval(&a));
+            }
+        }
+        prop_assert!(replica.check_invariants().is_ok());
+        // The deterministic postorder export makes the serialized form
+        // canonical: re-exporting the imported roots is bit-identical.
+        prop_assert_eq!(replica.export_subgraph(&imported), serialized);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! experiments table1                   the 2-philosopher encoding (Tables 1-2, Figure 3/4)
 //! experiments ablation                 Gray vs binary codes, basic vs improved cover, sifting
 //! experiments strategies               Bfs vs Chaining vs Saturation fixpoint strategies per net
+//! experiments orders                   BFS-distance vs toggling-chosen static variable order
 //! experiments scaling                  parallel traversal thread-scaling curves (Table-4 nets)
 //! experiments properties               CTL property suites of the bundled nets
 //! experiments check <props-file>       run a property file against its nets (or --check=FILE)
@@ -24,6 +25,13 @@
 //! the `parallel` strategy (default 2). The `strategies` command always
 //! compares Bfs, Chaining and Saturation per net; `scaling` compares the
 //! parallel strategy at 1, 2 and 4 threads.
+//!
+//! `--order=bfs|toggling` picks the static variable order of the
+//! table3/table4/smoke analyses (default `bfs`, the encoding's structural
+//! BFS-distance layout; `toggling` sorts state variables by descending
+//! toggle count over the explicit reachability graph, Section 5.2). The
+//! `orders` command always compares both per table-3 net, medians over
+//! several runs.
 //!
 //! `--time-budget=DUR` (e.g. `1ms`, `250us`, `2s`) and `--node-budget=N`
 //! put the table3/table4/smoke/properties/check analyses under a resource
@@ -61,7 +69,8 @@ use pnsym_bench::{net_by_spec, table3_workloads, table4_workloads, Scale, Worklo
 use pnsym_core::{
     analyze, analyze_zdd_governed, analyze_zdd_with, toggling_activity, toggling_of_state_codes,
     AnalysisOptions, AnalysisReport, AssignmentStrategy, Budget, ChainingOrder, Encoding,
-    FixpointStrategy, Property, SymbolicContext, TraversalOptions, ZddAnalysisReport,
+    FixpointStrategy, Property, SiftPolicy, SymbolicContext, TraversalOptions, VariableOrder,
+    ZddAnalysisReport,
 };
 use pnsym_net::nets::{
     dme, figure1, muller, philosophers, property_suite, slotted_ring, DmeStyle, PropertySpec,
@@ -186,6 +195,14 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    let order = match args.iter().find_map(|a| a.strip_prefix("--order=")) {
+        None | Some("bfs") => VariableOrder::Structural,
+        Some("toggling") => VariableOrder::Toggling,
+        Some(other) => {
+            eprintln!("unknown order `{other}` (expected bfs|toggling)");
+            std::process::exit(2);
+        }
+    };
     let check_path: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--check=").map(str::to_string));
@@ -218,15 +235,16 @@ fn main() {
 
     let mut records: Vec<Value> = Vec::new();
     match command {
-        Some("table3") => table3(scale, strategy, budgets, &mut records),
-        Some("table4") => table4(scale, strategy, budgets, &mut records),
+        Some("table3") => table3(scale, strategy, order, budgets, &mut records),
+        Some("table4") => table4(scale, strategy, order, budgets, &mut records),
         Some("fig2") => figure2(),
         Some("table1") => table1(),
         Some("ablation") => ablation(),
         Some("strategies") => strategies(scale, &mut records),
+        Some("orders") => orders(scale, &mut records),
         Some("scaling") => scaling(scale, &mut records),
         Some("properties") => properties(strategy, budgets, &mut records),
-        Some("smoke") => smoke(strategy, budgets, &mut records),
+        Some("smoke") => smoke(strategy, order, budgets, &mut records),
         Some("check") => {
             let path = non_flags.get(1).map(|s| s.to_string()).or(check_path);
             let Some(path) = path else {
@@ -246,9 +264,10 @@ fn main() {
         Some("all") | None => {
             figure2();
             table1();
-            table3(scale, strategy, budgets, &mut records);
-            table4(scale, strategy, budgets, &mut records);
+            table3(scale, strategy, order, budgets, &mut records);
+            table4(scale, strategy, order, budgets, &mut records);
             strategies(scale, &mut records);
+            orders(scale, &mut records);
             properties(strategy, budgets, &mut records);
             ablation();
         }
@@ -256,9 +275,10 @@ fn main() {
             eprintln!("unknown command `{other}`");
             eprintln!(
                 "usage: experiments \
-                 [table3|table4|fig2|table1|ablation|strategies|scaling|properties|check|smoke|all] \
-                 [--paper-scale] [--strategy=NAME] [--threads=N] [--json[=PATH]] [--check=FILE] \
-                 [--time-budget=DUR] [--node-budget=N]"
+                 [table3|table4|fig2|table1|ablation|strategies|orders|scaling|properties|check|\
+                 smoke|all] \
+                 [--paper-scale] [--strategy=NAME] [--threads=N] [--order=bfs|toggling] \
+                 [--json[=PATH]] [--check=FILE] [--time-budget=DUR] [--node-budget=N]"
             );
             std::process::exit(2);
         }
@@ -418,6 +438,7 @@ fn fmt_report(name: &str, r: &AnalysisReport) -> String {
 fn table3(
     scale: Scale,
     strategy: FixpointStrategy,
+    order: VariableOrder,
     budgets: BudgetFlags,
     records: &mut Vec<Value>,
 ) {
@@ -432,14 +453,19 @@ fn table3(
     );
     for Workload { name, net } in table3_workloads(scale) {
         let start = Instant::now();
-        let sparse = analyze(
-            &net,
-            &budgets.analysis(AnalysisOptions::sparse().with_strategy(strategy)),
-        );
-        let dense = analyze(
-            &net,
-            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
-        );
+        // Both encodings run under the adaptive growth-ratio sifting
+        // trigger: the floor keeps the small nets untouched, and a run
+        // whose working set doubles mid-fixpoint gets its order re-tuned.
+        let mut sparse_options = AnalysisOptions::sparse()
+            .with_strategy(strategy)
+            .with_order(order);
+        sparse_options.traversal.sift = SiftPolicy::adaptive();
+        let mut dense_options = AnalysisOptions::dense()
+            .with_strategy(strategy)
+            .with_order(order);
+        dense_options.traversal.sift = SiftPolicy::adaptive();
+        let sparse = analyze(&net, &budgets.analysis(sparse_options));
+        let dense = analyze(&net, &budgets.analysis(dense_options));
         match (sparse, dense) {
             (Ok(s), Ok(d)) => {
                 if s.truncated.is_none() && d.truncated.is_none() {
@@ -479,6 +505,7 @@ fn table3(
 fn table4(
     scale: Scale,
     strategy: FixpointStrategy,
+    order: VariableOrder,
     budgets: BudgetFlags,
     records: &mut Vec<Value>,
 ) {
@@ -498,7 +525,11 @@ fn table4(
         };
         let dense = analyze(
             &net,
-            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
+            &budgets.analysis(
+                AnalysisOptions::dense()
+                    .with_strategy(strategy)
+                    .with_order(order),
+            ),
         );
         match dense {
             Ok(d) => {
@@ -656,7 +687,12 @@ fn table1() {
 /// smallest table-3 nets, cross-checked against explicit exploration, so a
 /// kernel regression (wrong counts or a pathological slowdown) surfaces
 /// without a full criterion sweep.
-fn smoke(strategy: FixpointStrategy, budgets: BudgetFlags, records: &mut Vec<Value>) {
+fn smoke(
+    strategy: FixpointStrategy,
+    order: VariableOrder,
+    budgets: BudgetFlags,
+    records: &mut Vec<Value>,
+) {
     println!("\n== Smoke: kernel sanity on the two smallest nets ({strategy}) =====");
     let mut workloads = table3_workloads(Scale::Default);
     workloads.sort_by_key(|w| w.net.num_places());
@@ -665,12 +701,20 @@ fn smoke(strategy: FixpointStrategy, budgets: BudgetFlags, records: &mut Vec<Val
         let start = Instant::now();
         let sparse = analyze(
             &net,
-            &budgets.analysis(AnalysisOptions::sparse().with_strategy(strategy)),
+            &budgets.analysis(
+                AnalysisOptions::sparse()
+                    .with_strategy(strategy)
+                    .with_order(order),
+            ),
         )
         .expect("sparse analysis");
         let dense = analyze(
             &net,
-            &budgets.analysis(AnalysisOptions::dense().with_strategy(strategy)),
+            &budgets.analysis(
+                AnalysisOptions::dense()
+                    .with_strategy(strategy)
+                    .with_order(order),
+            ),
         )
         .expect("dense analysis");
         // A budgeted smoke run may legitimately truncate (that is what the
@@ -824,6 +868,81 @@ fn strategies(scale: Scale, records: &mut Vec<Value>) {
     println!(
         "(all strategies must match bfs markings exactly; saturation ≥ chaining on table-3 nets)"
     );
+}
+
+/// Static-variable-order comparison: the dense analysis of every table-3
+/// net under the structural BFS-distance default and the toggling-chosen
+/// order (Section 5.2), medians over several interleaved runs. The
+/// marking counts must agree (the order only changes diagram shape); what
+/// differs is the node pressure and the traversal time.
+fn orders(scale: Scale, records: &mut Vec<Value>) {
+    const SAMPLES: usize = 5;
+    println!("\n== Orders: BFS-distance vs toggling static order (dense, median of {SAMPLES}) ==");
+    println!(
+        "{:<12} {:>12} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>6}",
+        "PN", "markings", "nodes", "peak", "trav(ms)", "nodes", "peak", "trav(ms)", "b/t"
+    );
+    println!(
+        "{:<12} {:>12} | {:^29} | {:^29} |",
+        "", "", "bfs-distance order", "toggling order"
+    );
+    let compared = [VariableOrder::Structural, VariableOrder::Toggling];
+    for Workload { name, net } in table3_workloads(scale) {
+        // Interleave the samples round-robin across the two orders so
+        // ambient load drift hits both arms equally.
+        let mut runs: Vec<Vec<AnalysisReport>> = vec![Vec::new(); compared.len()];
+        let mut failed = false;
+        'sampling: for _ in 0..SAMPLES {
+            for (oi, &order) in compared.iter().enumerate() {
+                match analyze(&net, &AnalysisOptions::dense().with_order(order)) {
+                    Ok(r) => runs[oi].push(r),
+                    Err(e) => {
+                        println!("{name:<12} {order} analysis failed: {e}");
+                        failed = true;
+                        break 'sampling;
+                    }
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        let mut rows: Vec<(AnalysisReport, f64)> = Vec::new();
+        for mut samples in runs {
+            samples.sort_by_key(|a| a.traversal_time);
+            let median_ms = samples[samples.len() / 2].traversal_time.as_secs_f64() * 1e3;
+            let representative = samples.swap_remove(samples.len() / 2);
+            rows.push((representative, median_ms));
+        }
+        let (bfs, bfs_ms) = &rows[0];
+        let (tog, tog_ms) = &rows[1];
+        assert_eq!(
+            bfs.num_markings, tog.num_markings,
+            "{name}: variable orders disagree on the fixpoint"
+        );
+        println!(
+            "{:<12} {:>12.3e} | {:>9} {:>9} {:>9.3} | {:>9} {:>9} {:>9.3} | {:>5.2}x",
+            name,
+            bfs.num_markings,
+            bfs.bdd_nodes,
+            bfs.peak_live_nodes,
+            bfs_ms,
+            tog.bdd_nodes,
+            tog.peak_live_nodes,
+            tog_ms,
+            bfs_ms / tog_ms
+        );
+        for ((report, median_ms), order) in rows.iter().zip(compared) {
+            let mut record = bdd_record("orders", &name, "improved-dense", report);
+            if let Value::Object(fields) = &mut record {
+                fields.push(("order".to_string(), Value::Str(order.to_string())));
+                fields.push(("median_traversal_ms".to_string(), Value::Float(*median_ms)));
+                fields.push(("samples".to_string(), Value::UInt(SAMPLES as u64)));
+            }
+            records.push(record);
+        }
+    }
+    println!("(both orders must agree on the markings; toggling helps where activity is skewed)");
 }
 
 /// Thread-scaling curves of the parallel cluster-image traversal: the dense
@@ -1169,11 +1288,11 @@ fn ablation() {
         );
     }
 
-    // Reordering ablation: traversal with and without sifting on the sparse
+    // Reordering ablation: traversal without sifting, with periodic
+    // sifting, and with the adaptive growth-ratio trigger, on the sparse
     // encoding (where the ordering matters most).
     println!("\nsifting ablation (sparse encoding):");
     for Workload { name, net } in table3_workloads(Scale::Default).into_iter().take(3) {
-        use pnsym_core::{SiftPolicy, TraversalOptions};
         let run = |sift: SiftPolicy| {
             let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
             let result = ctx.reachable_markings_with(TraversalOptions {
@@ -1184,9 +1303,11 @@ fn ablation() {
         };
         let (nodes_off, time_off) = run(SiftPolicy::Never);
         let (nodes_on, time_on) = run(SiftPolicy::EveryIterations(4));
+        let (nodes_ad, time_ad) = run(SiftPolicy::adaptive());
         println!(
-            "  {:<12} no-sift: {:>7} nodes {:>7.2}s   sift: {:>7} nodes {:>7.2}s",
-            name, nodes_off, time_off, nodes_on, time_on
+            "  {:<12} no-sift: {:>7} nodes {:>6.2}s   every-4: {:>7} nodes {:>6.2}s   \
+             adaptive: {:>7} nodes {:>6.2}s",
+            name, nodes_off, time_off, nodes_on, time_on, nodes_ad, time_ad
         );
     }
 }

@@ -69,7 +69,7 @@ mod zdd_reach;
 
 pub use analysis::{
     analyze, analyze_zdd, analyze_zdd_governed, analyze_zdd_with, build_encoding, AnalysisError,
-    AnalysisOptions, AnalysisReport, DegradationStep, ZddAnalysisReport,
+    AnalysisOptions, AnalysisReport, DegradationStep, VariableOrder, ZddAnalysisReport,
 };
 pub use context::SymbolicContext;
 pub use encoding::{AssignmentStrategy, Block, Encoding, SchemeKind};
@@ -79,10 +79,14 @@ pub use mc::{CheckReport, TraceKind};
 pub use plan::{ImageCluster, ImagePlan, PlannedTransition};
 pub use preplan::{PreImageCluster, PreImagePlan, PrePlannedTransition};
 pub use property::{Property, PropertyParseError};
-pub use toggling::{toggling_activity, toggling_of_state_codes, TogglingReport};
+pub use toggling::{
+    per_variable_toggling, toggling_activity, toggling_of_state_codes, toggling_variable_order,
+    TogglingReport,
+};
 pub use trace::WitnessTrace;
 pub use traverse::{
     ChainingOrder, FixpointStrategy, ReachabilityResult, SiftPolicy, TraversalOptions,
+    ADAPTIVE_SIFT_FLOOR,
 };
 pub use zdd_reach::{ZddContext, ZddReachabilityResult};
 

@@ -59,8 +59,7 @@ use crate::traverse::{governed, FixpointRun, SiftPolicy};
 #[cfg(feature = "fault-inject")]
 use pnsym_bdd::FaultSite;
 use pnsym_bdd::{
-    replica_manager, BddManager, Budget, Interrupt, Ref, SerializedBdd, SiftConfig,
-    TruncationReason, VarId,
+    replica_manager, BddManager, Budget, Interrupt, Ref, SerializedBdd, TruncationReason, VarId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
@@ -687,23 +686,17 @@ fn support_components(ctx: &SymbolicContext, plan: &ImagePlan) -> Vec<Vec<usize>
 }
 
 /// Owner-side between-pass maintenance: the sequential kernel's adaptive
-/// GC plus optional sifting. Returns whether the variable order changed
-/// (in which case every worker replica must be resynced).
-fn owner_maintain(ctx: &mut SymbolicContext, sift: SiftPolicy, iteration: usize) -> bool {
-    if ctx.manager().should_collect() {
-        ctx.manager_mut().collect_garbage();
-        let threshold = ctx.manager().gc_threshold();
-        if ctx.manager().live_node_count() * 2 > threshold {
-            ctx.manager_mut().set_gc_threshold(threshold * 2);
-        }
-    }
-    let before = ctx.manager().order_generation();
-    if let SiftPolicy::EveryIterations(n) = sift {
-        if n > 0 && iteration.is_multiple_of(n) {
-            ctx.manager_mut().sift_with(SiftConfig::default());
-        }
-    }
-    ctx.manager().order_generation() != before
+/// GC plus the sifting policy (including the adaptive growth-ratio
+/// trigger, whose `baseline` the caller holds across passes). Returns
+/// whether the variable order changed (in which case every worker replica
+/// must be resynced).
+fn owner_maintain(
+    ctx: &mut SymbolicContext,
+    sift: SiftPolicy,
+    iteration: usize,
+    baseline: &mut usize,
+) -> bool {
+    crate::traverse::maintain_between_passes(ctx, sift, iteration, baseline)
 }
 
 /// Reports one [`FaultSite::WorkerSpawn`] event per worker to the owner's
@@ -798,6 +791,9 @@ fn sharded_bfs(
 
     let mut iterations = 0usize;
     let mut truncated = None;
+    // Adaptive-sift baseline, carried across passes (see
+    // `SiftPolicy::AdaptiveGrowth`).
+    let mut sift_baseline = 0usize;
     'run: loop {
         if let Some(limit) = max_iterations {
             if iterations >= limit {
@@ -908,7 +904,7 @@ fn sharded_bfs(
         reached = next_reached;
         frontier = new;
         iterations += 1;
-        if owner_maintain(ctx, sift, iterations) {
+        if owner_maintain(ctx, sift, iterations, &mut sift_baseline) {
             // The owner's order moved under the replicas: re-serialize the
             // (still protected) plan artefacts under the new order and
             // rebuild every replica — including its reached-set replica —

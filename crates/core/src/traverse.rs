@@ -62,6 +62,78 @@ pub enum SiftPolicy {
     Never,
     /// Sift after every `n`-th traversal iteration.
     EveryIterations(usize),
+    /// Growth-ratio heuristic: sift when the live node count between
+    /// passes exceeds `percent`% of the baseline recorded at the previous
+    /// sift (or at the first pass). A floor of
+    /// [`ADAPTIVE_SIFT_FLOOR`] live nodes keeps tiny diagrams — where a
+    /// reordering pass costs more than it can ever save — from triggering.
+    /// `AdaptiveGrowth { percent: 200 }` sifts whenever the working set
+    /// has doubled since the order was last tuned.
+    AdaptiveGrowth {
+        /// Trigger ratio in percent; values below 100 are treated as 100
+        /// (a ratio under 1.0 would sift on every pass).
+        percent: u32,
+    },
+}
+
+impl SiftPolicy {
+    /// The adaptive policy used by the benchmark harness: sift when the
+    /// working set doubles between passes.
+    pub fn adaptive() -> Self {
+        SiftPolicy::AdaptiveGrowth { percent: 200 }
+    }
+}
+
+/// Live-node floor below which [`SiftPolicy::AdaptiveGrowth`] never
+/// triggers: reordering a diagram this small costs more than the best
+/// possible order saves.
+pub const ADAPTIVE_SIFT_FLOOR: usize = 2048;
+
+/// Between-pass maintenance shared by the sequential kernel and the
+/// parallel owner: adaptive garbage collection (with the doubling
+/// threshold) followed by the sifting policy. `baseline` is the adaptive
+/// trigger's state — the live node count when the order was last tuned
+/// (`0` = not yet observed). Returns whether the variable order changed,
+/// so the parallel owner knows to resync its worker replicas.
+pub(crate) fn maintain_between_passes(
+    ctx: &mut SymbolicContext,
+    sift: SiftPolicy,
+    iteration: usize,
+    baseline: &mut usize,
+) -> bool {
+    if ctx.manager().should_collect() {
+        ctx.manager_mut().collect_garbage();
+        // Collections rebuild the tables in place, so running one is
+        // cheap — but a collection that reclaims almost nothing means
+        // the working set has outgrown the threshold; double it.
+        let threshold = ctx.manager().gc_threshold();
+        if ctx.manager().live_node_count() * 2 > threshold {
+            ctx.manager_mut().set_gc_threshold(threshold * 2);
+        }
+    }
+    let before = ctx.manager().order_generation();
+    match sift {
+        SiftPolicy::Never => {}
+        SiftPolicy::EveryIterations(n) => {
+            if n > 0 && iteration.is_multiple_of(n) {
+                ctx.manager_mut().sift_with(SiftConfig::default());
+            }
+        }
+        SiftPolicy::AdaptiveGrowth { percent } => {
+            let live = ctx.manager().live_node_count();
+            if *baseline == 0 {
+                *baseline = live.max(1);
+            }
+            if live > ADAPTIVE_SIFT_FLOOR && live * 100 > *baseline * percent.max(100) as usize {
+                ctx.manager_mut().sift_with(SiftConfig::default());
+                // The post-sift size is the new baseline: the next trigger
+                // fires only once the working set outgrows the tuned order
+                // by the same ratio again.
+                *baseline = ctx.manager().live_node_count().max(1);
+            }
+        }
+    }
+    ctx.manager().order_generation() != before
 }
 
 /// The static transition order used by the chained strategy.
@@ -635,6 +707,9 @@ struct BddFixpointKernel<'a> {
     ctx: &'a mut SymbolicContext,
     plan: Rc<ImagePlan>,
     sift: SiftPolicy,
+    /// State of [`SiftPolicy::AdaptiveGrowth`]: the live node count when
+    /// the order was last tuned (`0` = not yet observed).
+    sift_baseline: usize,
 }
 
 impl FixpointKernel for BddFixpointKernel<'_> {
@@ -701,21 +776,7 @@ impl FixpointKernel for BddFixpointKernel<'_> {
     }
 
     fn maintain(&mut self, iteration: usize) {
-        if self.ctx.manager().should_collect() {
-            self.ctx.manager_mut().collect_garbage();
-            // Collections rebuild the tables in place, so running one is
-            // cheap — but a collection that reclaims almost nothing means
-            // the working set has outgrown the threshold; double it.
-            let threshold = self.ctx.manager().gc_threshold();
-            if self.ctx.manager().live_node_count() * 2 > threshold {
-                self.ctx.manager_mut().set_gc_threshold(threshold * 2);
-            }
-        }
-        if let SiftPolicy::EveryIterations(n) = self.sift {
-            if n > 0 && iteration.is_multiple_of(n) {
-                self.ctx.manager_mut().sift_with(SiftConfig::default());
-            }
-        }
+        maintain_between_passes(self.ctx, self.sift, iteration, &mut self.sift_baseline);
     }
 
     fn order_generation(&self) -> u64 {
@@ -758,6 +819,7 @@ impl SymbolicContext {
             ctx: self,
             plan,
             sift: options.sift,
+            sift_baseline: 0,
         };
         let run = run_fixpoint(&mut kernel, options.strategy, options.max_iterations);
         // Remove the (possibly breached) budget before computing the result
@@ -1144,6 +1206,70 @@ mod tests {
             });
             assert_eq!(result.num_markings, expected, "{strategy}");
         }
+    }
+
+    #[test]
+    fn adaptive_sifting_during_traversal_preserves_the_answer() {
+        let net = slotted_ring(3);
+        let expected = net.explore().unwrap().num_markings() as f64;
+        for strategy in all_strategies() {
+            let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+            let result = ctx.reachable_markings_with(TraversalOptions {
+                sift: SiftPolicy::adaptive(),
+                strategy,
+                ..TraversalOptions::default()
+            });
+            assert_eq!(result.num_markings, expected, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sift_trigger_fires_and_resets_its_baseline() {
+        let net = philosophers(2);
+        let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+        // Populate the manager past the adaptive floor: all 2^12 minterms
+        // over the first 12 variables, protected so maintenance keeps them
+        // (the minterm chains share suffixes, totalling ~2^13 nodes).
+        let vars = ctx.manager().variables()[..12].to_vec();
+        for bits in 0u32..(1 << 12) {
+            let m = ctx.manager_mut();
+            let mut minterm = m.one();
+            for (j, &v) in vars.iter().enumerate() {
+                let lit = if bits & (1 << j) != 0 {
+                    m.var(v)
+                } else {
+                    m.nvar(v)
+                };
+                minterm = m.and(minterm, lit);
+            }
+            m.protect(minterm);
+        }
+        assert!(ctx.manager().live_node_count() > ADAPTIVE_SIFT_FLOOR);
+        // A baseline of 1 says the order was last tuned when the diagram
+        // was tiny: the working set has grown far beyond 200% of it.
+        let mut baseline = 1usize;
+        maintain_between_passes(
+            &mut ctx,
+            SiftPolicy::AdaptiveGrowth { percent: 200 },
+            1,
+            &mut baseline,
+        );
+        assert!(baseline > 1, "the adaptive trigger must have sifted");
+        assert_eq!(
+            baseline,
+            ctx.manager().live_node_count().max(1),
+            "a fired trigger records the post-sift size as the new baseline"
+        );
+        // Without further growth the next pass must not sift again.
+        let tuned = baseline;
+        maintain_between_passes(
+            &mut ctx,
+            SiftPolicy::AdaptiveGrowth { percent: 200 },
+            2,
+            &mut baseline,
+        );
+        assert_eq!(baseline, tuned, "no re-sift without growth");
+        assert!(ctx.manager().check_invariants().is_ok());
     }
 
     #[test]

@@ -129,6 +129,42 @@ fn ctl_verdicts_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn reached_sets_are_bit_identical_across_thread_counts() {
+    // Stronger than count equality: the exported serialization of the
+    // reached set — levels, packed edges, complement bits — must be
+    // byte-for-byte the same at every thread count. The sharded merge in
+    // worker-id order makes the owner's operation sequence, and therefore
+    // the canonical diagram, independent of scheduling.
+    let nets = [muller(4), slotted_ring(3), dme(3, DmeStyle::Spec)];
+    for net in &nets {
+        let mut snapshots = Vec::new();
+        for strategy in parallel_strategies() {
+            let mut ctx = context(net);
+            let run = ctx.reachable_markings_with(TraversalOptions::with_strategy(strategy));
+            assert!(run.truncated.is_none(), "{}: {strategy}", net.name());
+            snapshots.push((strategy, ctx.manager().export_subgraph(&[run.reached])));
+        }
+        // And the sequential baseline serializes identically too.
+        let mut ctx = context(net);
+        let run = ctx.reachable_markings_with(TraversalOptions::default());
+        snapshots.push((
+            FixpointStrategy::default(),
+            ctx.manager().export_subgraph(&[run.reached]),
+        ));
+        for window in snapshots.windows(2) {
+            assert_eq!(
+                window[0].1,
+                window[1].1,
+                "{}: serialized reached sets differ between {} and {}",
+                net.name(),
+                window[0].0,
+                window[1].0
+            );
+        }
+    }
+}
+
+#[test]
 fn random_compositions_agree_across_thread_counts() {
     // Synchronised compositions exercise the sharded-BFS layer; the
     // zero-synchronisation configs fall apart into independent components
