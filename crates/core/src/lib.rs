@@ -62,6 +62,7 @@ mod parallel;
 pub mod plan;
 pub mod preplan;
 mod property;
+pub mod server;
 pub mod toggling;
 mod trace;
 mod traverse;
@@ -75,7 +76,7 @@ pub use context::SymbolicContext;
 pub use encoding::{AssignmentStrategy, Block, Encoding, SchemeKind};
 pub use explicit::ExplicitChecker;
 pub use image::TransitionEffect;
-pub use mc::{CheckReport, TraceKind};
+pub use mc::{CheckReport, PortfolioReport, TraceKind};
 pub use plan::{ImageCluster, ImagePlan, PlannedTransition};
 pub use preplan::{PreImageCluster, PreImagePlan, PrePlannedTransition};
 pub use property::{Property, PropertyParseError};

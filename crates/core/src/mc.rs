@@ -28,9 +28,10 @@
 use crate::context::SymbolicContext;
 use crate::property::Property;
 use crate::trace::WitnessTrace;
-use crate::traverse::TraversalOptions;
-use pnsym_bdd::{Ref, TruncationReason};
+use crate::traverse::{ReachabilityResult, TraversalOptions};
+use pnsym_bdd::{Interrupt, Ref, TruncationReason};
 use pnsym_net::TransitionId;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// What the optional trace attached to a [`CheckReport`] demonstrates.
@@ -75,6 +76,37 @@ pub struct CheckReport {
     /// Wall-clock time of the query (including the reachability fixpoint).
     pub duration: Duration,
 }
+
+/// The outcome of one portfolio pass
+/// ([`SymbolicContext::check_portfolio`]): per-property reports plus the
+/// shared-subterm cache counters that quantify how much bottom-up work the
+/// portfolio amortized across its formulas.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// One [`CheckReport`] per input property, in input order.
+    pub reports: Vec<CheckReport>,
+    /// Subterm evaluations answered from the shared cache. Each hit is a
+    /// whole sub-fixpoint (or boolean subterm) that earlier formulas of the
+    /// same portfolio already computed.
+    pub subterm_hits: u64,
+    /// Total subterm lookups (one per node of every property AST walked).
+    pub subterm_lookups: u64,
+}
+
+/// The shared-subterm cache of one portfolio pass: satisfaction sets keyed
+/// by the (hashable) property subterm, valid for a single `within` set.
+/// Every cached set is protected until the pass drains the cache.
+#[derive(Default)]
+struct SubtermCache {
+    map: HashMap<Property, Ref>,
+    hits: u64,
+    lookups: u64,
+}
+
+/// Panic message of the infallible CTL wrappers when a budget trips under
+/// them: governed callers must go through the `try_*` variants.
+const GOVERNED_CTL: &str =
+    "budget breached inside an infallible CTL fixpoint; governed callers must use the try_* variants";
 
 impl SymbolicContext {
     /// Translates a [`Property`] into the BDD of its satisfying markings.
@@ -207,58 +239,91 @@ impl SymbolicContext {
     /// cluster: the shared quantification cube is walked once per member
     /// and the members' partial pre-images are OR-folded.
     pub fn cluster_pre_image(&mut self, cluster: usize, target: Ref) -> Ref {
+        self.try_cluster_pre_image(cluster, target)
+            .expect("budget breached inside an infallible pre-image; governed callers must use try_cluster_pre_image")
+    }
+
+    /// Governed [`SymbolicContext::cluster_pre_image`]: unwinds with a
+    /// typed [`Interrupt`] when the installed budget trips.
+    pub fn try_cluster_pre_image(&mut self, cluster: usize, target: Ref) -> Result<Ref, Interrupt> {
         let plan = self.pre_image_plan();
         let c = &plan.clusters()[cluster];
         let mut acc = self.manager().zero();
         for member in &c.members {
             let m = self.manager_mut();
-            let substituted = m.and_exists_cube(target, member.target, c.quant_cube);
+            let substituted = m.try_and_exists_cube(target, member.target, c.quant_cube)?;
             if substituted == m.zero() {
                 continue;
             }
-            let pre = m.and(member.enabling, substituted);
-            acc = m.or(acc, pre);
+            let pre = m.try_and(member.enabling, substituted)?;
+            acc = m.try_or(acc, pre)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// The pre-image of `target` under all transitions (one backward step),
     /// folded cluster by cluster in the plan's backward order.
     pub fn pre_image_all(&mut self, target: Ref) -> Ref {
+        self.try_pre_image_all(target)
+            .expect("budget breached inside an infallible pre-image; governed callers must use try_pre_image_all")
+    }
+
+    /// Governed [`SymbolicContext::pre_image_all`]: unwinds with a typed
+    /// [`Interrupt`] when the installed budget trips.
+    pub fn try_pre_image_all(&mut self, target: Ref) -> Result<Ref, Interrupt> {
         let plan = self.pre_image_plan();
         let mut acc = self.manager().zero();
         for &cluster in plan.backward_order() {
-            let pre = self.cluster_pre_image(cluster, target);
-            acc = self.manager_mut().or(acc, pre);
+            let pre = self.try_cluster_pre_image(cluster, target)?;
+            acc = self.manager_mut().try_or(acc, pre)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// CTL `EX target` restricted to `within`: states of `within` with a
     /// successor in `target`.
     pub fn ex(&mut self, target: Ref, within: Ref) -> Ref {
-        let pre = self.pre_image_all(target);
-        self.manager_mut().and(pre, within)
+        self.try_ex(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::ex`].
+    pub fn try_ex(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let pre = self.try_pre_image_all(target)?;
+        self.manager_mut().try_and(pre, within)
     }
 
     /// CTL `AX target` restricted to `within`: states of `within` all of
     /// whose successors lie in `target` (vacuously including deadlocks).
     pub fn ax(&mut self, target: Ref, within: Ref) -> Ref {
-        let not_target = self.manager_mut().diff(within, target);
-        let ex_not = self.ex(not_target, within);
-        self.manager_mut().diff(within, ex_not)
+        self.try_ax(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::ax`].
+    pub fn try_ax(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let not_target = self.manager_mut().try_diff(within, target)?;
+        let ex_not = self.try_ex(not_target, within)?;
+        self.manager_mut().try_diff(within, ex_not)
     }
 
     /// CTL `EF target` restricted to `within` (least fixpoint of
     /// `target ∨ EX Z`): states of `within` that can reach `target`.
     pub fn ef(&mut self, target: Ref, within: Ref) -> Ref {
-        let mut z = self.manager_mut().and(target, within);
+        self.try_ef(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::ef`]: the budget is additionally
+    /// force-checked at every fixpoint iteration, so a tiny deadline
+    /// truncates deterministically even on nets too small for the
+    /// amortized in-recursion check to fire.
+    pub fn try_ef(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let mut z = self.manager_mut().try_and(target, within)?;
         loop {
-            let pre = self.pre_image_all(z);
-            let step = self.manager_mut().and(pre, within);
-            let next = self.manager_mut().or(z, step);
+            self.manager_mut().force_checkpoint()?;
+            let pre = self.try_pre_image_all(z)?;
+            let step = self.manager_mut().try_and(pre, within)?;
+            let next = self.manager_mut().try_or(z, step)?;
             if next == z {
-                return z;
+                return Ok(z);
             }
             z = next;
         }
@@ -269,12 +334,19 @@ impl SymbolicContext {
     /// `target` forever. Deadlocked states drop out of the fixpoint, per
     /// the module's path semantics.
     pub fn eg(&mut self, target: Ref, within: Ref) -> Ref {
-        let mut z = self.manager_mut().and(target, within);
+        self.try_eg(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::eg`] (see [`SymbolicContext::try_ef`]
+    /// for the per-iteration checkpoint discipline).
+    pub fn try_eg(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let mut z = self.manager_mut().try_and(target, within)?;
         loop {
-            let pre = self.pre_image_all(z);
-            let next = self.manager_mut().and(z, pre);
+            self.manager_mut().force_checkpoint()?;
+            let pre = self.try_pre_image_all(z)?;
+            let next = self.manager_mut().try_and(z, pre)?;
             if next == z {
-                return z;
+                return Ok(z);
             }
             z = next;
         }
@@ -282,31 +354,48 @@ impl SymbolicContext {
 
     /// CTL `AG target` restricted to `within`: `¬ EF ¬target`.
     pub fn ag(&mut self, target: Ref, within: Ref) -> Ref {
-        let not_target = self.manager_mut().not(target);
-        let bad = self.ef(not_target, within);
-        self.manager_mut().diff(within, bad)
+        self.try_ag(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::ag`].
+    pub fn try_ag(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let not_target = self.manager_mut().try_not(target)?;
+        let bad = self.try_ef(not_target, within)?;
+        self.manager_mut().try_diff(within, bad)
     }
 
     /// CTL `AF target` restricted to `within`: `¬ EG ¬target`. Deadlocked
     /// states satisfy it vacuously, per the module's path semantics.
     pub fn af(&mut self, target: Ref, within: Ref) -> Ref {
-        let not_target = self.manager_mut().not(target);
-        let avoid = self.eg(not_target, within);
-        self.manager_mut().diff(within, avoid)
+        self.try_af(target, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::af`].
+    pub fn try_af(&mut self, target: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let not_target = self.manager_mut().try_not(target)?;
+        let avoid = self.try_eg(not_target, within)?;
+        self.manager_mut().try_diff(within, avoid)
     }
 
     /// CTL `E[hold U until]` restricted to `within` (least fixpoint of
     /// `until ∨ (hold ∧ EX Z)`): states with a path satisfying `hold` at
     /// every step until a state of `until` is reached.
     pub fn eu(&mut self, hold: Ref, until: Ref, within: Ref) -> Ref {
-        let hold_w = self.manager_mut().and(hold, within);
-        let mut z = self.manager_mut().and(until, within);
+        self.try_eu(hold, until, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::eu`] (see [`SymbolicContext::try_ef`]
+    /// for the per-iteration checkpoint discipline).
+    pub fn try_eu(&mut self, hold: Ref, until: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let hold_w = self.manager_mut().try_and(hold, within)?;
+        let mut z = self.manager_mut().try_and(until, within)?;
         loop {
-            let pre = self.pre_image_all(z);
-            let step = self.manager_mut().and(hold_w, pre);
-            let next = self.manager_mut().or(z, step);
+            self.manager_mut().force_checkpoint()?;
+            let pre = self.try_pre_image_all(z)?;
+            let step = self.manager_mut().try_and(hold_w, pre)?;
+            let next = self.manager_mut().try_or(z, step)?;
             if next == z {
-                return z;
+                return Ok(z);
             }
             z = next;
         }
@@ -319,15 +408,22 @@ impl SymbolicContext {
     /// `A[p U q] = ¬(E[¬q U ¬p∧¬q] ∨ EG ¬q)` is preserved (and pinned by
     /// the tests).
     pub fn au(&mut self, hold: Ref, until: Ref, within: Ref) -> Ref {
-        let hold_w = self.manager_mut().and(hold, within);
-        let until_w = self.manager_mut().and(until, within);
+        self.try_au(hold, until, within).expect(GOVERNED_CTL)
+    }
+
+    /// Governed [`SymbolicContext::au`] (see [`SymbolicContext::try_ef`]
+    /// for the per-iteration checkpoint discipline).
+    pub fn try_au(&mut self, hold: Ref, until: Ref, within: Ref) -> Result<Ref, Interrupt> {
+        let hold_w = self.manager_mut().try_and(hold, within)?;
+        let until_w = self.manager_mut().try_and(until, within)?;
         let mut z = until_w;
         loop {
-            let ax_z = self.ax(z, within);
-            let step = self.manager_mut().and(hold_w, ax_z);
-            let next = self.manager_mut().or(until_w, step);
+            self.manager_mut().force_checkpoint()?;
+            let ax_z = self.try_ax(z, within)?;
+            let step = self.manager_mut().try_and(hold_w, ax_z)?;
+            let next = self.manager_mut().try_or(until_w, step)?;
             if next == z {
-                return z;
+                return Ok(z);
             }
             z = next;
         }
@@ -409,6 +505,211 @@ impl SymbolicContext {
             truncated: run.truncated,
             duration: start.elapsed(),
         }
+    }
+
+    /// Checks a *portfolio* of properties against one reached set in a
+    /// single bottom-up pass with shared subterm caching.
+    ///
+    /// Where repeated [`SymbolicContext::check_property`] calls re-evaluate
+    /// common subformulas from scratch (each call recurses over its own AST
+    /// with no memory of earlier queries), the portfolio pass memoizes
+    /// every subterm's satisfaction set by the subterm itself, so a shared
+    /// core — e.g. the `eating.0 & eating.1` conjunction appearing under
+    /// both an `AG !(...)` invariant and an `EF (...)` reachability query —
+    /// is computed once. The counters on the returned [`PortfolioReport`]
+    /// expose the amortization.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnsym_core::{Encoding, Property, SymbolicContext};
+    /// use pnsym_net::nets::philosophers;
+    ///
+    /// let net = philosophers(2);
+    /// let mut ctx = SymbolicContext::new(&net, Encoding::sparse(&net));
+    /// let props: Vec<Property> = [
+    ///     "AG !(eating.0 & eating.1)",
+    ///     "EF (eating.0 & eating.1)",
+    /// ]
+    /// .iter()
+    /// .map(|t| Property::parse(t, &net).unwrap())
+    /// .collect();
+    /// let portfolio = ctx.check_portfolio(&props);
+    /// assert!(portfolio.reports[0].holds);
+    /// assert!(!portfolio.reports[1].holds);
+    /// // The shared `eating.0 & eating.1` subterm came from the cache the
+    /// // second time around (one hit short-circuits its whole subtree).
+    /// assert!(portfolio.subterm_hits >= 1);
+    /// ```
+    pub fn check_portfolio(&mut self, properties: &[Property]) -> PortfolioReport {
+        self.check_portfolio_with(properties, TraversalOptions::default())
+    }
+
+    /// [`SymbolicContext::check_portfolio`] with explicit traversal options
+    /// for the underlying reachability fixpoint and the per-query budget.
+    pub fn check_portfolio_with(
+        &mut self,
+        properties: &[Property],
+        options: TraversalOptions,
+    ) -> PortfolioReport {
+        let run = self.reachable_markings_with(options);
+        self.check_portfolio_on(properties, &run, options)
+    }
+
+    /// Evaluates a portfolio over an *already computed* reachability result
+    /// (the warm-context path: a server reusing one reached set across many
+    /// queries skips the traversal entirely and enters here).
+    ///
+    /// The budget described by `options` is re-armed for the evaluation
+    /// phase: every CTL fixpoint runs governed, and a breach degrades the
+    /// offending property — and, since a tripped budget is sticky, every
+    /// later property of the same portfolio — to a typed
+    /// [`TruncationReason`] verdict instead of panicking or stalling.
+    /// Witness extraction runs outside the budget (it only walks sets the
+    /// governed phase already computed). The budget is disarmed and the
+    /// subterm cache drained before returning, so the context stays
+    /// serviceable for the next query.
+    pub fn check_portfolio_on(
+        &mut self,
+        properties: &[Property],
+        run: &ReachabilityResult,
+        options: TraversalOptions,
+    ) -> PortfolioReport {
+        let reached = run.reached;
+        let mut cache = SubtermCache::default();
+        if let Some(budget) = options.budget() {
+            self.manager_mut().install_budget(budget);
+        }
+        let mut reports = Vec::with_capacity(properties.len());
+        for property in properties {
+            let start = Instant::now();
+            let evaluated = self
+                .sat_set_memo(property, reached, &mut cache)
+                .and_then(|sat| {
+                    let init = self.initial_set();
+                    let init_sat = self.manager_mut().try_and(init, sat)?;
+                    Ok((sat, init_sat != self.manager().zero()))
+                });
+            let report = match evaluated {
+                Ok((sat, holds)) => {
+                    // Trace extraction uses the infallible ops: suspend the
+                    // budget (keeping its sticky state and absolute
+                    // deadline) so a late breach cannot panic mid-walk.
+                    let budget = self.manager_mut().take_budget();
+                    let explained = self.explain(property, holds, sat, reached);
+                    if let Some(budget) = budget {
+                        self.manager_mut().install_budget(budget);
+                    }
+                    let (trace, trace_kind) = match explained {
+                        Some((trace, kind)) => (Some(trace), Some(kind)),
+                        None => (None, None),
+                    };
+                    CheckReport {
+                        holds,
+                        sat_markings: self.count_markings(sat),
+                        reached_markings: run.num_markings,
+                        trace,
+                        trace_kind,
+                        truncated: run.truncated,
+                        duration: start.elapsed(),
+                    }
+                }
+                Err(interrupt) => CheckReport {
+                    holds: false,
+                    sat_markings: 0.0,
+                    reached_markings: run.num_markings,
+                    trace: None,
+                    trace_kind: None,
+                    truncated: Some(interrupt.reason),
+                    duration: start.elapsed(),
+                },
+            };
+            reports.push(report);
+        }
+        for (_, set) in cache.map.drain() {
+            self.manager_mut().unprotect(set);
+        }
+        let _ = self.manager_mut().take_budget();
+        PortfolioReport {
+            reports,
+            subterm_hits: cache.hits,
+            subterm_lookups: cache.lookups,
+        }
+    }
+
+    /// Memoized, governed [`SymbolicContext::sat_set`]: the satisfaction
+    /// set of every subterm is cached (and protected) in `cache` for the
+    /// duration of one portfolio pass.
+    fn sat_set_memo(
+        &mut self,
+        property: &Property,
+        within: Ref,
+        cache: &mut SubtermCache,
+    ) -> Result<Ref, Interrupt> {
+        cache.lookups += 1;
+        if let Some(&set) = cache.map.get(property) {
+            cache.hits += 1;
+            return Ok(set);
+        }
+        let result = match property {
+            Property::Place(p) => {
+                let chi = self.place_fn(*p);
+                self.manager_mut().try_and(chi, within)?
+            }
+            Property::True => within,
+            Property::False => self.manager().zero(),
+            Property::Not(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.manager_mut().try_diff(within, fa)?
+            }
+            Property::And(a, b) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                let fb = self.sat_set_memo(b, within, cache)?;
+                self.manager_mut().try_and(fa, fb)?
+            }
+            Property::Or(a, b) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                let fb = self.sat_set_memo(b, within, cache)?;
+                self.manager_mut().try_or(fa, fb)?
+            }
+            Property::Ex(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_ex(fa, within)?
+            }
+            Property::Ef(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_ef(fa, within)?
+            }
+            Property::Eg(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_eg(fa, within)?
+            }
+            Property::Ax(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_ax(fa, within)?
+            }
+            Property::Af(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_af(fa, within)?
+            }
+            Property::Ag(a) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                self.try_ag(fa, within)?
+            }
+            Property::Eu(a, b) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                let fb = self.sat_set_memo(b, within, cache)?;
+                self.try_eu(fa, fb, within)?
+            }
+            Property::Au(a, b) => {
+                let fa = self.sat_set_memo(a, within, cache)?;
+                let fb = self.sat_set_memo(b, within, cache)?;
+                self.try_au(fa, fb, within)?
+            }
+        };
+        self.manager_mut().protect(result);
+        cache.map.insert(property.clone(), result);
+        Ok(result)
     }
 
     /// Extracts the trace of a [`CheckReport`], dispatching on the
@@ -819,5 +1120,113 @@ mod tests {
             capped.reached_markings < full.reached_markings,
             "the capped run really did truncate the state space"
         );
+    }
+
+    #[test]
+    fn portfolio_pass_caches_shared_subterms() {
+        // Regression for the portfolio-of-check_property pattern: the
+        // mutual-exclusion core `eating.0 & eating.1` appears under both an
+        // `AG !(...)` invariant and an `EF (...)` reachability query, and
+        // used to be recomputed from scratch by every call. The portfolio
+        // pass must answer the shared subterms (the conjunction and its two
+        // place leaves) from the cache.
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let texts = [
+            "AG !(eating.0 & eating.1)",
+            "EF (eating.0 & eating.1)",
+            "AG !(eating.0 & eating.1)",
+        ];
+        let props: Vec<Property> = texts
+            .iter()
+            .map(|t| Property::parse(t, &net).unwrap())
+            .collect();
+        let portfolio = ctx.check_portfolio(&props);
+        assert_eq!(portfolio.reports.len(), 3);
+        // A hit short-circuits the whole shared subtree: the first formula
+        // walks all 5 of its nodes cold, the second hits on the shared
+        // conjunction (1 hit, and its place leaves are never re-visited),
+        // and the third hits on its root.
+        assert_eq!(
+            (portfolio.subterm_hits, portfolio.subterm_lookups),
+            (2, 8),
+            "shared subterms must be answered from the cache"
+        );
+
+        // Verdicts, counts and traces are bit-identical to the uncached
+        // per-property path.
+        for (text, report) in texts.iter().zip(&portfolio.reports) {
+            let prop = Property::parse(text, &net).unwrap();
+            let direct = ctx.check_property(&prop);
+            assert_eq!(report.holds, direct.holds, "{text}");
+            assert_eq!(report.sat_markings, direct.sat_markings, "{text}");
+            assert_eq!(report.reached_markings, direct.reached_markings, "{text}");
+            assert_eq!(report.trace_kind, direct.trace_kind, "{text}");
+            assert_eq!(
+                report.trace.as_ref().map(|t| t.len()),
+                direct.trace.as_ref().map(|t| t.len()),
+                "{text}"
+            );
+            if let Some(trace) = &report.trace {
+                assert!(trace.validate(&net), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_pass_keeps_protections_balanced() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let props: Vec<Property> = [
+            "AG !(eating.0 & eating.1)",
+            "EF !EX true",
+            "A[true U eating.0]",
+        ]
+        .iter()
+        .map(|t| Property::parse(t, &net).unwrap())
+        .collect();
+        // Warm the plans so their one-time protections don't show up.
+        let _ = ctx.check_property(&props[1]);
+        // A cold portfolio pass protects exactly the fresh reached set.
+        let before = ctx.manager().protected_root_count();
+        let _ = ctx.check_portfolio(&props);
+        assert_eq!(ctx.manager().protected_root_count(), before + 1);
+        // A warm pass over an existing reachability result protects nothing.
+        let run = ctx.reachable_markings();
+        let before = ctx.manager().protected_root_count();
+        let _ = ctx.check_portfolio_on(&props, &run, TraversalOptions::default());
+        assert_eq!(
+            ctx.manager().protected_root_count(),
+            before,
+            "the subterm cache must drain its protections"
+        );
+    }
+
+    #[test]
+    fn governed_portfolio_degrades_to_typed_verdicts() {
+        let net = philosophers(2);
+        let mut ctx = dense_ctx(&net);
+        let props: Vec<Property> = ["EF eating.0", "AG !(eating.0 & eating.1)"]
+            .iter()
+            .map(|t| Property::parse(t, &net).unwrap())
+            .collect();
+        let governed = TraversalOptions {
+            time_budget: Some(Duration::ZERO), // already expired: trips at once
+            ..TraversalOptions::default()
+        };
+        let portfolio = ctx.check_portfolio_with(&props, governed);
+        for report in &portfolio.reports {
+            assert_eq!(
+                report.truncated,
+                Some(TruncationReason::Deadline),
+                "an expired budget degrades every verdict to a typed reason"
+            );
+        }
+        // The budget is disarmed on return: the same context completes an
+        // ungoverned pass with definitive verdicts.
+        let full = ctx.check_portfolio(&props);
+        assert!(full.reports.iter().all(|r| r.truncated.is_none()));
+        assert!(full.reports[0].holds);
+        assert!(full.reports[1].holds);
     }
 }

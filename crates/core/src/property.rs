@@ -55,7 +55,7 @@ use std::fmt;
 /// let parsed = Property::parse("EF (p2 & p3)", &net).unwrap();
 /// assert!(ctx.check_property(&parsed).holds);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Property {
     /// The given place is marked.
     Place(PlaceId),

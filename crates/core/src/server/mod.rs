@@ -1,0 +1,353 @@
+//! `pnsymd`: a long-running analysis service over the symbolic kernel.
+//!
+//! The daemon answers portfolio CTL queries over line-delimited JSON on
+//! TCP (hand-rolled on `std::net` — the workspace stays dependency-free).
+//! Three thread roles cooperate:
+//!
+//! * an **accept** thread turns incoming connections into reader threads;
+//! * one **reader thread per connection** decodes request lines and
+//!   forwards them, each with a private reply channel, to the scheduler;
+//! * the single **scheduler** thread owns every [`SymbolicContext`]
+//!   (contexts are deliberately not `Send`, so all evaluation funnels
+//!   through here) and streams response lines back through the reply
+//!   channel, which the reader thread writes to the socket.
+//!
+//! Warm-context reuse, portfolio subterm caching, and per-query budgets
+//! live in [`pool`] and [`scheduler`]; the wire format lives in [`proto`].
+//!
+//! [`SymbolicContext`]: crate::SymbolicContext
+
+pub mod pool;
+pub mod proto;
+pub mod scheduler;
+
+pub use pool::{canonical_net_hash, ContextPool, PoolStats, WarmContext};
+pub use proto::{
+    CheckRequest, ErrorCode, Json, NamedFormula, PoolOutcome, ProtoError, Request, Response,
+    Verdict,
+};
+pub use scheduler::{build_context, parse_strategy, NetResolver, Scheduler, ServerConfig};
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// One decoded request travelling from a connection reader thread to the
+/// scheduler thread, with the channel its response stream goes back on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running daemon: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    jobs: mpsc::Sender<Job>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    scheduler_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (a client `shutdown` request), then
+    /// joins its threads.
+    pub fn wait(mut self) {
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the daemon: unblocks the accept loop, stops the scheduler,
+    /// and joins both threads. Idempotent with a client-initiated
+    /// `shutdown` request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The scheduler breaks its receive loop on a Shutdown job; the
+        // reply channel is dropped unread.
+        let (tx, _rx) = mpsc::channel();
+        let _ = self.jobs.send(Job {
+            request: Request::Shutdown { id: 0 },
+            reply: tx,
+        });
+        // Poke the blocking accept() so the accept thread observes the
+        // stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts the daemon
+/// with the given scheduler configuration and net resolver. Returns once
+/// the listener is accepting; queries are served until
+/// [`ServerHandle::shutdown`] or a client `shutdown` request.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    resolver: NetResolver,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+
+    let scheduler_stop = Arc::clone(&stop);
+    let scheduler_thread = thread::Builder::new()
+        .name("pnsymd-scheduler".to_string())
+        .spawn(move || {
+            let mut scheduler = Scheduler::new(config, resolver);
+            while let Ok(job) = jobs_rx.recv() {
+                let is_shutdown = matches!(job.request, Request::Shutdown { .. });
+                scheduler.handle(&job.request, &mut |resp| {
+                    let _ = job.reply.send(resp);
+                });
+                if is_shutdown {
+                    scheduler_stop.store(true, Ordering::SeqCst);
+                    // Unblock accept() so the accept thread can exit.
+                    let _ = TcpStream::connect(addr);
+                    break;
+                }
+            }
+        })?;
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_jobs = jobs_tx.clone();
+    let accept_thread = thread::Builder::new()
+        .name("pnsymd-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let jobs = accept_jobs.clone();
+                let _ = thread::Builder::new()
+                    .name("pnsymd-conn".to_string())
+                    .spawn(move || handle_connection(stream, jobs));
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        jobs: jobs_tx,
+        stop,
+        accept_thread: Some(accept_thread),
+        scheduler_thread: Some(scheduler_thread),
+    })
+}
+
+/// Reads request lines off one connection until the peer closes it. Every
+/// malformed line is answered with a terminal typed error — the connection
+/// itself always survives bad input.
+fn handle_connection(stream: TcpStream, jobs: mpsc::Sender<Job>) {
+    // Responses are small lines written one at a time; Nagle's algorithm
+    // would serialize each behind the peer's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(line.trim_end()) {
+            Ok(request) => request,
+            Err(err) => {
+                if write_line(&mut writer, &err.into_response(0).to_line()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown { .. });
+        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        if jobs
+            .send(Job {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            // Scheduler already stopped: answer with a terminal typed
+            // error rather than dropping the connection mid-request.
+            let resp = Response::Error {
+                id: 0,
+                code: ErrorCode::Internal,
+                message: "server is shutting down".to_string(),
+                terminal: true,
+            };
+            let _ = write_line(&mut writer, &resp.to_line());
+            return;
+        }
+        // The scheduler drops its reply sender when the stream is
+        // complete, which ends this iterator.
+        for resp in reply_rx {
+            if write_line(&mut writer, &resp.to_line()).is_err() {
+                return;
+            }
+        }
+        if is_shutdown {
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// A minimal blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw line verbatim (for protocol-robustness tests); the
+    /// trailing newline is added.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads and decodes the next response line.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end())
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+
+    /// Sends a request and collects its full response stream, up to and
+    /// including the terminal line.
+    pub fn request(&mut self, request: &Request) -> io::Result<Vec<Response>> {
+        self.send_raw(&request.to_line())?;
+        self.read_stream()
+    }
+
+    /// Collects one response stream (after a raw send), up to and
+    /// including the terminal line.
+    pub fn read_stream(&mut self) -> io::Result<Vec<Response>> {
+        let mut responses = Vec::new();
+        loop {
+            let resp = self.read_response()?;
+            let terminal = resp.is_terminal();
+            responses.push(resp);
+            if terminal {
+                return Ok(responses);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnsym_net::nets;
+
+    fn boot() -> ServerHandle {
+        let resolver: NetResolver = Box::new(|spec| match spec {
+            "figure1" => Some(nets::figure1()),
+            _ => None,
+        });
+        serve("127.0.0.1:0", ServerConfig::default(), resolver).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn ping_stats_and_garbage_share_one_connection() {
+        let handle = boot();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let pong = client.request(&Request::Ping { id: 3 }).expect("ping");
+        assert_eq!(pong, vec![Response::Pong { id: 3 }]);
+
+        // Garbage must produce a typed error on the same connection...
+        client.send_raw("this is not json").expect("send");
+        let err = client.read_stream().expect("typed error");
+        assert!(matches!(
+            err[0],
+            Response::Error {
+                code: ErrorCode::Json,
+                terminal: true,
+                ..
+            }
+        ));
+
+        // ...and the connection stays usable afterwards.
+        let responses = client
+            .request(&Request::check_text(
+                4,
+                "figure1",
+                &[("m7", "EF (p6 & p7)")],
+            ))
+            .expect("check");
+        assert!(matches!(&responses[0], Response::Verdict(v) if v.holds));
+        assert!(matches!(&responses[1], Response::Done { .. }));
+
+        let stats = client.request(&Request::Stats { id: 5 }).expect("stats");
+        let Response::Stats {
+            queries, misses, ..
+        } = stats[0]
+        else {
+            panic!("expected stats, got {:?}", stats[0]);
+        };
+        assert_eq!(queries, 1);
+        assert_eq!(misses, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_the_daemon() {
+        let handle = boot();
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).expect("connect");
+        let bye = client
+            .request(&Request::Shutdown { id: 9 })
+            .expect("shutdown");
+        assert_eq!(bye, vec![Response::Bye { id: 9 }]);
+        handle.shutdown();
+        // The listener is gone: either the connection is refused or it is
+        // accepted by the OS backlog and then closed without a response.
+        if let Ok(mut late) = Client::connect(addr) {
+            assert!(late.request(&Request::Ping { id: 1 }).is_err());
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Warm-context pool: an LRU of [`SymbolicContext`]s keyed by a canonical
+//! net hash.
+//!
+//! Building a context is the expensive part of answering a query — encoding
+//! selection, variable ordering, transition clustering, and above all the
+//! first reachability fixpoint. The daemon therefore keeps the last few
+//! contexts warm: a repeat query for the same net reuses the context's
+//! `ImagePlan`/`PreImagePlan`, its computed caches, *and* the completed
+//! reached set, skipping the traversal entirely. Eviction is LRU, so a
+//! burst over one family cannot permanently evict another family's warm
+//! state beyond the pool capacity.
+//!
+//! The key is a canonical structural hash of the net (names, arcs, initial
+//! marking), not the request's spec string, so `phil-3` and
+//! `philosophers(3)` share one warm entry.
+
+use super::proto::PoolOutcome;
+use crate::context::SymbolicContext;
+use crate::traverse::{FixpointStrategy, ReachabilityResult};
+use pnsym_net::{Marking, PetriNet};
+
+/// The splitmix64 finaliser, chained over the net's canonical fields.
+fn mix(state: u64, value: u64) -> u64 {
+    let mut z = state
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(value);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn mix_str(mut state: u64, s: &str) -> u64 {
+    state = mix(state, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= (b as u64) << (8 * i);
+        }
+        state = mix(state, word);
+    }
+    state
+}
+
+fn mix_marking(mut state: u64, m: &Marking) -> u64 {
+    state = mix(state, m.num_places() as u64);
+    for p in m.iter() {
+        state = mix(state, p.0 as u64);
+    }
+    state
+}
+
+/// A canonical structural hash of a net: place/transition names in index
+/// order, every pre/post arc, and the initial marking. Two structurally
+/// identical nets hash equal regardless of how the client spelled the net
+/// spec; any structural difference (one arc, one token) changes the key.
+pub fn canonical_net_hash(net: &PetriNet) -> u64 {
+    let mut state = mix_str(0x706e_7379_6d64, net.name());
+    state = mix(state, net.num_places() as u64);
+    state = mix(state, net.num_transitions() as u64);
+    for p in net.places() {
+        state = mix_str(state, net.place_name(p));
+    }
+    for t in net.transitions() {
+        state = mix_str(state, net.transition_name(t));
+        for &p in net.pre_set(t) {
+            state = mix(state, p.0 as u64);
+        }
+        state = mix(state, u64::MAX);
+        for &p in net.post_set(t) {
+            state = mix(state, p.0 as u64);
+        }
+        state = mix(state, u64::MAX - 1);
+    }
+    mix_marking(state, net.initial_marking())
+}
+
+/// Cumulative pool counters, reported on the `stats` protocol line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Queries answered from an already-warm context.
+    pub hits: u64,
+    /// Queries that had to build a fresh context.
+    pub misses: u64,
+    /// Warm contexts discarded to make room.
+    pub evictions: u64,
+}
+
+/// One pooled entry: a warm [`SymbolicContext`] plus the completed reached
+/// sets computed on it, keyed by traversal strategy.
+pub struct WarmContext {
+    key: u64,
+    ctx: SymbolicContext,
+    reached: Vec<(FixpointStrategy, ReachabilityResult)>,
+}
+
+impl WarmContext {
+    /// The canonical net hash this entry is keyed by.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The warm context.
+    pub fn context_mut(&mut self) -> &mut SymbolicContext {
+        &mut self.ctx
+    }
+
+    /// The cached *complete* reached set for `strategy`, if one was stored.
+    /// The underlying BDD root stays protected for the context's lifetime
+    /// (traversal protects it), so the `Ref` inside is valid as long as
+    /// this entry lives.
+    pub fn reached_for(&self, strategy: FixpointStrategy) -> Option<ReachabilityResult> {
+        self.reached
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .map(|(_, run)| *run)
+    }
+
+    /// Stores a reached set for reuse. Truncated runs are *not* cached —
+    /// a degraded prefix must never masquerade as the fixpoint for a later
+    /// query with a healthier budget.
+    pub fn store_reached(&mut self, strategy: FixpointStrategy, run: ReachabilityResult) {
+        if run.truncated.is_some() {
+            return;
+        }
+        if let Some(slot) = self.reached.iter_mut().find(|(s, _)| *s == strategy) {
+            slot.1 = run;
+        } else {
+            self.reached.push((strategy, run));
+        }
+    }
+}
+
+/// An LRU pool of warm contexts. Most-recently-used entries live at the
+/// back of the list; acquiring past capacity evicts from the front.
+pub struct ContextPool {
+    capacity: usize,
+    entries: Vec<WarmContext>,
+    stats: PoolStats,
+}
+
+impl ContextPool {
+    /// Creates a pool holding at most `capacity` warm contexts
+    /// (a capacity of 0 is clamped to 1 — the pool always retains the
+    /// entry it just built for the duration of the query using it).
+    pub fn new(capacity: usize) -> ContextPool {
+        ContextPool {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of warm contexts currently pooled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fetches the warm entry for `key`, building one with `build` on a
+    /// miss (evicting the least-recently-used entry if the pool is full).
+    /// The returned entry is marked most-recently-used either way.
+    pub fn acquire(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> SymbolicContext,
+    ) -> (&mut WarmContext, PoolOutcome) {
+        let outcome = if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            PoolOutcome::Hit
+        } else {
+            if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+                self.stats.evictions += 1;
+            }
+            self.entries.push(WarmContext {
+                key,
+                ctx: build(),
+                reached: Vec::new(),
+            });
+            self.stats.misses += 1;
+            PoolOutcome::Miss
+        };
+        (
+            self.entries.last_mut().expect("just pushed or touched"),
+            outcome,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+    use pnsym_net::nets;
+
+    fn sparse_ctx(net: &PetriNet) -> SymbolicContext {
+        SymbolicContext::new(net, Encoding::sparse(net))
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_structure_not_spelling() {
+        let a = nets::philosophers(2);
+        let b = nets::philosophers(2);
+        let c = nets::philosophers(3);
+        assert_eq!(canonical_net_hash(&a), canonical_net_hash(&b));
+        assert_ne!(canonical_net_hash(&a), canonical_net_hash(&c));
+        assert_ne!(canonical_net_hash(&nets::figure1()), canonical_net_hash(&a));
+    }
+
+    #[test]
+    fn pool_reuses_warm_entries_and_evicts_lru() {
+        let phil = nets::philosophers(2);
+        let fig = nets::figure1();
+        let muller = nets::muller(2);
+        let (kp, kf, km) = (
+            canonical_net_hash(&phil),
+            canonical_net_hash(&fig),
+            canonical_net_hash(&muller),
+        );
+        let mut pool = ContextPool::new(2);
+        let (_, o1) = pool.acquire(kp, || sparse_ctx(&phil));
+        let (_, o2) = pool.acquire(kp, || sparse_ctx(&phil));
+        assert_eq!(o1, PoolOutcome::Miss);
+        assert_eq!(o2, PoolOutcome::Hit);
+        let (_, o3) = pool.acquire(kf, || sparse_ctx(&fig));
+        assert_eq!(o3, PoolOutcome::Miss);
+        // phil is now LRU; adding a third net evicts it.
+        let (_, o4) = pool.acquire(km, || sparse_ctx(&muller));
+        assert_eq!(o4, PoolOutcome::Miss);
+        let (_, o5) = pool.acquire(kp, || sparse_ctx(&phil));
+        assert_eq!(o5, PoolOutcome::Miss, "evicted entry rebuilds cold");
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 4,
+                evictions: 2,
+            }
+        );
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn warm_entry_caches_complete_reached_sets_only() {
+        let net = nets::philosophers(2);
+        let key = canonical_net_hash(&net);
+        let mut pool = ContextPool::new(1);
+        let strategy = FixpointStrategy::default();
+        let (entry, _) = pool.acquire(key, || sparse_ctx(&net));
+        assert!(entry.reached_for(strategy).is_none());
+        let run = entry.context_mut().reachable_markings();
+        entry.store_reached(strategy, run);
+        let warm = entry.reached_for(strategy).expect("complete run cached");
+        assert_eq!(warm.num_markings, run.num_markings);
+
+        // A truncated run must not overwrite the good one.
+        let mut bad = run;
+        bad.truncated = Some(pnsym_bdd::TruncationReason::Deadline);
+        bad.num_markings = 1.0;
+        entry.store_reached(strategy, bad);
+        let still = entry.reached_for(strategy).expect("cache intact");
+        assert_eq!(still.num_markings, run.num_markings);
+    }
+}

@@ -47,13 +47,15 @@ pub use pnsym_net as net;
 /// Structural theory: P-invariants, SMCs and covering.
 pub use pnsym_structural as structural;
 
+/// The `pnsymd` daemon: line-JSON protocol, warm-context pool, scheduler.
+pub use pnsym_core::server;
 pub use pnsym_core::{
     analyze, analyze_zdd, analyze_zdd_governed, analyze_zdd_with, build_encoding,
     toggling_activity, toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport,
     AssignmentStrategy, Block, Budget, ChainingOrder, CheckReport, DegradationStep, Encoding,
-    ExplicitChecker, FixpointStrategy, ImageCluster, ImagePlan, Interrupt, PreImageCluster,
-    PreImagePlan, Property, PropertyParseError, ReachabilityResult, SchemeKind, SiftPolicy,
-    SymbolicContext, TogglingReport, TraceKind, TransitionEffect, TraversalOptions,
+    ExplicitChecker, FixpointStrategy, ImageCluster, ImagePlan, Interrupt, PortfolioReport,
+    PreImageCluster, PreImagePlan, Property, PropertyParseError, ReachabilityResult, SchemeKind,
+    SiftPolicy, SymbolicContext, TogglingReport, TraceKind, TransitionEffect, TraversalOptions,
     TruncationReason, WitnessTrace, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
 };
 #[cfg(feature = "fault-inject")]

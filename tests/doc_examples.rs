@@ -2,8 +2,9 @@
 //! docs: the quick-start numbers (`philosophers(2)` has 22 reachable
 //! markings, encoded with 14 variables under the sparse scheme and 8 under
 //! the dense SMC-based scheme, Table 1 of the paper), the two
-//! model-checking walkthroughs of the "Model checking" section and the
-//! budgeted-traversal example of "Resource governance & failure model".
+//! model-checking walkthroughs of the "Model checking" section, the
+//! budgeted-traversal example of "Resource governance & failure model"
+//! and the in-process daemon example of "Serving".
 
 use pnsym::net::nets::{muller, philosophers};
 use pnsym::{
@@ -78,6 +79,41 @@ fn readme_resource_governance_example() {
     let full = ctx.reachable_markings_with(TraversalOptions::default());
     assert!(full.truncated.is_none());
     assert!(partial.num_markings <= full.num_markings);
+}
+
+/// The README "Serving" section, verbatim: boot the daemon in-process on
+/// an ephemeral port, run a portfolio query, and observe the warm second
+/// pass hit the context pool.
+#[test]
+fn readme_serving_example() {
+    use pnsym::net::nets;
+    use pnsym::server::{serve, Client, NetResolver, Request, Response, ServerConfig};
+
+    let resolver: NetResolver = Box::new(|spec| match spec {
+        "phil-2" => Some(nets::philosophers(2)),
+        _ => None,
+    });
+    let handle = serve("127.0.0.1:0", ServerConfig::default(), resolver).unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = Request::check_text(
+        1,
+        "phil-2",
+        &[
+            ("exclusion", "AG !(eating.0 & eating.1)"),
+            ("can-eat", "EF eating.0"),
+        ],
+    );
+    let cold = client.request(&request).unwrap();
+    assert!(matches!(&cold[0], Response::Verdict(v) if v.holds));
+
+    // The warm pass is a context-pool hit: no traversal re-run.
+    let warm = client.request(&request).unwrap();
+    match warm.last() {
+        Some(Response::Done { pool, .. }) => assert_eq!(format!("{pool:?}"), "Hit"),
+        other => panic!("expected done, got {other:?}"),
+    }
+    handle.shutdown();
 }
 
 #[test]

@@ -260,6 +260,211 @@ proptest! {
     }
 }
 
+/// The daemon under governed load: concurrent clients with mixed budgets
+/// must each get their own typed degradation, and none of them may leave
+/// the shared context pool unserviceable.
+mod daemon_matrix {
+    use super::*;
+    use pnsym::net::nets;
+    use pnsym::server::{serve, Client, NetResolver, Request, Response, ServerConfig};
+    use std::thread;
+
+    fn boot() -> pnsym::server::ServerHandle {
+        let resolver: NetResolver = Box::new(|spec| {
+            let sized = |prefix: &str| -> Option<usize> {
+                spec.strip_prefix(prefix).and_then(|n| n.parse().ok())
+            };
+            if spec == "figure1" {
+                Some(nets::figure1())
+            } else if let Some(n) = sized("phil-") {
+                Some(nets::philosophers(n))
+            } else if let Some(n) = sized("muller-") {
+                Some(nets::muller(n))
+            } else {
+                sized("dme-spec-").map(|n| nets::dme(n, nets::DmeStyle::Spec))
+            }
+        });
+        serve("127.0.0.1:0", ServerConfig::default(), resolver).expect("ephemeral port")
+    }
+
+    fn governed_check(
+        id: u64,
+        net: &str,
+        deadline_ms: Option<u64>,
+        step_ceiling: Option<u64>,
+    ) -> Request {
+        let mut request = Request::check_text(
+            id,
+            net,
+            &[
+                ("probe", "EF true"),
+                ("exclusion", "AG !(eating.0 & eating.1)"),
+            ],
+        );
+        if net.starts_with("dme-") || net.starts_with("muller-") {
+            request = Request::check_text(id, net, &[("probe", "EF true")]);
+        }
+        if let Request::Check(check) = &mut request {
+            check.deadline_ms = deadline_ms;
+            check.step_ceiling = step_ceiling;
+        }
+        request
+    }
+
+    fn done_truncation(responses: &[Response]) -> Option<TruncationReason> {
+        match responses.last() {
+            Some(Response::Done { truncated, .. }) => *truncated,
+            other => panic!("stream must end in done, got {other:?}"),
+        }
+    }
+
+    /// N concurrent clients with mixed budgets: one holds a 1ms deadline on
+    /// a heavy cold net and must degrade to a typed `Deadline` truncation;
+    /// the ungoverned clients' verdicts stay clean; a tight step ceiling
+    /// degrades to its own typed reason; and after the storm the pool still
+    /// answers the heavy query ungoverned to completion.
+    #[test]
+    fn concurrent_clients_with_mixed_budgets_get_typed_degradation() {
+        let handle = boot();
+        let addr = handle.addr();
+
+        let mut workers = Vec::new();
+        // Client 0: 1ms deadline against a net whose cold traversal takes
+        // far longer than 1ms — a deterministic Deadline truncation.
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let responses = client
+                .request(&governed_check(10, "dme-spec-6", Some(1), None))
+                .expect("governed query");
+            assert_eq!(
+                done_truncation(&responses),
+                Some(TruncationReason::Deadline),
+                "1ms deadline on a cold heavy net must trip: {responses:?}"
+            );
+        }));
+        // Client 1: a tight step ceiling; the degradation (if it trips
+        // before completion) must be the matching typed reason.
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let responses = client
+                .request(&governed_check(11, "muller-8", None, Some(8)))
+                .expect("governed query");
+            let reason = done_truncation(&responses);
+            assert!(
+                reason.is_none() || reason == Some(TruncationReason::StepBudget),
+                "step ceiling must degrade to its own reason: {reason:?}"
+            );
+        }));
+        // Clients 2..4: ungoverned traffic that must stay clean throughout.
+        for (offset, spec) in ["phil-3", "phil-4", "figure1"].iter().enumerate() {
+            workers.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..3u64 {
+                    let request = if *spec == "figure1" {
+                        Request::check_text(
+                            20 + offset as u64 * 10 + round,
+                            spec,
+                            &[("m7", "EF (p6 & p7)"), ("excl", "AG !(p2 & p4)")],
+                        )
+                    } else {
+                        governed_check(20 + offset as u64 * 10 + round, spec, None, None)
+                    };
+                    let responses = client.request(&request).expect("clean query");
+                    assert_eq!(
+                        done_truncation(&responses),
+                        None,
+                        "ungoverned client must not be degraded by its neighbours"
+                    );
+                    for response in &responses {
+                        if let Response::Verdict(v) = response {
+                            assert!(v.holds, "bundled formulas hold on {spec}");
+                            assert!(v.truncated.is_none());
+                        }
+                    }
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+
+        // The pool survived the storm: the heavy net now completes
+        // ungoverned on the same daemon (same pooled context).
+        let mut client = Client::connect(addr).expect("connect");
+        let responses = client
+            .request(&governed_check(99, "dme-spec-6", None, None))
+            .expect("ungoverned follow-up");
+        assert_eq!(
+            done_truncation(&responses),
+            None,
+            "pool must stay serviceable after a deadline breach: {responses:?}"
+        );
+        handle.shutdown();
+    }
+
+    /// A scheduled fault mid-query surfaces as a typed `internal` protocol
+    /// error (and `injected-fault` verdict truncation), the connection
+    /// survives, and the next query against the *same pooled context*
+    /// succeeds cleanly. Probes several seeds on distinct cold nets —
+    /// some schedules arm sites that sequential evaluation never reaches.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn scheduled_fault_mid_query_degrades_typed_and_context_recovers() {
+        use pnsym::server::ErrorCode;
+
+        let handle = boot();
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).expect("connect");
+        let mut tripped = None;
+        for seed in 0..16u64 {
+            // A fresh net size per probe keeps each traversal cold so the
+            // schedule sees the full site sequence.
+            let spec = format!("phil-{}", 3 + (seed as usize % 6));
+            let mut request = governed_check(100 + seed, &spec, None, None);
+            if let Request::Check(check) = &mut request {
+                check.fault_seed = Some(seed);
+            }
+            let responses = client.request(&request).expect("faulted query");
+            let faulted = responses.iter().any(|r| {
+                matches!(
+                    r,
+                    Response::Error {
+                        code: ErrorCode::Internal,
+                        terminal: false,
+                        ..
+                    }
+                )
+            });
+            if faulted {
+                assert_eq!(
+                    done_truncation(&responses),
+                    Some(TruncationReason::InjectedFault),
+                    "fault must surface as its typed reason: {responses:?}"
+                );
+                tripped = Some(spec);
+                break;
+            }
+        }
+        let spec = tripped.expect("at least one seed in 0..16 must fire a fault");
+
+        // Same daemon, same pooled context, no fault schedule: clean run.
+        let responses = client
+            .request(&governed_check(200, &spec, None, None))
+            .expect("recovery query");
+        assert_eq!(
+            done_truncation(&responses),
+            None,
+            "context must recover after an injected fault: {responses:?}"
+        );
+        for response in &responses {
+            if let Response::Verdict(v) = response {
+                assert!(v.holds && v.truncated.is_none());
+            }
+        }
+        handle.shutdown();
+    }
+}
+
 #[cfg(feature = "fault-inject")]
 mod fault_injection {
     use super::*;
