@@ -194,6 +194,102 @@ impl FaultSchedule {
     }
 }
 
+/// Deterministic *disk* failure points exercised by the `fault-inject`
+/// feature: the snapshot layer consults a [`DiskFaultSchedule`] at each of
+/// these sites, so torn writes, lost renames and bit-rot on read are all
+/// reproducible in tests. Kept separate from [`FaultSite`] so arming a
+/// disk schedule never perturbs the seeded kernel-fault mapping that
+/// existing tests pin.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultSite {
+    /// A snapshot write persists only a prefix of its bytes (a torn write
+    /// that still gets renamed into place — the checksum must catch it).
+    ShortWrite,
+    /// The atomic rename publishing a finished temp file fails; the
+    /// snapshot is lost but nothing torn becomes visible.
+    FailedRename,
+    /// A snapshot read returns bytes with one bit flipped (media rot).
+    CorruptRead,
+}
+
+#[cfg(feature = "fault-inject")]
+impl DiskFaultSite {
+    const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            DiskFaultSite::ShortWrite => 0,
+            DiskFaultSite::FailedRename => 1,
+            DiskFaultSite::CorruptRead => 2,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        match i {
+            0 => DiskFaultSite::ShortWrite,
+            1 => DiskFaultSite::FailedRename,
+            _ => DiskFaultSite::CorruptRead,
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of injected disk failures, consumed by
+/// the snapshot store. Each armed site fires on its `n`-th observed event
+/// and then disarms, mirroring [`FaultSchedule`]'s countdown discipline.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskFaultSchedule {
+    countdown: [Option<u32>; DiskFaultSite::COUNT],
+}
+
+#[cfg(feature = "fault-inject")]
+impl DiskFaultSchedule {
+    /// An empty schedule (no faults armed).
+    pub fn none() -> Self {
+        DiskFaultSchedule::default()
+    }
+
+    /// Arms `site` to fail on its `nth` (0-based) observed event.
+    pub fn trip(mut self, site: DiskFaultSite, nth: u32) -> Self {
+        self.countdown[site.index()] = Some(nth);
+        self
+    }
+
+    /// Derives a schedule from a seed: one site armed at a small event
+    /// index via a splitmix64 draw, so a seed sweep covers every site.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let site = DiskFaultSite::from_index((x as usize) % DiskFaultSite::COUNT);
+        let nth = ((x >> 8) % 3) as u32;
+        DiskFaultSchedule::default().trip(site, nth)
+    }
+
+    /// Whether any site is armed.
+    pub fn is_armed(&self) -> bool {
+        self.countdown.iter().any(|c| c.is_some())
+    }
+
+    /// Records one event at `site`; returns `true` when the armed
+    /// countdown is consumed and the fault must fire (the site disarms).
+    pub fn observe(&mut self, site: DiskFaultSite) -> bool {
+        match &mut self.countdown[site.index()] {
+            Some(0) => {
+                self.countdown[site.index()] = None;
+                true
+            }
+            Some(left) => {
+                *left -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+}
+
 /// The resource envelope of one governed query.
 ///
 /// Cheap to copy: parallel workers receive a copy sharing the same absolute
@@ -433,5 +529,35 @@ mod tests {
             sites.insert(s.countdown.iter().position(|c| c.is_some()).unwrap());
         }
         assert_eq!(sites.len(), FaultSite::COUNT, "seeds reach every site");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn disk_fault_schedule_counts_events_and_disarms() {
+        let mut s = DiskFaultSchedule::none().trip(DiskFaultSite::ShortWrite, 2);
+        assert!(s.is_armed());
+        // Other sites stay inert.
+        assert!(!s.observe(DiskFaultSite::FailedRename));
+        assert!(!s.observe(DiskFaultSite::ShortWrite));
+        assert!(!s.observe(DiskFaultSite::ShortWrite));
+        assert!(s.observe(DiskFaultSite::ShortWrite), "fires on the third");
+        assert!(!s.observe(DiskFaultSite::ShortWrite), "then disarms");
+        assert!(!s.is_armed());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn seeded_disk_schedules_are_deterministic_and_cover_sites() {
+        assert_eq!(
+            DiskFaultSchedule::from_seed(3),
+            DiskFaultSchedule::from_seed(3)
+        );
+        let mut sites = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let s = DiskFaultSchedule::from_seed(seed);
+            assert!(s.is_armed());
+            sites.insert(s.countdown.iter().position(|c| c.is_some()).unwrap());
+        }
+        assert_eq!(sites.len(), DiskFaultSite::COUNT, "seeds reach every site");
     }
 }

@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pnsymd serve [--addr HOST:PORT] [--pool N] [--strategy S]\n  pnsymd load [--addr HOST:PORT | --spawn] [--nets a,b,...] [--requests N]\n              [--clients C] [--rate R] [--seed S] [--json[=PATH]] [--shutdown]"
+        "usage:\n  pnsymd serve [--addr HOST:PORT] [--pool N] [--strategy S]\n               [--snapshot-dir DIR] [--checkpoint-every N]\n               [--max-inflight N] [--max-queue N]\n  pnsymd load [--addr HOST:PORT | --spawn] [--nets a,b,...] [--requests N]\n              [--clients C] [--rate R] [--seed S] [--json[=PATH]] [--shutdown]"
     );
     std::process::exit(1)
 }
@@ -76,6 +76,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         } else if let Some(v) = flag_value(args, &mut i, "--strategy") {
             config.default_strategy =
                 pnsym_core::server::parse_strategy(v).unwrap_or_else(|| usage());
+        } else if let Some(v) = flag_value(args, &mut i, "--snapshot-dir") {
+            config.snapshot_dir = Some(v.into());
+        } else if let Some(v) = flag_value(args, &mut i, "--checkpoint-every") {
+            config.checkpoint_every = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = flag_value(args, &mut i, "--max-inflight") {
+            config.max_inflight = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = flag_value(args, &mut i, "--max-queue") {
+            config.max_queue = v.parse().unwrap_or_else(|_| usage());
         } else {
             usage();
         }
@@ -126,7 +134,20 @@ struct FamilyStats {
     latencies_ms: Vec<f64>,
     cold_ms: f64,
     warm_ms: f64,
+    /// Pool outcome of the family's first query: `"miss"` on a cold
+    /// build, `"restored"` when the daemon rehydrated it from an on-disk
+    /// snapshot — the recovery CI job asserts on this.
+    cold_pool: &'static str,
     errors: u64,
+}
+
+fn pool_outcome_str(outcome: Option<PoolOutcome>) -> &'static str {
+    match outcome {
+        Some(PoolOutcome::Hit) => "hit",
+        Some(PoolOutcome::Miss) => "miss",
+        Some(PoolOutcome::Restored) => "restored",
+        None => "unknown",
+    }
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -236,29 +257,36 @@ fn cmd_load(args: &[String]) -> ExitCode {
         };
         let request = portfolio_request(1, spec).expect("validated above");
         let mut errors = 0u64;
-        let mut timed = |client: &mut Client, expect_pool: Option<PoolOutcome>| -> f64 {
+        let mut timed = |client: &mut Client,
+                         expect_pool: Option<PoolOutcome>|
+         -> (f64, Option<PoolOutcome>) {
             let start = Instant::now();
             let responses = client.request(&request).unwrap_or_default();
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             errors += count_errors(&responses);
-            if let (Some(expected), Some(Response::Done { pool, .. })) =
-                (expect_pool, responses.last())
-            {
-                if *pool != expected {
-                    eprintln!("pnsymd load: {spec}: expected pool {expected:?}, got {pool:?}");
+            let outcome = responses.iter().rev().find_map(|r| match r {
+                Response::Done { pool, .. } => Some(*pool),
+                _ => None,
+            });
+            if let (Some(expected), Some(actual)) = (expect_pool, outcome) {
+                if actual != expected {
+                    eprintln!("pnsymd load: {spec}: expected pool {expected:?}, got {actual:?}");
                     errors += 1;
                 }
             }
-            elapsed
+            (elapsed, outcome)
         };
-        let cold_ms = timed(&mut client, None);
-        let warm_ms = timed(&mut client, Some(PoolOutcome::Hit));
+        // The "cold" query is a miss on a fresh daemon but comes back
+        // `restored` when a snapshot directory rehydrated the family.
+        let (cold_ms, cold_pool) = timed(&mut client, None);
+        let (warm_ms, _) = timed(&mut client, Some(PoolOutcome::Hit));
         stats.insert(
             spec.clone(),
             FamilyStats {
                 latencies_ms: Vec::new(),
                 cold_ms,
                 warm_ms,
+                cold_pool: pool_outcome_str(cold_pool),
                 errors,
             },
         );
@@ -323,6 +351,27 @@ fn cmd_load(args: &[String]) -> ExitCode {
     }
     let burst_secs = burst_start.elapsed().as_secs_f64().max(1e-9);
 
+    // Daemon-side pool counters — fetched before any shutdown so the
+    // spill/restore totals cover the whole run.
+    let pool_counters = Client::connect(addr.as_str())
+        .ok()
+        .and_then(|mut client| client.request(&Request::Stats { id: 0 }).ok())
+        .and_then(|responses| {
+            responses.into_iter().find_map(|r| match r {
+                Response::Stats {
+                    contexts,
+                    hits,
+                    misses,
+                    evictions,
+                    spills,
+                    restores,
+                    queries,
+                    ..
+                } => Some([contexts, hits, misses, evictions, spills, restores, queries]),
+                _ => None,
+            })
+        });
+
     if shutdown && spawned.is_none() {
         if let Ok(mut client) = Client::connect(addr.as_str()) {
             let _ = client.request(&Request::Shutdown { id: 0 });
@@ -363,16 +412,23 @@ fn cmd_load(args: &[String]) -> ExitCode {
                 ("cold_ms", Value::Float(family.cold_ms)),
                 ("warm_ms", Value::Float(family.warm_ms)),
                 ("warm_speedup", Value::Float(speedup)),
+                ("cold_pool", Value::Str(family.cold_pool.to_string())),
                 ("errors", Value::UInt(family.errors)),
             ]),
         ));
         println!(
-            "{spec:>12}  n={n:<4} qps={qps:8.1}  p50={:7.2}ms  p99={:7.2}ms  cold={:8.2}ms  warm={:7.2}ms  speedup={speedup:6.1}x  errors={}",
+            "{spec:>12}  n={n:<4} qps={qps:8.1}  p50={:7.2}ms  p99={:7.2}ms  cold={:8.2}ms ({})  warm={:7.2}ms  speedup={speedup:6.1}x  errors={}",
             percentile(&family.latencies_ms, 0.50),
             percentile(&family.latencies_ms, 0.99),
             family.cold_ms,
+            family.cold_pool,
             family.warm_ms,
             family.errors,
+        );
+    }
+    if let Some([contexts, hits, misses, evictions, spills, restores, queries]) = pool_counters {
+        println!(
+            "pool: contexts={contexts} hits={hits} misses={misses} evictions={evictions} spills={spills} restores={restores} queries={queries}"
         );
     }
     println!(
@@ -386,7 +442,7 @@ fn cmd_load(args: &[String]) -> ExitCode {
                 "schema".to_string(),
                 Value::Str("pnsym-bench-snapshot-v1".to_string()),
             ),
-            ("pr".to_string(), Value::UInt(9)),
+            ("pr".to_string(), Value::UInt(10)),
             (
                 "description".to_string(),
                 Value::Str(
@@ -397,6 +453,23 @@ fn cmd_load(args: &[String]) -> ExitCode {
             (
                 "serving".to_string(),
                 Value::Object(table.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ),
+            (
+                "pool".to_string(),
+                match pool_counters {
+                    Some([contexts, hits, misses, evictions, spills, restores, queries]) => {
+                        Value::object(vec![
+                            ("contexts", Value::UInt(contexts)),
+                            ("hits", Value::UInt(hits)),
+                            ("misses", Value::UInt(misses)),
+                            ("evictions", Value::UInt(evictions)),
+                            ("spills", Value::UInt(spills)),
+                            ("restores", Value::UInt(restores)),
+                            ("queries", Value::UInt(queries)),
+                        ])
+                    }
+                    None => Value::Object(Vec::new()),
+                },
             ),
         ]);
         match path {

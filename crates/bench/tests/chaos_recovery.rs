@@ -1,0 +1,208 @@
+//! Chaos test: `kill -9` the real `pnsymd` process mid-query and require
+//! full recovery from its snapshot directory.
+//!
+//! The daemon is run as a child process (the actual release artifact, via
+//! `CARGO_BIN_EXE_pnsymd`), warmed on two net families, then SIGKILLed
+//! while a third query is in flight — no destructors, no flushes, exactly
+//! what a crash or OOM kill looks like. A restarted daemon over the same
+//! `--snapshot-dir` must serve the warmed families with verdicts
+//! bit-identical to the cold pass, report snapshot restores in its stats,
+//! and produce zero protocol errors. A deliberately bit-flipped snapshot
+//! must degrade that family to a clean cold rebuild, never a panic.
+
+use pnsym_core::server::{Client, Request, Response, Verdict};
+use pnsym_net::nets::property_suite;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pnsym-chaos-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Spawns the real daemon binary on an ephemeral port and parses the bound
+/// address from its announcement line.
+fn spawn_daemon(dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pnsymd"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            dir.to_str().expect("utf-8 tempdir"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pnsymd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("pnsymd listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// The bundled portfolio of a net spec as a `check` request.
+fn portfolio_request(id: u64, spec: &str) -> Request {
+    let net = pnsym_bench::net_by_spec(spec).expect("bundled net");
+    let suite = property_suite(&net);
+    assert!(!suite.is_empty(), "{spec} ships a property suite");
+    let props: Vec<(&str, &str)> = suite
+        .iter()
+        .map(|p| (p.name.as_str(), p.formula.as_str()))
+        .collect();
+    Request::check_text(id, spec, &props)
+}
+
+/// The crash-stable core of a verdict: everything except timings.
+fn normalized(responses: &[Response]) -> Vec<(String, bool, f64, f64)> {
+    responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Verdict(Verdict {
+                name,
+                holds,
+                sat_markings,
+                reached_markings,
+                ..
+            }) => Some((name.clone(), *holds, *sat_markings, *reached_markings)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn assert_clean(responses: &[Response], what: &str) {
+    assert!(
+        !responses
+            .iter()
+            .any(|r| matches!(r, Response::Error { .. })),
+        "{what}: zero protocol errors expected, got {responses:?}"
+    );
+    assert!(
+        matches!(responses.last(), Some(Response::Done { .. })),
+        "{what}: stream ends in done"
+    );
+}
+
+#[test]
+fn kill_dash_nine_mid_query_recovers_from_snapshots() {
+    let dir = scratch_dir("kill9");
+    let families = ["figure1", "phil-4"];
+
+    // --- Phase 1: warm the families and record the cold verdicts. ---
+    let (mut daemon, addr) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let mut cold = Vec::new();
+    for (i, spec) in families.iter().enumerate() {
+        let responses = client
+            .request(&portfolio_request(i as u64 + 1, spec))
+            .expect(spec);
+        assert_clean(&responses, spec);
+        cold.push(normalized(&responses));
+    }
+
+    // --- Phase 2: SIGKILL the daemon while a heavy query is in flight. ---
+    // phil-8's cold traversal runs for hundreds of milliseconds; the kill
+    // lands mid-fixpoint with the socket still open. Written snapshots
+    // were published atomically, so nothing torn can be left behind.
+    let mut raw = TcpStream::connect(addr.as_str()).expect("raw connect");
+    raw.write_all((portfolio_request(99, "phil-8").to_line() + "\n").as_bytes())
+        .expect("send in-flight query");
+    raw.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(60));
+    daemon.kill().expect("SIGKILL");
+    daemon.wait().expect("reap");
+    drop(raw);
+
+    let snapshots: Vec<_> = fs::read_dir(&dir)
+        .expect("read snapshot dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf-8"))
+        .collect();
+    assert!(
+        families
+            .iter()
+            .all(|_| snapshots.iter().filter(|n| n.starts_with("warm-")).count() >= 2),
+        "both warmed families persisted: {snapshots:?}"
+    );
+    assert!(
+        snapshots.iter().all(|n| !n.ends_with(".tmp")),
+        "no torn temp files survive a SIGKILL: {snapshots:?}"
+    );
+
+    // --- Phase 3: restart on a fresh port, same directory. ---
+    let (_daemon2, addr2) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr2.as_str()).expect("reconnect");
+    for (i, spec) in families.iter().enumerate() {
+        let responses = client
+            .request(&portfolio_request(i as u64 + 10, spec))
+            .expect(spec);
+        assert_clean(&responses, spec);
+        assert_eq!(
+            normalized(&responses),
+            cold[i],
+            "{spec}: warm verdicts after recovery are bit-identical to the cold pass"
+        );
+    }
+    let stats = client.request(&Request::Stats { id: 20 }).expect("stats");
+    let Some(Response::Stats { restores, .. }) = stats.last() else {
+        panic!("stats response, got {stats:?}");
+    };
+    assert!(
+        *restores >= families.len() as u64,
+        "both families were served from snapshots (restores = {restores})"
+    );
+    let _ = client.request(&Request::Shutdown { id: 21 });
+
+    // --- Phase 4: a corrupted snapshot degrades to a cold rebuild. ---
+    let poisoned = fs::read_dir(&dir)
+        .expect("read snapshot dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("warm-"))
+        })
+        .expect("a warm snapshot to poison");
+    let mut bytes = fs::read(&poisoned).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&poisoned, &bytes).expect("poison snapshot");
+
+    let (_daemon3, addr3) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr3.as_str()).expect("connect post-poison");
+    for (i, spec) in families.iter().enumerate() {
+        let responses = client
+            .request(&portfolio_request(i as u64 + 30, spec))
+            .expect(spec);
+        assert_clean(&responses, spec);
+        assert_eq!(
+            normalized(&responses),
+            cold[i],
+            "{spec}: verdicts stay correct after snapshot corruption"
+        );
+    }
+    // The poisoned file was rejected and deleted on first touch, then the
+    // completed cold rebuild wrote a fresh snapshot through to the same
+    // path — so the path may exist again, but never with the rotten bytes.
+    if poisoned.exists() {
+        assert_ne!(
+            fs::read(&poisoned).expect("re-read snapshot"),
+            bytes,
+            "the poisoned bytes were replaced, not served"
+        );
+    }
+    let _ = client.request(&Request::Shutdown { id: 40 });
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -86,8 +86,8 @@ pub use toggling::{
 };
 pub use trace::WitnessTrace;
 pub use traverse::{
-    ChainingOrder, FixpointStrategy, ReachabilityResult, SiftPolicy, TraversalOptions,
-    ADAPTIVE_SIFT_FLOOR,
+    ChainingOrder, FixpointStrategy, PassObserver, ReachabilityResult, SiftPolicy,
+    TraversalOptions, ADAPTIVE_SIFT_FLOOR,
 };
 pub use zdd_reach::{ZddContext, ZddReachabilityResult};
 
@@ -96,4 +96,4 @@ pub use zdd_reach::{ZddContext, ZddReachabilityResult};
 // depending on `pnsym-bdd` directly.
 pub use pnsym_bdd::{Budget, Interrupt, TruncationReason};
 #[cfg(feature = "fault-inject")]
-pub use pnsym_bdd::{FaultSchedule, FaultSite};
+pub use pnsym_bdd::{DiskFaultSchedule, DiskFaultSite, FaultSchedule, FaultSite};

@@ -83,25 +83,66 @@ pub struct PoolStats {
     pub misses: u64,
     /// Warm contexts discarded to make room.
     pub evictions: u64,
+    /// Warm entries written to the snapshot directory (on completion or
+    /// eviction).
+    pub spills: u64,
+    /// Queries rehydrated from an on-disk snapshot instead of a cold
+    /// rebuild.
+    pub restores: u64,
 }
 
 /// One pooled entry: a warm [`SymbolicContext`] plus the completed reached
 /// sets computed on it, keyed by traversal strategy.
 pub struct WarmContext {
     key: u64,
+    spec: String,
     ctx: SymbolicContext,
     reached: Vec<(FixpointStrategy, ReachabilityResult)>,
 }
 
 impl WarmContext {
+    /// Wraps a freshly built context into a (still result-less) pool entry.
+    /// `spec` is the net spec the entry was first built for — informational
+    /// only (the pool key is the canonical net hash), but recorded in
+    /// snapshots so on-disk state is attributable.
+    pub fn new(key: u64, spec: impl Into<String>, ctx: SymbolicContext) -> WarmContext {
+        WarmContext {
+            key,
+            spec: spec.into(),
+            ctx,
+            reached: Vec::new(),
+        }
+    }
+
     /// The canonical net hash this entry is keyed by.
     pub fn key(&self) -> u64 {
         self.key
     }
 
+    /// The net spec this entry was first built for.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The warm context.
+    pub fn context(&self) -> &SymbolicContext {
+        &self.ctx
+    }
+
     /// The warm context.
     pub fn context_mut(&mut self) -> &mut SymbolicContext {
         &mut self.ctx
+    }
+
+    /// All cached complete reached sets, in insertion order.
+    pub fn reached_all(&self) -> &[(FixpointStrategy, ReachabilityResult)] {
+        &self.reached
+    }
+
+    /// Replaces the cached reached sets wholesale — the snapshot-restore
+    /// path, which rebuilds the whole per-strategy list from disk.
+    pub fn install_reached(&mut self, reached: Vec<(FixpointStrategy, ReachabilityResult)>) {
+        self.reached = reached;
     }
 
     /// The cached *complete* reached set for `strategy`, if one was stored.
@@ -165,6 +206,54 @@ impl ContextPool {
         self.entries.is_empty()
     }
 
+    /// Marks the entry for `key` most-recently-used and counts a hit.
+    /// Returns `false` (and counts nothing) if the key is not pooled.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The pooled entry for `key`, without touching LRU order or counters.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut WarmContext> {
+        self.entries.iter_mut().find(|e| e.key == key)
+    }
+
+    /// Inserts `entry` as most-recently-used, evicting (and returning) the
+    /// least-recently-used entry if the pool is full. The caller decides
+    /// what happens to the evictee — the scheduler spills it to the
+    /// snapshot directory instead of dropping its warm results.
+    pub fn insert(&mut self, entry: WarmContext) -> Option<WarmContext> {
+        let evicted = if self.entries.len() >= self.capacity {
+            self.stats.evictions += 1;
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push(entry);
+        evicted
+    }
+
+    /// Counts a cold build (context constructed from scratch).
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Counts a successful rehydration from an on-disk snapshot.
+    pub fn note_restore(&mut self) {
+        self.stats.restores += 1;
+    }
+
+    /// Counts a warm entry written to the snapshot directory.
+    pub fn note_spill(&mut self) {
+        self.stats.spills += 1;
+    }
+
     /// Fetches the warm entry for `key`, building one with `build` on a
     /// miss (evicting the least-recently-used entry if the pool is full).
     /// The returned entry is marked most-recently-used either way.
@@ -173,21 +262,10 @@ impl ContextPool {
         key: u64,
         build: impl FnOnce() -> SymbolicContext,
     ) -> (&mut WarmContext, PoolOutcome) {
-        let outcome = if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
-            let entry = self.entries.remove(pos);
-            self.entries.push(entry);
-            self.stats.hits += 1;
+        let outcome = if self.touch(key) {
             PoolOutcome::Hit
         } else {
-            if self.entries.len() >= self.capacity {
-                self.entries.remove(0);
-                self.stats.evictions += 1;
-            }
-            self.entries.push(WarmContext {
-                key,
-                ctx: build(),
-                reached: Vec::new(),
-            });
+            self.insert(WarmContext::new(key, "", build()));
             self.stats.misses += 1;
             PoolOutcome::Miss
         };
@@ -246,6 +324,8 @@ mod tests {
                 hits: 1,
                 misses: 4,
                 evictions: 2,
+                spills: 0,
+                restores: 0,
             }
         );
         assert_eq!(pool.len(), 2);

@@ -350,6 +350,11 @@ pub enum ErrorCode {
     Property,
     /// A server-side failure (e.g. an injected fault tripped mid-query).
     Internal,
+    /// The server's admission gate is full (`--max-inflight` plus
+    /// `--max-queue` portfolio queries already pending). The error line
+    /// carries a `retry_after_ms` hint; resending the same request
+    /// (idempotent by id) after the hint is the intended recovery.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -360,6 +365,7 @@ impl ErrorCode {
             ErrorCode::Net => "net",
             ErrorCode::Property => "property",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 
@@ -370,6 +376,7 @@ impl ErrorCode {
             "net" => ErrorCode::Net,
             "property" => ErrorCode::Property,
             "internal" => ErrorCode::Internal,
+            "overloaded" => ErrorCode::Overloaded,
             _ => return None,
         })
     }
@@ -406,6 +413,7 @@ impl ProtoError {
             code: self.code,
             message: self.message,
             terminal: true,
+            retry_after_ms: None,
         }
     }
 }
@@ -680,6 +688,9 @@ pub enum PoolOutcome {
     Hit,
     /// A fresh context was built (and possibly an older one evicted).
     Miss,
+    /// The context was rehydrated from an on-disk snapshot: warm results
+    /// without a traversal, but a rebuilt manager.
+    Restored,
 }
 
 /// One decoded response line.
@@ -702,6 +713,10 @@ pub enum Response {
         misses: u64,
         /// Pool evictions since start.
         evictions: u64,
+        /// Warm entries spilled to the snapshot directory since start.
+        spills: u64,
+        /// Queries rehydrated from snapshots since start.
+        restores: u64,
         /// Portfolio queries served since start.
         queries: u64,
     },
@@ -724,6 +739,9 @@ pub enum Response {
         message: String,
         /// Whether this line closes the response stream of its request.
         terminal: bool,
+        /// For [`ErrorCode::Overloaded`]: how long the client should back
+        /// off before resending the (idempotent) request, in milliseconds.
+        retry_after_ms: Option<u64>,
     },
     /// One property's verdict within a portfolio query.
     Verdict(Verdict),
@@ -817,6 +835,8 @@ impl Response {
                 hits,
                 misses,
                 evictions,
+                spills,
+                restores,
                 queries,
             } => {
                 push_str(&mut fields, "type", "stats");
@@ -825,6 +845,8 @@ impl Response {
                 push_int(&mut fields, "hits", *hits);
                 push_int(&mut fields, "misses", *misses);
                 push_int(&mut fields, "evictions", *evictions);
+                push_int(&mut fields, "spills", *spills);
+                push_int(&mut fields, "restores", *restores);
                 push_int(&mut fields, "queries", *queries);
             }
             Response::Bye { id } => {
@@ -836,12 +858,16 @@ impl Response {
                 code,
                 message,
                 terminal,
+                retry_after_ms,
             } => {
                 push_str(&mut fields, "type", "error");
                 push_int(&mut fields, "id", *id);
                 push_str(&mut fields, "code", code.as_str());
                 push_str(&mut fields, "message", message);
                 fields.push(("terminal".to_string(), Json::Bool(*terminal)));
+                if let Some(ms) = retry_after_ms {
+                    push_int(&mut fields, "retry_after_ms", *ms);
+                }
             }
             Response::Verdict(v) => {
                 push_str(&mut fields, "type", "verdict");
@@ -888,6 +914,7 @@ impl Response {
                 let pool = match pool {
                     PoolOutcome::Hit => "hit",
                     PoolOutcome::Miss => "miss",
+                    PoolOutcome::Restored => "restored",
                 };
                 push_str(&mut fields, "pool", pool);
                 push_int(&mut fields, "properties", *properties);
@@ -929,6 +956,8 @@ impl Response {
                 hits: uint("hits"),
                 misses: uint("misses"),
                 evictions: uint("evictions"),
+                spills: uint("spills"),
+                restores: uint("restores"),
                 queries: uint("queries"),
             }),
             "error" => {
@@ -951,6 +980,7 @@ impl Response {
                         .get("terminal")
                         .and_then(Json::as_bool)
                         .unwrap_or(true),
+                    retry_after_ms: value.get("retry_after_ms").and_then(Json::as_u64),
                 })
             }
             "verdict" => {
@@ -998,6 +1028,7 @@ impl Response {
             "done" => {
                 let pool = match value.get("pool").and_then(Json::as_str) {
                     Some("hit") => PoolOutcome::Hit,
+                    Some("restored") => PoolOutcome::Restored,
                     _ => PoolOutcome::Miss,
                 };
                 Ok(Response::Done {
@@ -1067,6 +1098,8 @@ mod tests {
                 hits: 10,
                 misses: 4,
                 evictions: 2,
+                spills: 3,
+                restores: 1,
                 queries: 14,
             },
             Response::Error {
@@ -1074,6 +1107,14 @@ mod tests {
                 code: ErrorCode::Property,
                 message: "parse error at position 3: unknown place \"zork\"".to_string(),
                 terminal: false,
+                retry_after_ms: None,
+            },
+            Response::Error {
+                id: 11,
+                code: ErrorCode::Overloaded,
+                message: "admission gate full".to_string(),
+                terminal: true,
+                retry_after_ms: Some(150),
             },
             Response::Verdict(Verdict {
                 id: 5,
@@ -1096,6 +1137,16 @@ mod tests {
                 subterm_lookups: 19,
                 truncated: None,
                 total_ms: 0.5,
+            },
+            Response::Done {
+                id: 8,
+                net: "muller-6".to_string(),
+                pool: PoolOutcome::Restored,
+                properties: 1,
+                subterm_hits: 0,
+                subterm_lookups: 2,
+                truncated: None,
+                total_ms: 0.25,
             },
         ];
         for response in responses {

@@ -15,16 +15,18 @@
 //! bottom-up pass → stream one verdict line per property and a closing
 //! summary line.
 
-use super::pool::{canonical_net_hash, ContextPool};
-use super::proto::{CheckRequest, ErrorCode, Request, Response, Verdict};
+use super::pool::{canonical_net_hash, ContextPool, WarmContext};
+use super::proto::{CheckRequest, ErrorCode, PoolOutcome, Request, Response, Verdict};
+use super::snapshot::SnapshotStore;
 use crate::context::SymbolicContext;
 use crate::encoding::{AssignmentStrategy, Encoding};
 use crate::mc::TraceKind;
 use crate::property::Property;
 use crate::traverse::{ChainingOrder, FixpointStrategy, TraversalOptions};
-use pnsym_bdd::TruncationReason;
+use pnsym_bdd::{Ref, TruncationReason};
 use pnsym_net::PetriNet;
 use pnsym_structural::find_smcs;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Maps a net spec string from a `check` request to a net. The daemon
@@ -33,12 +35,28 @@ use std::time::{Duration, Instant};
 pub type NetResolver = Box<dyn Fn(&str) -> Option<PetriNet> + Send>;
 
 /// Scheduler tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Warm contexts kept in the LRU pool.
     pub pool_capacity: usize,
     /// Traversal strategy used when a query does not name one.
     pub default_strategy: FixpointStrategy,
+    /// Directory for durable warm-context snapshots and fixpoint
+    /// checkpoints; `None` disables durability entirely.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Checkpoint a running fixpoint every this many productive passes
+    /// (`0` disables checkpointing; ignored without a snapshot dir).
+    pub checkpoint_every: usize,
+    /// Portfolio queries admitted into service at once (the scheduler is
+    /// single-threaded, so this bounds the work it has accepted, not
+    /// parallelism).
+    pub max_inflight: usize,
+    /// Queries allowed to wait behind the in-flight ones before the
+    /// admission gate answers `overloaded` with a retry-after hint.
+    pub max_queue: usize,
+    /// Deterministic disk-fault schedule armed on the snapshot store.
+    #[cfg(feature = "fault-inject")]
+    pub disk_faults: Option<pnsym_bdd::DiskFaultSchedule>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +64,12 @@ impl Default for ServerConfig {
         ServerConfig {
             pool_capacity: 4,
             default_strategy: FixpointStrategy::default(),
+            snapshot_dir: None,
+            checkpoint_every: 8,
+            max_inflight: 4,
+            max_queue: 64,
+            #[cfg(feature = "fault-inject")]
+            disk_faults: None,
         }
     }
 }
@@ -94,17 +118,85 @@ pub struct Scheduler {
     pool: ContextPool,
     resolver: NetResolver,
     config: ServerConfig,
+    snapshots: Option<SnapshotStore>,
     queries: u64,
 }
 
 impl Scheduler {
     /// Creates a scheduler with the given pool capacity and net resolver.
+    /// When the config names a snapshot directory, the pool rehydrates
+    /// from it immediately: every decodable warm snapshot whose spec still
+    /// resolves is restored (up to the pool capacity) before the first
+    /// query arrives.
     pub fn new(config: ServerConfig, resolver: NetResolver) -> Scheduler {
-        Scheduler {
+        let snapshots =
+            config
+                .snapshot_dir
+                .as_ref()
+                .and_then(|dir| match SnapshotStore::open(dir.clone()) {
+                    Ok(store) => Some(store),
+                    Err(err) => {
+                        eprintln!(
+                        "pnsymd: cannot open snapshot dir {}: {err}; running without durability",
+                        dir.display()
+                    );
+                        None
+                    }
+                });
+        #[cfg(feature = "fault-inject")]
+        let snapshots = {
+            let mut snapshots = snapshots;
+            if let (Some(store), Some(faults)) = (snapshots.as_mut(), config.disk_faults) {
+                store.arm_faults(faults);
+            }
+            snapshots
+        };
+        let mut scheduler = Scheduler {
             pool: ContextPool::new(config.pool_capacity),
             resolver,
             config,
+            snapshots,
             queries: 0,
+        };
+        scheduler.rehydrate();
+        scheduler
+    }
+
+    /// Startup rehydration: restores warm snapshots into the pool, oldest
+    /// key first, stopping at the pool capacity. A snapshot whose spec no
+    /// longer resolves (or whose net hashes differently than its key
+    /// claims) is discarded; a corrupt one is deleted by the restore path
+    /// with a typed reason.
+    fn rehydrate(&mut self) {
+        let Some(store) = self.snapshots.as_mut() else {
+            return;
+        };
+        for (key, spec) in store
+            .warm_specs()
+            .into_iter()
+            .take(self.config.pool_capacity)
+        {
+            let Some(net) = (self.resolver)(&spec) else {
+                continue;
+            };
+            if canonical_net_hash(&net) != key {
+                store.discard_warm(key);
+                continue;
+            }
+            let mut entry = WarmContext::new(key, spec, build_context(&net));
+            match store.restore_warm(key, entry.context_mut()) {
+                Some(Ok(results)) => {
+                    entry.install_reached(results);
+                    self.pool.note_restore();
+                    let _ = self.pool.insert(entry);
+                }
+                Some(Err(reason)) => {
+                    eprintln!(
+                        "pnsymd: snapshot {key:016x} rejected at startup ({reason}); deleted"
+                    );
+                }
+                None => {}
+            }
         }
     }
 
@@ -122,6 +214,8 @@ impl Scheduler {
                     hits: stats.hits,
                     misses: stats.misses,
                     evictions: stats.evictions,
+                    spills: stats.spills,
+                    restores: stats.restores,
                     queries: self.queries,
                 });
             }
@@ -144,6 +238,7 @@ impl Scheduler {
                         code: ErrorCode::Request,
                         message: format!("unknown traversal strategy {spec:?}"),
                         terminal: true,
+                        retry_after_ms: None,
                     });
                 }
             },
@@ -155,6 +250,7 @@ impl Scheduler {
                 code: ErrorCode::Net,
                 message: format!("unknown net spec {:?}", check.net),
                 terminal: true,
+                retry_after_ms: None,
             });
         };
 
@@ -170,6 +266,7 @@ impl Scheduler {
                     code: ErrorCode::Property,
                     message: format!("{}: {err}", named.name),
                     terminal: false,
+                    retry_after_ms: None,
                 }),
             }
         }
@@ -189,16 +286,133 @@ impl Scheduler {
         let _ = check.fault_seed;
 
         let key = canonical_net_hash(&net);
-        let (entry, pool_outcome) = self.pool.acquire(key, || build_context(&net));
+        let checkpoint_every = self.config.checkpoint_every;
+        let pool = &mut self.pool;
+        let mut snapshots = self.snapshots.as_mut();
+
+        let pool_outcome = if pool.touch(key) {
+            PoolOutcome::Hit
+        } else {
+            // Miss: before building cold, try to rehydrate the net's warm
+            // snapshot into a fresh context. A corrupt or mismatched file
+            // has already been deleted by the store; the query degrades to
+            // a cold rebuild with the typed reason on stderr.
+            let mut fresh = WarmContext::new(key, check.net.clone(), build_context(&net));
+            let mut restored = false;
+            if let Some(store) = snapshots.as_deref_mut() {
+                match store.restore_warm(key, fresh.context_mut()) {
+                    Some(Ok(results)) => {
+                        fresh.install_reached(results);
+                        restored = true;
+                    }
+                    Some(Err(reason)) => {
+                        eprintln!(
+                            "pnsymd: snapshot {key:016x} rejected ({reason}); rebuilding cold"
+                        )
+                    }
+                    None => {}
+                }
+            }
+            let outcome = if restored {
+                pool.note_restore();
+                PoolOutcome::Restored
+            } else {
+                pool.note_miss();
+                PoolOutcome::Miss
+            };
+            // Spill-instead-of-drop: the evicted entry's warm results go
+            // to disk when durability is on, so LRU pressure loses time,
+            // not work.
+            if let Some(evicted) = pool.insert(fresh) {
+                if let Some(store) = snapshots.as_deref_mut() {
+                    match store.save_warm(&evicted) {
+                        Ok(true) => pool.note_spill(),
+                        Ok(false) => {}
+                        Err(err) => {
+                            eprintln!("pnsymd: failed to spill {:016x}: {err}", evicted.key())
+                        }
+                    }
+                }
+            }
+            outcome
+        };
+        let entry = pool.get_mut(key).expect("entry just touched or inserted");
 
         // Reuse the cached fixpoint when this strategy already completed on
-        // the warm context; otherwise run the governed traversal and cache
-        // the result if it ran to completion.
+        // the warm context; otherwise run the governed traversal — resumed
+        // from the last durable checkpoint when one exists, re-checkpointed
+        // at pass boundaries as it runs — and cache (plus snapshot) the
+        // result if it ran to completion. The parallel strategy restarts
+        // from the initial marking instead: its sharded driver neither
+        // consumes seeds nor reports pass boundaries.
+        let mut spilled = false;
         let run = match entry.reached_for(strategy) {
             Some(run) => run,
             None => {
-                let run = entry.context_mut().reachable_markings_with(options);
+                let parallel = matches!(strategy, FixpointStrategy::Parallel { .. });
+                let mut seed = None;
+                let mut base_iterations = 0usize;
+                if !parallel {
+                    if let Some(store) = snapshots.as_deref_mut() {
+                        match store.load_checkpoint(key, strategy, entry.context_mut()) {
+                            Some(Ok((set, passes))) => {
+                                seed = Some(set);
+                                base_iterations = passes;
+                            }
+                            Some(Err(reason)) => eprintln!(
+                                "pnsymd: checkpoint {key:016x} rejected ({reason}); restarting cold"
+                            ),
+                            None => {}
+                        }
+                    }
+                }
+                let checkpointing = !parallel && checkpoint_every != 0 && snapshots.is_some();
+                let mut run = if checkpointing {
+                    let spec = check.net.as_str();
+                    let snapshots = &mut snapshots;
+                    let mut observer = |ctx: &SymbolicContext, reached: Ref, pass: usize| {
+                        if !pass.is_multiple_of(checkpoint_every) {
+                            return;
+                        }
+                        if let Some(store) = snapshots.as_deref_mut() {
+                            if let Err(err) = store.save_checkpoint(
+                                key,
+                                spec,
+                                strategy,
+                                ctx,
+                                reached,
+                                base_iterations + pass,
+                            ) {
+                                eprintln!("pnsymd: checkpoint write failed: {err}");
+                            }
+                        }
+                    };
+                    entry.context_mut().reachable_markings_observed(
+                        options,
+                        seed,
+                        Some(&mut observer),
+                    )
+                } else {
+                    entry
+                        .context_mut()
+                        .reachable_markings_observed(options, seed, None)
+                };
+                run.iterations += base_iterations;
+                if let Some(seed) = seed {
+                    entry.context_mut().manager_mut().unprotect(seed);
+                }
                 entry.store_reached(strategy, run);
+                if run.truncated.is_none() {
+                    if let Some(store) = snapshots {
+                        store.clear_checkpoint(key);
+                        match store.save_warm(&*entry) {
+                            Ok(wrote) => spilled = wrote,
+                            Err(err) => {
+                                eprintln!("pnsymd: failed to snapshot {key:016x}: {err}")
+                            }
+                        }
+                    }
+                }
                 run
             }
         };
@@ -207,6 +421,9 @@ impl Scheduler {
         let portfolio = entry
             .context_mut()
             .check_portfolio_on(&portfolio_props, &run, options);
+        if spilled {
+            pool.note_spill();
+        }
 
         let mut query_truncated = run.truncated;
         let mut faulted = false;
@@ -255,6 +472,7 @@ impl Scheduler {
                 code: ErrorCode::Internal,
                 message: "injected fault tripped while evaluating the portfolio".to_string(),
                 terminal: false,
+                retry_after_ms: None,
             });
         }
 

@@ -372,8 +372,15 @@ pub(crate) trait FixpointKernel {
 
     /// The empty set.
     fn empty(&self) -> Self::Set;
-    /// The singleton set of the initial marking.
+    /// The traversal's start set: the singleton initial marking, or the
+    /// union of it with a resumed checkpoint seed.
     fn initial(&mut self) -> Self::Set;
+    /// Called at every productive pass boundary — with the (protected)
+    /// partial reached set and the pass count, just before
+    /// [`FixpointKernel::maintain`] — so long fixpoints can be
+    /// checkpointed at the same sites the budget already forces a check
+    /// at. No-op by default.
+    fn observe_pass(&mut self, _reached: Self::Set, _iteration: usize) {}
     /// Number of transition clusters.
     fn num_clusters(&self) -> usize;
     /// The cluster visit sequence of one chaining pass.
@@ -501,6 +508,7 @@ fn bfs<K: FixpointKernel>(
         reached = next_reached;
         frontier = new;
         iterations += 1;
+        kernel.observe_pass(reached, iterations);
         kernel.maintain(iterations);
     }
 
@@ -550,6 +558,7 @@ fn chaining<K: FixpointKernel>(
             break;
         }
         iterations += 1;
+        kernel.observe_pass(reached, iterations);
         kernel.maintain(iterations);
     }
 
@@ -667,6 +676,7 @@ fn saturation<K: FixpointKernel>(
                     break;
                 }
                 iterations += 1;
+                kernel.observe_pass(reached, iterations);
                 kernel.maintain(iterations);
                 if kernel.order_generation() != generation {
                     // Maintenance reordered the variables, so the level
@@ -701,18 +711,30 @@ fn saturation<K: FixpointKernel>(
     }
 }
 
+/// A pass-boundary observer for
+/// [`SymbolicContext::reachable_markings_observed`]: receives the context,
+/// the (protected) partial reached set and the 1-based pass count at every
+/// productive pass boundary of the fixpoint.
+pub type PassObserver<'h> = dyn FnMut(&SymbolicContext, Ref, usize) + 'h;
+
 /// The BDD backend of the generic driver: cluster images through the
 /// context's [`ImagePlan`], manager protection, adaptive GC and sifting.
-struct BddFixpointKernel<'a> {
+struct BddFixpointKernel<'a, 'h> {
     ctx: &'a mut SymbolicContext,
     plan: Rc<ImagePlan>,
     sift: SiftPolicy,
     /// State of [`SiftPolicy::AdaptiveGrowth`]: the live node count when
     /// the order was last tuned (`0` = not yet observed).
     sift_baseline: usize,
+    /// The traversal's start set: the initial marking, or its union with a
+    /// resumed checkpoint seed. Computed (and protected) by the caller
+    /// before the budget is installed.
+    start: Ref,
+    /// Optional pass-boundary callback (checkpointing rides here).
+    observer: Option<&'a mut PassObserver<'h>>,
 }
 
-impl FixpointKernel for BddFixpointKernel<'_> {
+impl FixpointKernel for BddFixpointKernel<'_, '_> {
     type Set = Ref;
 
     fn empty(&self) -> Ref {
@@ -720,7 +742,13 @@ impl FixpointKernel for BddFixpointKernel<'_> {
     }
 
     fn initial(&mut self) -> Ref {
-        self.ctx.initial_set()
+        self.start
+    }
+
+    fn observe_pass(&mut self, reached: Ref, iteration: usize) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer(&*self.ctx, reached, iteration);
+        }
     }
 
     fn num_clusters(&self) -> usize {
@@ -807,7 +835,39 @@ impl SymbolicContext {
     /// The returned [`ReachabilityResult::reached`] BDD is protected in the
     /// context's manager and remains valid until the context is dropped.
     pub fn reachable_markings_with(&mut self, options: TraversalOptions) -> ReachabilityResult {
+        self.reachable_markings_observed(options, None, None)
+    }
+
+    /// [`reachable_markings_with`](Self::reachable_markings_with), resumable
+    /// and observable: `seed` (a previously checkpointed partial reached
+    /// set, valid in this manager) is folded into the start set, and
+    /// `observer` fires at every productive pass boundary with the current
+    /// (protected) reached set — the hook long-running fixpoints are
+    /// checkpointed through.
+    ///
+    /// Resuming is always sound: the seed is a subset of the fixpoint, so
+    /// the reached set converges to the same BDD as a cold run (only the
+    /// pass count differs). Under [`FixpointStrategy::Parallel`] the seed
+    /// and observer are ignored — the sharded driver restarts from the
+    /// initial marking, which yields the same fixpoint.
+    pub fn reachable_markings_observed(
+        &mut self,
+        options: TraversalOptions,
+        seed: Option<Ref>,
+        observer: Option<&mut PassObserver<'_>>,
+    ) -> ReachabilityResult {
         let start = Instant::now();
+        // Fold the resumed seed into the start set *before* the budget is
+        // installed, so the union is never charged to — or interrupted
+        // mid-operation by — the governed run itself.
+        let start_set = match seed {
+            Some(seed) => {
+                let initial = self.initial_set();
+                self.manager_mut().or(initial, seed)
+            }
+            None => self.initial_set(),
+        };
+        self.manager_mut().protect(start_set);
         // The manager's advisory threshold is the single source of truth for
         // the adaptive GC policy in the kernel's maintenance hook.
         self.manager_mut().set_gc_threshold(options.gc_threshold);
@@ -820,8 +880,13 @@ impl SymbolicContext {
             plan,
             sift: options.sift,
             sift_baseline: 0,
+            start: start_set,
+            observer,
         };
         let run = run_fixpoint(&mut kernel, options.strategy, options.max_iterations);
+        // The driver protects its own reached set; release the start set's
+        // separate protection now that the run is over.
+        self.manager_mut().unprotect(start_set);
         // Remove the (possibly breached) budget before computing the result
         // statistics: the manager is back to ungoverned operation and an
         // uninterrupted re-run on the same context completes normally.

@@ -53,13 +53,14 @@ pub use pnsym_core::{
     analyze, analyze_zdd, analyze_zdd_governed, analyze_zdd_with, build_encoding,
     toggling_activity, toggling_of_state_codes, AnalysisError, AnalysisOptions, AnalysisReport,
     AssignmentStrategy, Block, Budget, ChainingOrder, CheckReport, DegradationStep, Encoding,
-    ExplicitChecker, FixpointStrategy, ImageCluster, ImagePlan, Interrupt, PortfolioReport,
-    PreImageCluster, PreImagePlan, Property, PropertyParseError, ReachabilityResult, SchemeKind,
-    SiftPolicy, SymbolicContext, TogglingReport, TraceKind, TransitionEffect, TraversalOptions,
-    TruncationReason, WitnessTrace, ZddAnalysisReport, ZddContext, ZddReachabilityResult,
+    ExplicitChecker, FixpointStrategy, ImageCluster, ImagePlan, Interrupt, PassObserver,
+    PortfolioReport, PreImageCluster, PreImagePlan, Property, PropertyParseError,
+    ReachabilityResult, SchemeKind, SiftPolicy, SymbolicContext, TogglingReport, TraceKind,
+    TransitionEffect, TraversalOptions, TruncationReason, WitnessTrace, ZddAnalysisReport,
+    ZddContext, ZddReachabilityResult,
 };
 #[cfg(feature = "fault-inject")]
-pub use pnsym_core::{FaultSchedule, FaultSite};
+pub use pnsym_core::{DiskFaultSchedule, DiskFaultSite, FaultSchedule, FaultSite};
 
 /// Commonly used items for quick scripting against the library.
 pub mod prelude {

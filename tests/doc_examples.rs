@@ -116,6 +116,55 @@ fn readme_serving_example() {
     handle.shutdown();
 }
 
+/// The README "Durability & recovery" section, verbatim: a daemon with a
+/// snapshot directory survives a restart — the second life rehydrates its
+/// pool at startup and answers the first query as a warm hit with the
+/// same verdicts.
+#[test]
+fn readme_durability_example() {
+    use pnsym::net::nets;
+    use pnsym::server::{serve, Client, NetResolver, PoolOutcome, Request, Response, ServerConfig};
+
+    let dir = std::env::temp_dir().join("pnsym-readme-durability");
+    let _ = std::fs::remove_dir_all(&dir);
+    let resolver = || -> NetResolver {
+        Box::new(|spec| match spec {
+            "phil-2" => Some(nets::philosophers(2)),
+            _ => None,
+        })
+    };
+    let config = ServerConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: answer one portfolio query, which writes the warm snapshot.
+    let handle = serve("127.0.0.1:0", config.clone(), resolver()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let request = Request::check_text(1, "phil-2", &[("can-eat", "EF eating.0")]);
+    let cold = client.request(&request).unwrap();
+    handle.shutdown(); // stands in for the crash — the snapshot is already durable
+
+    // Second life: the pool rehydrates from the directory at startup, so the
+    // "first" query of the restarted daemon is already a warm hit.
+    let handle = serve("127.0.0.1:0", config, resolver()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let warm = client.request(&request).unwrap();
+    match (cold.first(), warm.first()) {
+        (Some(Response::Verdict(c)), Some(Response::Verdict(w))) => {
+            assert_eq!(c.holds, w.holds);
+            assert_eq!(c.sat_markings, w.sat_markings);
+        }
+        other => panic!("expected verdicts, got {other:?}"),
+    }
+    match warm.last() {
+        Some(Response::Done { pool, .. }) => assert_eq!(*pool, PoolOutcome::Hit),
+        other => panic!("expected done, got {other:?}"),
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn explicit_engine_agrees_with_the_quick_start() {
     let net = philosophers(2);

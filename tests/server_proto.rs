@@ -67,11 +67,12 @@ fn arb_truncation() -> impl Strategy<Value = Option<TruncationReason>> {
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
-    (0usize..5).prop_map(|i| match i {
+    (0usize..6).prop_map(|i| match i {
         0 => ErrorCode::Json,
         1 => ErrorCode::Request,
         2 => ErrorCode::Net,
         3 => ErrorCode::Property,
+        4 => ErrorCode::Overloaded,
         _ => ErrorCode::Internal,
     })
 }
@@ -168,16 +169,26 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 misses,
                 evictions,
                 queries,
+                spills: hits / 2,
+                restores: misses / 3,
             },
         );
-    let error = (arb_id(), arb_error_code(), arb_string(), any::<bool>()).prop_map(
-        |(id, code, message, terminal)| Response::Error {
-            id,
-            code,
-            message,
-            terminal,
-        },
-    );
+    let error = (
+        arb_id(),
+        arb_error_code(),
+        arb_string(),
+        any::<bool>(),
+        (any::<bool>(), arb_id()),
+    )
+        .prop_map(
+            |(id, code, message, terminal, (hinted, hint))| Response::Error {
+                id,
+                code,
+                message,
+                terminal,
+                retry_after_ms: hinted.then_some(hint),
+            },
+        );
     let done = (
         (arb_id(), arb_string(), any::<bool>()),
         (arb_id(), arb_id(), arb_id()),
